@@ -1,0 +1,56 @@
+//! Criterion benchmarks of FTL operations: sustained WL writes (with GC)
+//! and page reads, per FTL variant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftl::{Ftl, FtlConfig, FtlKind};
+use ssdsim::{FtlDriver, HostContext};
+use std::hint::black_box;
+
+fn ctx() -> HostContext {
+    HostContext {
+        buffer_utilization: 0.95,
+        now_us: 0.0,
+    }
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let cfg = FtlConfig::small();
+
+    let mut group = c.benchmark_group("ftl/write_wl");
+    for kind in FtlKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            // Fresh FTL per batch so GC state stays comparable.
+            b.iter_batched_ref(
+                || (Ftl::new(kind, cfg), 0u64),
+                |(ftl, lpn)| {
+                    let lpns = [*lpn % 900, (*lpn + 1) % 900, (*lpn + 2) % 900];
+                    *lpn += 3;
+                    black_box(ftl.write_wl(0, lpns, &ctx()));
+                },
+                BatchSize::NumIterations(256),
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ftl/read_page");
+    for kind in [FtlKind::Page, FtlKind::Cube] {
+        let mut ftl = Ftl::new(kind, cfg);
+        for i in 0..300u64 {
+            let lpns = [i * 3, i * 3 + 1, i * 3 + 2];
+            ftl.write_wl((i % 2) as usize, lpns, &ctx());
+        }
+        ftl.set_aging(nand3d::AgingState::EndOfLife);
+        let mut lpn = 0u64;
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                lpn = (lpn + 7) % 900;
+                black_box(ftl.read_page(lpn, &ctx()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftl);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the ISPP program engine (the hot path
+//! of every simulated WL program).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nand3d::ispp::{margin_mv_for_spare, split_margin_mv};
+use nand3d::{BlockId, Environment, IsppEngine, NandConfig, ProcessModel, ProgramParams};
+use std::hint::black_box;
+
+fn bench_ispp(c: &mut Criterion) {
+    let config = NandConfig::paper();
+    let engine = IsppEngine::new(config.model);
+    let process = ProcessModel::new(config.geometry, config.model.reliability, 1);
+    let env = Environment::new(config.geometry.blocks_per_chip as usize, 2);
+    let wl = config.geometry.wl_addr(BlockId(7), 24, 1);
+
+    c.bench_function("ispp/characterize", |b| {
+        b.iter(|| engine.characterize(black_box(&process), black_box(wl), &env, 0))
+    });
+
+    let chars = engine.characterize(&process, wl, &env, 0);
+    c.bench_function("ispp/program_default", |b| {
+        b.iter(|| engine.program(black_box(&chars), &ProgramParams::default()).unwrap())
+    });
+
+    let mut follower = ProgramParams::default();
+    for (s, iv) in chars.intervals.iter().enumerate() {
+        follower.n_skip[s] = iv.safe_skip();
+    }
+    let (up, down) = split_margin_mv(chars.safe_margin_mv, engine.ispp_model());
+    follower.v_start_up_mv = up;
+    follower.v_final_down_mv = down;
+    c.bench_function("ispp/program_follower", |b| {
+        b.iter(|| engine.program(black_box(&chars), black_box(&follower)).unwrap())
+    });
+
+    c.bench_function("ispp/margin_table", |b| {
+        b.iter(|| margin_mv_for_spare(black_box(1.7), engine.ispp_model()))
+    });
+}
+
+criterion_group!(benches, bench_ispp);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the read-retry engine: PS-unaware
+//! (default references) vs PS-aware (ORT offset) reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nand3d::{AgingState, BlockId, Environment, NandConfig, ProcessModel, ReadParams, RetryEngine};
+use std::hint::black_box;
+
+fn bench_read(c: &mut Criterion) {
+    let config = NandConfig::paper();
+    let engine = RetryEngine::new(config.model);
+    let process = ProcessModel::new(config.geometry, config.model.reliability, 1);
+    let mut env = Environment::new(config.geometry.blocks_per_chip as usize, 2);
+    env.set_aging(AgingState::EndOfLife);
+    let wl = config.geometry.wl_addr(BlockId(7), 40, 2);
+
+    c.bench_function("read/optimal_offset", |b| {
+        b.iter(|| engine.optimal_offset(black_box(&process), black_box(wl), &env))
+    });
+
+    let optimal = engine.optimal_offset(&process, wl, &env);
+    c.bench_function("read/ps_unaware", |b| {
+        b.iter(|| engine.read(&process, black_box(wl), &env, ReadParams::default(), true, false, 0))
+    });
+    c.bench_function("read/ps_aware", |b| {
+        b.iter(|| {
+            engine.read(
+                &process,
+                black_box(wl),
+                &env,
+                ReadParams::from_offset(optimal),
+                true,
+                false,
+                0,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_read);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Ablation studies of cubeFTL's design choices (the knobs DESIGN.md
+//! calls out) plus the two §8 future-work extensions.
+//!
+//! 1. `μ_TH` — the WAM's burst threshold (§5.2).
+//! 2. Active blocks per chip — the §5.2 memory/availability trade-off.
+//! 3. Write-buffer size — the backpressure knee of Fig. 18(a).
+//! 4. Ambient-disturbance rate — cost of the §4.1.4 safety path.
+//! 5. PS-aware ECC decode-mode selection (extension, §8).
+//! 6. Latency predictability (extension, §8).
+//!
+//! Run with: `cargo run --release -p bench --bin ablate`
+
+use bench::{banner, eval_config_from_args, Table};
+use cubeftl::harness::{run_eval, run_eval_custom};
+use cubeftl::{AgingState, FtlKind, StandardWorkload};
+use ftl::{Ftl, LatencyPredictor, Opm};
+use nand3d::{BlockId, EccModel, NandChip, NandConfig, ProgramParams, WlData};
+
+fn main() {
+    let mut cfg = eval_config_from_args();
+    cfg.requests = cfg.requests.min(40_000);
+
+    // ---- 1. μ_TH sweep --------------------------------------------------
+    banner("ablation 1 — WAM burst threshold μ_TH (Rocks, fresh)");
+    let mut t = Table::new(["μ_TH", "IOPS", "p90 write (ms)", "follower share"]);
+    for mu in [0.0, 0.5, 0.8, 0.9, 0.99] {
+        let mut ftl_cfg = cfg.ftl_config();
+        ftl_cfg.mu_threshold = mu;
+        let mut r = run_eval_custom(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::Fresh,
+            &cfg,
+            ftl_cfg,
+        );
+        t.row([
+            format!("{mu}"),
+            format!("{:.0}", r.iops),
+            format!("{:.3}", r.write_latency.percentile(90.0) / 1000.0),
+            format!(
+                "{:.2}",
+                r.ftl.follower_wl_programs as f64 / r.ftl.host_wl_programs.max(1) as f64
+            ),
+        ]);
+    }
+    t.print();
+    println!("(μ_TH = 0 spends followers immediately; μ_TH ≈ 1 never banks for bursts;");
+    println!(" the paper's 0.9 balances burst absorption against leader availability)");
+
+    // ---- 2. active blocks per chip --------------------------------------
+    banner("ablation 2 — active blocks per chip (OLTP, fresh)");
+    let mut t = Table::new(["active blocks", "IOPS", "p90 write (ms)"]);
+    for blocks in [1usize, 2, 4] {
+        let mut ftl_cfg = cfg.ftl_config();
+        ftl_cfg.active_blocks_per_chip = blocks;
+        ftl_cfg.gc_free_block_threshold = ftl_cfg.gc_free_block_threshold.max(blocks);
+        let mut r = run_eval_custom(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+            ftl_cfg,
+        );
+        t.row([
+            blocks.to_string(),
+            format!("{:.0}", r.iops),
+            format!("{:.3}", r.write_latency.percentile(90.0) / 1000.0),
+        ]);
+    }
+    t.print();
+    println!("(the paper settles on two per chip, §5.2)");
+
+    // ---- 3. write-buffer size --------------------------------------------
+    banner("ablation 3 — write-buffer size (Rocks, fresh)");
+    let mut t = Table::new(["buffer (pages)", "IOPS", "p50 write (ms)", "p90 write (ms)"]);
+    for pages in [16usize, 48, 128, 256] {
+        let mut c = cfg;
+        c.ssd.buffer_pages = pages;
+        let mut r = run_eval(FtlKind::Cube, StandardWorkload::Rocks, AgingState::Fresh, &c);
+        t.row([
+            pages.to_string(),
+            format!("{:.0}", r.iops),
+            format!("{:.3}", r.write_latency.percentile(50.0) / 1000.0),
+            format!("{:.3}", r.write_latency.percentile(90.0) / 1000.0),
+        ]);
+    }
+    t.print();
+
+    // ---- 4. disturbance rate ---------------------------------------------
+    banner("ablation 4 — ambient disturbance rate (Mail, mid-life)");
+    let mut t = Table::new(["P(disturbance)", "IOPS", "safety re-programs"]);
+    for p in [0.0, 0.002, 0.01, 0.05] {
+        let mut c = cfg;
+        c.disturbance_prob = p;
+        let r = run_eval(FtlKind::Cube, StandardWorkload::Mail, AgingState::MidLife, &c);
+        t.row([
+            format!("{p}"),
+            format!("{:.0}", r.iops),
+            r.ftl.safety_reprograms.to_string(),
+        ]);
+    }
+    t.print();
+    println!("(the §4.1.4 safety check turns rare condition changes into re-programs");
+    println!(" instead of reliability loss; its cost stays small at realistic rates)");
+
+    // ---- 5. ambient temperature (extension; cf. HeatWatch [40]) ----------
+    banner("extension — ambient temperature (Web, 2K P/E + 1-month retention)");
+    let mut t = Table::new(["temperature (°C)", "pageFTL IOPS", "cubeFTL IOPS", "cube/page"]);
+    for celsius in [5.0, 30.0, 45.0, 55.0] {
+        let mut iops = Vec::new();
+        for kind in [FtlKind::Page, FtlKind::Cube] {
+            let ftl_cfg = cfg.ftl_config();
+            let mut ftl = Ftl::new(kind, ftl_cfg);
+            let mut sim = ssdsim::SsdSim::new(cfg.ssd);
+            ftl.set_aging(AgingState::MidLife);
+            ftl.set_ambient_celsius(celsius);
+            let logical = ftl.logical_pages();
+            let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+            sim.prefill(&mut ftl, 0..prefill);
+            ftl.reset_stats();
+            let stream = StandardWorkload::Web.build(prefill.max(1024), cfg.seed);
+            iops.push(sim.run(&mut ftl, stream, cfg.requests).iops);
+        }
+        t.row([
+            format!("{celsius}"),
+            format!("{:.0}", iops[0]),
+            format!("{:.0}", iops[1]),
+            format!("{:.2}", iops[1] / iops[0]),
+        ]);
+    }
+    t.print();
+    println!("(heat accelerates retention loss (Arrhenius), pushing more reads into the");
+    println!(" retry path — cubeFTL's ORT advantage widens with temperature)");
+
+    // ---- 6. PS-aware ECC decode (extension) --------------------------------
+    banner("extension — PS-aware LDPC decode-mode selection (§8)");
+    let ecc = EccModel::ldpc();
+    let chip = NandChip::new(NandConfig::paper(), 7);
+    let g = *chip.geometry();
+    let rel = chip.reliability();
+    let mut t = Table::new(["aging", "escalating (µs/read)", "PS-predicted (µs/read)", "saving"]);
+    for (label, pe, months) in [
+        ("fresh", 0u32, 0.0f64),
+        ("2K + 1 month", 2000, 1.0),
+        ("2K + 1 year", 2000, 12.0),
+    ] {
+        let mut unaware = 0.0;
+        let mut aware = 0.0;
+        let mut n = 0.0;
+        for b in 0..16u32 {
+            for h in 0..g.hlayers_per_block {
+                let wl = g.wl_addr(BlockId(b), h, 1);
+                let raw = rel.ber(chip.process(), wl, pe, months);
+                // PS prediction: the leader WL of the same h-layer has
+                // virtually the same BER (ΔH ≈ 1).
+                let predicted = rel.ber(chip.process(), g.wl_addr(BlockId(b), h, 0), pe, months);
+                unaware += ecc.decode_escalating_us(raw).unwrap_or(200.0);
+                aware += ecc.decode_predicted_us(raw, predicted).unwrap_or(200.0);
+                n += 1.0;
+            }
+        }
+        t.row([
+            label.to_owned(),
+            format!("{:.1}", unaware / n),
+            format!("{:.1}", aware / n),
+            format!("{:.0}%", (1.0 - aware / unaware) * 100.0),
+        ]);
+    }
+    t.print();
+
+    // ---- 7. latency predictability (extension) ----------------------------
+    banner("extension — deterministic latency via PS (§8)");
+    let mut chip = NandChip::new(NandConfig::paper(), 13);
+    let mut opm = Opm::new(&g, 1);
+    let predictor = LatencyPredictor::new(chip.ispp());
+    let mut exact = 0u32;
+    let mut total = 0u32;
+    let mut max_err: f64 = 0.0;
+    for b in 0..8u32 {
+        chip.erase(BlockId(b)).unwrap();
+        for h in 0..g.hlayers_per_block {
+            let leader = g.wl_addr(BlockId(b), h, 0);
+            let report = chip
+                .program_wl(leader, WlData::host(0), &ProgramParams::default())
+                .unwrap();
+            opm.record_leader(0, leader, &report, chip.ispp());
+            for v in 1..g.wls_per_hlayer {
+                let wl = g.wl_addr(BlockId(b), h, v);
+                let forecast = predictor.follower_tprog(&opm, 0, wl);
+                let params = opm.follower_params(0, wl).unwrap().to_program_params();
+                let actual = chip.program_wl(wl, WlData::host(1), &params).unwrap();
+                let err = LatencyPredictor::error_fraction(&forecast, &actual);
+                max_err = max_err.max(err);
+                exact += u32::from(err < 0.01);
+                total += 1;
+            }
+        }
+    }
+    println!(
+        "follower tPROG forecast: {exact}/{total} exact (<1% error), worst error {:.1}%",
+        max_err * 100.0
+    );
+    println!("(PS makes per-WL response times predictable before issuing the command —");
+    println!(" the paper's proposed answer to the SSD long-tail problem)");
+    let _ = Ftl::cube; // keep the import obviously used across feature tweaks
+}

@@ -1,0 +1,53 @@
+//! Figure 13 — reliability of the three program sequences.
+//!
+//! Programs whole blocks in horizontal-first, vertical-first and mixed
+//! (MOS) order and compares the resulting BER. 3D NAND's select-line
+//! transistors isolate v-layers, so the orders are reliability-equivalent
+//! (the paper measured <3% difference, attributable to RTN).
+
+use bench::{banner, f3, paper_chip, Table};
+use cubeftl::ProgramOrder;
+use nand3d::{BlockId, ProgramParams, WlData};
+
+fn main() {
+    let mut chip = paper_chip();
+    let g = *chip.geometry();
+
+    banner("Fig. 13 — normalized BER per program sequence");
+    let mut results = Vec::new();
+    for order in ProgramOrder::ALL {
+        // Program the *same* blocks for every order (erasing in
+        // between), so the comparison isolates the ordering effect the
+        // way the paper's controlled experiment does.
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for rep in 0..8u32 {
+            let block = BlockId(60 + rep * 7);
+            chip.erase(block).expect("in range");
+            let mut tag = 0u64;
+            for wl in order.sequence(&g, block).collect::<Vec<_>>() {
+                let report = chip
+                    .program_wl(wl, WlData::host(tag), &ProgramParams::default())
+                    .expect("erased WL");
+                sum += report.post_ber;
+                n += 1.0;
+                tag += 3;
+            }
+        }
+        results.push((order, sum / n));
+    }
+
+    let reference = results[0].1;
+    let mut t = Table::new(["program sequence", "mean BER (normalized)"]);
+    for (order, ber) in &results {
+        t.row([order.label().to_owned(), f3(ber / reference)]);
+    }
+    t.print();
+
+    let max = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    let min = results.iter().map(|r| r.1).fold(f64::MAX, f64::min);
+    println!(
+        "\nmax difference between sequences: {:.2}% (paper: <3%, from RTN)",
+        (max / min - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,157 @@
+//! Shared utilities for the figure-regeneration binaries
+//! (`src/bin/figNN.rs`) and the Criterion benches.
+//!
+//! Each binary regenerates the data series of one figure of the paper;
+//! see `DESIGN.md` for the figure → binary index. The binaries accept:
+//!
+//! * `--full` — the paper-scale SSD (428 blocks/chip ≈ 32 GB),
+//! * `--smoke` — a tiny CI-scale run,
+//! * `--requests N` — override the simulated request count,
+//! * (default) — the reduced scale (64 blocks/chip), which preserves the
+//!   topology and FTL behaviour at laptop runtimes.
+
+use cubeftl::harness::EvalConfig;
+use nand3d::{NandChip, NandConfig};
+
+/// Seed used by every figure binary (reproducible output).
+pub const FIGURE_SEED: u64 = 2019;
+
+/// A paper-configuration chip for characterization figures.
+pub fn paper_chip() -> NandChip {
+    NandChip::new(NandConfig::paper(), FIGURE_SEED)
+}
+
+/// The paper's exemplar h-layers on `chip`: (label, layer index) for
+/// (α, β, κ, ω) — top edge, most reliable, mid-stack rugged, bottom edge.
+pub fn exemplar_layers(chip: &NandChip) -> [(&'static str, u16); 4] {
+    let [a, b, k, o] = chip.process().exemplar_layers();
+    [
+        ("h-layer_alpha", a),
+        ("h-layer_beta", b),
+        ("h-layer_kappa", k),
+        ("h-layer_omega", o),
+    ]
+}
+
+/// Parses the common CLI flags of the figure binaries.
+pub fn eval_config_from_args() -> EvalConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--full") {
+        EvalConfig::paper()
+    } else if args.iter().any(|a| a == "--smoke") {
+        EvalConfig::smoke()
+    } else {
+        EvalConfig::reduced()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--requests") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            cfg.requests = n;
+        }
+    }
+    cfg
+}
+
+/// A minimal fixed-width text-table printer for figure output.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio as `x.xx`.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["layer", "BER"]);
+        t.row(["h-layer_alpha", "1.00"]);
+        t.row(["β", "0.52"]);
+        let s = t.render();
+        assert!(s.contains("layer"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn exemplars_are_usable() {
+        let chip = paper_chip();
+        let ex = exemplar_layers(&chip);
+        assert_eq!(ex[0].1, 0);
+        assert_eq!(ex[3].1, 47);
+    }
+}

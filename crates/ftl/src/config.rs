@@ -1,0 +1,124 @@
+//! FTL configuration.
+
+use nand3d::NandConfig;
+
+/// Configuration shared by every FTL variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// NAND chip configuration.
+    pub nand: NandConfig,
+    /// Number of chips the FTL manages.
+    pub chips: usize,
+    /// Fraction of physical capacity reserved as over-provisioning
+    /// (not addressable by the host).
+    pub overprovision: f64,
+    /// Garbage collection starts when a chip's free-block count drops to
+    /// this threshold.
+    pub gc_free_block_threshold: usize,
+    /// Write-buffer utilization threshold `μ_TH` above which cubeFTL's
+    /// WAM prefers follower WLs (§5.2; the paper suggests 0.9).
+    pub mu_threshold: f64,
+    /// Active blocks per chip for the WAM (§5.2: the paper uses two).
+    pub active_blocks_per_chip: usize,
+    /// Seed for per-chip process variation.
+    pub seed: u64,
+}
+
+impl FtlConfig {
+    /// The paper's evaluation configuration: 8 chips of the §6.1
+    /// geometry, ~12.5% over-provisioning.
+    pub fn paper() -> Self {
+        FtlConfig {
+            nand: NandConfig::paper(),
+            chips: 8,
+            overprovision: 0.125,
+            gc_free_block_threshold: 4,
+            mu_threshold: 0.9,
+            active_blocks_per_chip: 2,
+            seed: 42,
+        }
+    }
+
+    /// A small configuration for tests and examples (2 chips of the
+    /// small geometry).
+    pub fn small() -> Self {
+        FtlConfig {
+            nand: NandConfig::small(),
+            chips: 2,
+            overprovision: 0.25,
+            gc_free_block_threshold: 2,
+            mu_threshold: 0.9,
+            active_blocks_per_chip: 2,
+            seed: 42,
+        }
+    }
+
+    /// Host-visible logical pages across all chips.
+    pub fn logical_pages(&self) -> u64 {
+        let physical = self.nand.geometry.pages_per_chip() * self.chips as u64;
+        (physical as f64 * (1.0 - self.overprovision)).floor() as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot support an FTL (no chips, no
+    /// over-provisioning headroom, or a GC threshold the geometry cannot
+    /// satisfy).
+    pub fn validate(&self) {
+        assert!(self.chips > 0, "need at least one chip");
+        assert!(
+            (0.01..0.9).contains(&self.overprovision),
+            "over-provisioning must be in (0.01, 0.9)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mu_threshold),
+            "μ_TH must be a fraction"
+        );
+        assert!(
+            (self.gc_free_block_threshold as u32) < self.nand.geometry.blocks_per_chip / 2,
+            "GC threshold leaves no usable blocks"
+        );
+        assert!(
+            self.active_blocks_per_chip >= 1
+                && self.active_blocks_per_chip <= self.gc_free_block_threshold.max(1),
+            "active blocks must leave GC headroom"
+        );
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        FtlConfig::paper().validate();
+        FtlConfig::small().validate();
+    }
+
+    #[test]
+    fn logical_pages_respect_overprovisioning() {
+        let cfg = FtlConfig::paper();
+        let physical = cfg.nand.geometry.pages_per_chip() * cfg.chips as u64;
+        assert!(cfg.logical_pages() < physical);
+        assert!(cfg.logical_pages() > physical / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_rejected() {
+        FtlConfig {
+            chips: 0,
+            ..FtlConfig::small()
+        }
+        .validate();
+    }
+}

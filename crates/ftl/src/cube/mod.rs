@@ -1,0 +1,5 @@
+//! cubeFTL's PS-aware modules: the Optimal Parameter Manager ([`Opm`](opm::Opm))
+//! and the WL Allocation Manager ([`Wam`](wam::Wam)) of paper §5.
+
+pub mod opm;
+pub mod wam;

@@ -1,0 +1,319 @@
+//! The Optimal Parameter Manager (OPM) of cubeFTL (paper §5.1).
+//!
+//! The OPM turns the horizontal intra-layer similarity into program and
+//! read parameters:
+//!
+//! * From each **leader-WL program** it records the monitored
+//!   `[L_min^Pi, L_max^Pi]` loop intervals and `BER_EP1`, computes the
+//!   per-state skip counts `N_skip^Pi` and the `V_Start`/`V_Final`
+//!   adjustment via the offline `S_M` conversion table, and keeps them
+//!   until the followers of that h-layer consume them.
+//! * For reads it maintains the **optimal read-reference table (ORT)**:
+//!   the most recent working `ΔV_Ref` offset per h-layer (2 bytes per
+//!   h-layer in the paper's encoding, ~0.001% space overhead).
+
+use nand3d::ispp::{margin_mv_for_spare, split_margin_mv};
+use nand3d::{
+    Geometry, IsppEngine, LoopInterval, ProgramParams, ProgramReport, WlAddr, NUM_PROGRAM_STATES,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters monitored from a leader-WL program, ready for reuse by the
+/// followers of the same h-layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaderParams {
+    /// Per-state skip counts (`N_skip^Pi = L_min^Pi − 1` in cumulative
+    /// loop numbers).
+    pub n_skip: [u8; NUM_PROGRAM_STATES],
+    /// The raw monitored `[L_min, L_max]` intervals (kept for latency
+    /// prediction, see [`LatencyPredictor`](crate::predictor::LatencyPredictor)).
+    pub leader_intervals: [LoopInterval; NUM_PROGRAM_STATES],
+    /// `V_Start` increase, mV.
+    pub v_start_up_mv: f64,
+    /// `V_Final` decrease, mV.
+    pub v_final_down_mv: f64,
+    /// The leader's post-program BER, baseline for the §4.1.4 safety
+    /// check.
+    pub leader_post_ber: f64,
+}
+
+impl LeaderParams {
+    /// The optimized [`ProgramParams`] for a follower WL.
+    pub fn to_program_params(&self) -> ProgramParams {
+        ProgramParams {
+            n_skip: self.n_skip,
+            v_start_up_mv: self.v_start_up_mv,
+            v_final_down_mv: self.v_final_down_mv,
+        }
+    }
+}
+
+/// Key of an h-layer within the SSD: (chip, block, h-layer).
+type LayerKey = (u32, u32, u16);
+
+/// The Optimal Parameter Manager.
+#[derive(Debug, Clone)]
+pub struct Opm {
+    /// Leader-derived program parameters per h-layer, kept until the
+    /// followers consume them (the map stays small: only h-layers of
+    /// active blocks have entries).
+    leader_params: HashMap<LayerKey, LeaderParams>,
+    /// Post-program BER of the last WL programmed on each h-layer
+    /// (safety-check reference).
+    last_post_ber: HashMap<LayerKey, f64>,
+    /// The ORT: last known good read offset per h-layer of every block.
+    /// Dense per chip: `block * hlayers + h`.
+    ort: Vec<Vec<u8>>,
+    hlayers: u16,
+    /// Safety-check threshold: a follower whose post-program BER exceeds
+    /// the previous WL's by this factor is considered improperly
+    /// programmed (§4.1.4).
+    safety_factor: f64,
+}
+
+impl Opm {
+    /// An OPM for `chips` chips of `geometry`.
+    pub fn new(geometry: &Geometry, chips: usize) -> Self {
+        let entries = geometry.blocks_per_chip as usize * usize::from(geometry.hlayers_per_block);
+        Opm {
+            leader_params: HashMap::new(),
+            last_post_ber: HashMap::new(),
+            ort: vec![vec![0; entries]; chips],
+            hlayers: geometry.hlayers_per_block,
+            safety_factor: 3.0,
+        }
+    }
+
+    fn key(chip: usize, wl: WlAddr) -> LayerKey {
+        (chip as u32, wl.block.0, wl.h.0)
+    }
+
+    fn ort_index(&self, wl: WlAddr) -> usize {
+        wl.block.0 as usize * usize::from(self.hlayers) + usize::from(wl.h.0)
+    }
+
+    /// Records a leader-WL program report and derives the follower
+    /// parameters (§5.1): `N_skip^Pi` from the loop intervals, and the
+    /// window adjustment from `BER_EP1` through the `S_M` conversion and
+    /// split tables.
+    pub fn record_leader(
+        &mut self,
+        chip: usize,
+        wl: WlAddr,
+        report: &ProgramReport,
+        engine: &IsppEngine,
+    ) {
+        let mut n_skip = [0u8; NUM_PROGRAM_STATES];
+        for (s, iv) in report.loop_intervals.iter().enumerate() {
+            n_skip[s] = iv.safe_skip();
+        }
+        let spare = engine.spare_margin(report.ber_ep1, report.pe_cycles);
+        let total_mv = margin_mv_for_spare(spare, engine.ispp_model());
+        let (v_start_up_mv, v_final_down_mv) = split_margin_mv(total_mv, engine.ispp_model());
+        let key = Self::key(chip, wl);
+        self.leader_params.insert(
+            key,
+            LeaderParams {
+                n_skip,
+                leader_intervals: report.loop_intervals,
+                v_start_up_mv,
+                v_final_down_mv,
+                leader_post_ber: report.post_ber,
+            },
+        );
+        self.last_post_ber.insert(key, report.post_ber);
+    }
+
+    /// The follower program parameters for `wl`'s h-layer, if its leader
+    /// has been monitored.
+    pub fn follower_params(&self, chip: usize, wl: WlAddr) -> Option<&LeaderParams> {
+        self.leader_params.get(&Self::key(chip, wl))
+    }
+
+    /// Runs the §4.1.4 safety check on a just-completed WL program:
+    /// compares its post-program BER against the previous WL of the same
+    /// h-layer. Returns `true` if the WL must be considered improperly
+    /// programmed (and the data re-programmed on the following WL).
+    pub fn safety_check(&mut self, chip: usize, wl: WlAddr, report: &ProgramReport) -> bool {
+        let key = Self::key(chip, wl);
+        let anomalous = match self.last_post_ber.get(&key) {
+            Some(prev) => report.post_ber > prev * self.safety_factor,
+            None => false,
+        };
+        if !anomalous {
+            self.last_post_ber.insert(key, report.post_ber);
+        }
+        anomalous
+    }
+
+    /// Invalidates the monitored parameters of an h-layer (used after a
+    /// safety-check failure so the next program re-monitors, and when a
+    /// block is erased).
+    pub fn invalidate_layer(&mut self, chip: usize, wl: WlAddr) {
+        let key = Self::key(chip, wl);
+        self.leader_params.remove(&key);
+        self.last_post_ber.remove(&key);
+    }
+
+    /// Drops all monitored program parameters of `block` (erase).
+    pub fn invalidate_block(&mut self, chip: usize, block: u32) {
+        self.leader_params
+            .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
+        self.last_post_ber
+            .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
+    }
+
+    /// The ORT entry for `wl`'s h-layer: the starting read offset for a
+    /// read of any WL on that h-layer (§4.2).
+    pub fn read_offset(&self, chip: usize, wl: WlAddr) -> u8 {
+        self.ort[chip][self.ort_index(wl)]
+    }
+
+    /// Updates the ORT after a read decoded at `final_offset`.
+    pub fn update_read_offset(&mut self, chip: usize, wl: WlAddr, final_offset: u8) {
+        let idx = self.ort_index(wl);
+        self.ort[chip][idx] = final_offset;
+    }
+
+    /// Number of leader-parameter entries currently held (bounded by the
+    /// active blocks, §5.2).
+    pub fn pending_layers(&self) -> usize {
+        self.leader_params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand3d::{CalibratedModel, LoopInterval, NandChip, NandConfig, WlData};
+
+    fn setup() -> (Opm, NandChip) {
+        let config = NandConfig::small();
+        let chip = NandChip::new(config, 3);
+        let opm = Opm::new(&config.geometry, 2);
+        (opm, chip)
+    }
+
+    #[test]
+    fn leader_report_produces_follower_params() {
+        let (mut opm, mut chip) = setup();
+        chip.erase(nand3d::BlockId(0)).unwrap();
+        let leader = chip.geometry().wl_addr(nand3d::BlockId(0), 2, 0);
+        let report = chip
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, leader, &report, chip.ispp());
+
+        let follower = chip.geometry().wl_addr(nand3d::BlockId(0), 2, 1);
+        let params = opm.follower_params(0, follower).expect("leader recorded");
+        // Skips must match the leader's observed L_min − 1.
+        for (s, iv) in report.loop_intervals.iter().enumerate() {
+            assert_eq!(params.n_skip[s], iv.safe_skip());
+        }
+        // The window adjustment is quantized and within device limits.
+        let total = params.v_start_up_mv + params.v_final_down_mv;
+        assert!(total >= 160.0, "guard step is always available");
+        assert!(total <= chip.ispp().ispp_model().max_adjust_mv);
+        // Different h-layer: no parameters.
+        let other = chip.geometry().wl_addr(nand3d::BlockId(0), 3, 1);
+        assert!(opm.follower_params(0, other).is_none());
+    }
+
+    #[test]
+    fn follower_program_with_opm_params_is_faster() {
+        let (mut opm, mut chip) = setup();
+        chip.erase(nand3d::BlockId(1)).unwrap();
+        let g = *chip.geometry();
+        let leader = g.wl_addr(nand3d::BlockId(1), 4, 0);
+        let report = chip
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, leader, &report, chip.ispp());
+
+        let follower = g.wl_addr(nand3d::BlockId(1), 4, 2);
+        let params = opm.follower_params(0, follower).unwrap().to_program_params();
+        let fr = chip.program_wl(follower, WlData::host(3), &params).unwrap();
+        assert!(fr.latency_us < report.latency_us * 0.85);
+        // The spent window margin costs a small, bounded BER uptick —
+        // spare margin traded for speed, still far below the ECC limit
+        // and below the ×3 safety-check threshold.
+        assert!(fr.post_ber < report.post_ber * 2.0);
+        assert!(fr.post_ber < chip.config().model.reliability.ecc_capability_ber);
+    }
+
+    #[test]
+    fn safety_check_flags_anomalies() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        let wl = g.wl_addr(nand3d::BlockId(0), 1, 0);
+        let mk = |post_ber: f64| ProgramReport {
+            latency_us: 700.0,
+            loop_intervals: [LoopInterval { lmin: 2, lmax: 3 }; NUM_PROGRAM_STATES],
+            ber_ep1: 1e-4,
+            post_ber,
+            pulses: 11,
+            verifies: 50,
+            disturbed: false,
+            pe_cycles: 0,
+        };
+        assert!(!opm.safety_check(0, wl, &mk(1e-4)), "first WL sets baseline");
+        let next = g.wl_addr(nand3d::BlockId(0), 1, 1);
+        assert!(!opm.safety_check(0, next, &mk(1.5e-4)), "small growth ok");
+        let bad = g.wl_addr(nand3d::BlockId(0), 1, 2);
+        assert!(opm.safety_check(0, bad, &mk(9e-4)), "6x jump is anomalous");
+        // The anomalous value must NOT become the new baseline.
+        let after = g.wl_addr(nand3d::BlockId(0), 1, 3);
+        assert!(opm.safety_check(0, after, &mk(9e-4)), "still anomalous");
+    }
+
+    #[test]
+    fn ort_roundtrip_and_default() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        let wl = g.wl_addr(nand3d::BlockId(3), 5, 1);
+        assert_eq!(opm.read_offset(0, wl), 0, "default offset");
+        opm.update_read_offset(0, wl, 4);
+        // Any WL of the same h-layer sees the update.
+        let peer = g.wl_addr(nand3d::BlockId(3), 5, 3);
+        assert_eq!(opm.read_offset(0, peer), 4);
+        // Other layers/chips/blocks unaffected.
+        assert_eq!(opm.read_offset(0, g.wl_addr(nand3d::BlockId(3), 6, 0)), 0);
+        assert_eq!(opm.read_offset(1, wl), 0);
+        assert_eq!(opm.read_offset(0, g.wl_addr(nand3d::BlockId(2), 5, 1)), 0);
+    }
+
+    #[test]
+    fn invalidate_block_drops_parameters() {
+        let (mut opm, mut chip) = setup();
+        chip.erase(nand3d::BlockId(0)).unwrap();
+        let g = *chip.geometry();
+        let leader = g.wl_addr(nand3d::BlockId(0), 0, 0);
+        let report = chip
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, leader, &report, chip.ispp());
+        assert_eq!(opm.pending_layers(), 1);
+        opm.invalidate_block(0, 0);
+        assert_eq!(opm.pending_layers(), 0);
+        assert!(opm.follower_params(0, g.wl_addr(nand3d::BlockId(0), 0, 1)).is_none());
+    }
+
+    #[test]
+    fn ort_memory_matches_paper_overhead_estimate() {
+        // §5.1: ~2 bytes per h-layer → ~10 MB for a 1-TB SSD. Our dense
+        // table stores 1 byte per h-layer per block.
+        let config = NandConfig::paper();
+        let opm = Opm::new(&config.geometry, 8);
+        let per_chip = opm.ort[0].len();
+        assert_eq!(per_chip, 428 * 48);
+        let bytes_total = per_chip * 8;
+        let ssd_bytes = config.geometry.bytes_per_chip() * 8;
+        let overhead = bytes_total as f64 / ssd_bytes as f64;
+        assert!(overhead < 1e-4, "ORT overhead {overhead}");
+    }
+
+    // Silence an unused-import lint when tests compile alone.
+    #[allow(dead_code)]
+    fn _uses(_: CalibratedModel) {}
+}

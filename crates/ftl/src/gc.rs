@@ -1,0 +1,76 @@
+//! Greedy garbage collection: victim selection.
+//!
+//! All four FTL variants share the same GC policy (the paper's
+//! contribution is orthogonal to GC): when a chip runs low on free
+//! blocks, the block with the fewest valid pages among the closed blocks
+//! is migrated and erased.
+
+use crate::mapping::Mapping;
+use nand3d::BlockId;
+
+/// Selects the GC victim on `chip`: the candidate block with the fewest
+/// valid pages. Returns `None` when `candidates` is empty or every
+/// candidate is fully valid (nothing reclaimable).
+pub fn select_victim(
+    mapping: &Mapping,
+    chip: usize,
+    candidates: impl Iterator<Item = BlockId>,
+    pages_per_block: u32,
+) -> Option<BlockId> {
+    candidates
+        .map(|b| (mapping.valid_in_block(chip, b.0), b))
+        .filter(|(valid, _)| *valid < pages_per_block)
+        .min_by_key(|(valid, b)| (*valid, b.0))
+        .map(|(_, b)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Ppn;
+    use nand3d::Geometry;
+
+    #[test]
+    fn picks_min_valid_block() {
+        let g = Geometry::small();
+        let mut m = Mapping::new(g, 1, 1000);
+        let ppb = g.pages_per_block();
+        // Block 0: 2 valid pages; block 1: 1 valid page; block 2: empty.
+        m.map(1, Ppn { chip: 0, page: 0 });
+        m.map(2, Ppn { chip: 0, page: 1 });
+        m.map(3, Ppn { chip: 0, page: ppb });
+        let candidates = [BlockId(0), BlockId(1)];
+        let victim = select_victim(&m, 0, candidates.into_iter(), ppb);
+        assert_eq!(victim, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn fully_valid_blocks_are_not_victims() {
+        let g = Geometry::small();
+        let mut m = Mapping::new(g, 1, 1000);
+        let ppb = g.pages_per_block();
+        for p in 0..ppb {
+            m.map(u64::from(p), Ppn { chip: 0, page: p });
+        }
+        assert_eq!(
+            select_victim(&m, 0, [BlockId(0)].into_iter(), ppb),
+            None,
+            "no garbage to reclaim"
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let g = Geometry::small();
+        let m = Mapping::new(g, 1, 10);
+        assert_eq!(select_victim(&m, 0, std::iter::empty(), 96), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let g = Geometry::small();
+        let m = Mapping::new(g, 1, 10);
+        let victim = select_victim(&m, 0, [BlockId(3), BlockId(1)].into_iter(), 96);
+        assert_eq!(victim, Some(BlockId(1)), "lowest id wins ties");
+    }
+}

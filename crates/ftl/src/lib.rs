@@ -1,0 +1,53 @@
+//! # ftl — flash translation layers for 3D NAND SSDs
+//!
+//! The core contribution of the reproduced paper (*"Exploiting Process
+//! Similarity of 3D Flash Memory for High Performance SSDs"*, MICRO
+//! 2019): a page-level FTL family sharing mapping, allocation and garbage
+//! collection, differing in how much they know about the 3D NAND process:
+//!
+//! * [`Ftl::page`] — **pageFTL**: the PS-unaware baseline. Default NAND
+//!   parameters, horizontal-first program order, default read references.
+//! * [`Ftl::vert`] — **vertFTL** (after Hung et al. \[13\]): an offline,
+//!   conservative per-layer `V_Final`-only reduction (~8% tPROG).
+//! * [`Ftl::cube`] — **cubeFTL**: the PS-aware FTL of §5. Its Optimal
+//!   Parameter Manager ([`Opm`]) monitors every leader-WL program and
+//!   reuses `[L_min, L_max]` and `BER_EP1` for follower WLs of the same
+//!   h-layer (VFY skipping + window shrinking, §4.1), maintains the
+//!   optimal read-reference table (ORT, §4.2), and runs the §4.1.4
+//!   safety check. Its WL Allocation Manager ([`Wam`]) serves bursty
+//!   writes from fast follower WLs using the mixed-order scheme (§5.2).
+//! * [`Ftl::cube_minus`] — **cubeFTL-**: cubeFTL with the WAM disabled
+//!   (horizontal-first allocation), the ablation of §6.3.
+//!
+//! All four implement [`ssdsim::FtlDriver`] and run unmodified under the
+//! `ssdsim` engine.
+//!
+//! # Example
+//!
+//! ```
+//! use ftl::{Ftl, FtlConfig};
+//! use ssdsim::{FtlDriver, HostContext};
+//!
+//! let mut ftl = Ftl::cube(FtlConfig::small());
+//! let ctx = HostContext { buffer_utilization: 0.0, now_us: 0.0 };
+//! let w = ftl.write_wl(0, [0, 1, 2], &ctx);
+//! assert!(w.nand_us > 0.0);
+//! let r = ftl.read_page(1, &ctx).expect("page was written");
+//! assert_eq!(r.chip, 0);
+//! ```
+
+pub mod base;
+pub mod config;
+pub mod cube;
+pub mod gc;
+pub mod mapping;
+pub mod order;
+pub mod predictor;
+
+pub use base::{Ftl, FtlKind};
+pub use config::FtlConfig;
+pub use cube::opm::{LeaderParams, Opm};
+pub use cube::wam::{Wam, WlChoice};
+pub use mapping::{Mapping, Ppn};
+pub use order::ProgramOrder;
+pub use predictor::{Forecast, LatencyPredictor};

@@ -1,0 +1,566 @@
+//! The NAND chip command interface and multi-chip array.
+//!
+//! [`NandChip`] exposes the three NAND commands — erase, program (one WL
+//! at a time, carrying its three TLC pages), and read (one page at a
+//! time) — with full state tracking (a WL must be erased before it is
+//! programmed; only programmed pages can be read). Each command returns a
+//! report carrying its latency and, for programs, the run-time monitored
+//! values (`[L_min, L_max]` per state, `BER_EP1`, post-program BER) that
+//! PS-aware FTLs consume through the Set/Get-Features-style interface
+//! (paper §4.1.4, §5.1).
+//!
+//! [`FlashArray`] groups several chips into the package the SSD simulator
+//! drives.
+
+use crate::config::NandConfig;
+use crate::environment::{AgingState, Environment};
+use crate::error::NandError;
+use crate::geometry::{BlockId, Geometry, PageAddr, WlAddr};
+use crate::ispp::{IsppEngine, LoopInterval, ProgramParams, NUM_PROGRAM_STATES};
+use crate::process::ProcessModel;
+use crate::read::{ReadParams, RetryEngine};
+use crate::reliability::ReliabilityModel;
+use serde::{Deserialize, Serialize};
+
+/// Program state of one WL slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed with live data.
+    Written,
+}
+
+/// The payload tag a WL program carries. The simulator does not move real
+/// bytes; a [`WlData`] records what the three pages of the WL contain so
+/// FTL bookkeeping can be validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WlData {
+    /// Logical tags of the three pages (e.g. logical page numbers), or
+    /// `u64::MAX` for padding.
+    pub pages: [u64; 3],
+}
+
+impl WlData {
+    /// Tag used for padding/dummy pages.
+    pub const PAD: u64 = u64::MAX;
+
+    /// A WL filled with three consecutive tags starting at `first`.
+    pub fn host(first: u64) -> Self {
+        WlData {
+            pages: [first, first + 1, first + 2],
+        }
+    }
+
+    /// A WL with explicit page tags.
+    pub fn from_pages(pages: [u64; 3]) -> Self {
+        WlData { pages }
+    }
+}
+
+/// Report of one WL program command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// Total command latency in µs.
+    pub latency_us: f64,
+    /// Monitored per-state loop intervals (Get-Features output the OPM
+    /// records from leader-WL programs).
+    pub loop_intervals: [LoopInterval; NUM_PROGRAM_STATES],
+    /// Monitored `BER_EP1`.
+    pub ber_ep1: f64,
+    /// Post-program raw BER of the WL (§4.1.4 safety check input).
+    pub post_ber: f64,
+    /// Number of program pulses executed.
+    pub pulses: u32,
+    /// Number of verify steps executed.
+    pub verifies: u32,
+    /// Whether the program ran under a sudden ambient disturbance.
+    pub disturbed: bool,
+    /// Effective P/E cycles of the block at program time (Get-Features
+    /// style metadata; FTLs track this anyway and the S_M conversion
+    /// table of §4.1.2 is indexed by it).
+    pub pe_cycles: u32,
+}
+
+/// Report of one page read command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadReport {
+    /// Total command latency in µs.
+    pub latency_us: f64,
+    /// Number of read retries performed.
+    pub retries: u32,
+    /// Offset index that decoded the page (ORT update value).
+    pub final_offset: u8,
+    /// Logical tag stored in the page.
+    pub data: u64,
+}
+
+/// One 3D TLC NAND chip.
+///
+/// # Example
+///
+/// ```
+/// use nand3d::{NandChip, NandConfig, ProgramParams, ReadParams, WlData};
+///
+/// # fn main() -> Result<(), nand3d::NandError> {
+/// let mut chip = NandChip::new(NandConfig::small(), 1);
+/// let block = nand3d::BlockId(2);
+/// chip.erase(block)?;
+/// let wl = chip.geometry().wl_addr(block, 0, 0);
+/// chip.program_wl(wl, WlData::host(100), &ProgramParams::default())?;
+/// let page = chip.geometry().page_addr(block, 0, 0, 1);
+/// let read = chip.read_page(page, ReadParams::default())?;
+/// assert_eq!(read.data, 101);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NandChip {
+    config: NandConfig,
+    process: ProcessModel,
+    ispp: IsppEngine,
+    retry: RetryEngine,
+    reliability: ReliabilityModel,
+    env: Environment,
+    /// Per-WL program state.
+    wl_state: Vec<PageState>,
+    /// Per-WL stored data tags.
+    wl_data: Vec<WlData>,
+    /// Per-WL post-program BER (set by the last program).
+    wl_post_ber: Vec<f64>,
+    erases: u64,
+    programs: u64,
+    reads: u64,
+}
+
+impl NandChip {
+    /// Creates a chip with deterministic process variation derived from
+    /// `seed`.
+    pub fn new(config: NandConfig, seed: u64) -> Self {
+        let process = ProcessModel::new(config.geometry, config.model.reliability, seed);
+        let wls =
+            (config.geometry.blocks_per_chip * config.geometry.wls_per_block()) as usize;
+        NandChip {
+            process,
+            ispp: IsppEngine::new(config.model),
+            retry: RetryEngine::new(config.model),
+            reliability: ReliabilityModel::new(config.model.reliability),
+            env: Environment::new(config.geometry.blocks_per_chip as usize, seed ^ 0xABCD),
+            wl_state: vec![PageState::Free; wls],
+            wl_data: vec![WlData { pages: [WlData::PAD; 3] }; wls],
+            wl_post_ber: vec![0.0; wls],
+            erases: 0,
+            programs: 0,
+            reads: 0,
+            config,
+        }
+    }
+
+    /// The chip geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &NandConfig {
+        &self.config
+    }
+
+    /// The process-variation model of this chip.
+    pub fn process(&self) -> &ProcessModel {
+        &self.process
+    }
+
+    /// The ISPP engine (exposed for characterization experiments).
+    pub fn ispp(&self) -> &IsppEngine {
+        &self.ispp
+    }
+
+    /// The read-retry engine (exposed for characterization experiments).
+    pub fn retry_engine(&self) -> &RetryEngine {
+        &self.retry
+    }
+
+    /// The reliability model (exposed for characterization experiments).
+    pub fn reliability(&self) -> &ReliabilityModel {
+        &self.reliability
+    }
+
+    /// Mutable access to the operating environment (aging overrides,
+    /// disturbance probability).
+    pub fn env_mut(&mut self) -> &mut Environment {
+        &mut self.env
+    }
+
+    /// The operating environment.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Pins the chip to one of the paper's aging states (§6.2).
+    pub fn set_aging(&mut self, state: AgingState) {
+        self.env.set_aging(state);
+    }
+
+    /// Lifetime command counts `(erases, programs, reads)`.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.erases, self.programs, self.reads)
+    }
+
+    fn check_wl(&self, wl: WlAddr) -> Result<usize, NandError> {
+        if !self.config.geometry.contains_wl(wl) {
+            return Err(NandError::WlOutOfRange(wl));
+        }
+        Ok(self.config.geometry.wl_flat(wl))
+    }
+
+    /// Erases `block`, freeing all of its WLs and advancing its P/E
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BlockOutOfRange`] for an invalid block.
+    pub fn erase(&mut self, block: BlockId) -> Result<f64, NandError> {
+        if !self.config.geometry.contains_block(block) {
+            return Err(NandError::BlockOutOfRange(block));
+        }
+        let g = &self.config.geometry;
+        let first = g.wl_flat(g.wl_addr(block, 0, 0));
+        let count = g.wls_per_block() as usize;
+        for i in first..first + count {
+            self.wl_state[i] = PageState::Free;
+            self.wl_data[i] = WlData { pages: [WlData::PAD; 3] };
+            self.wl_post_ber[i] = 0.0;
+        }
+        self.env.record_erase(block.0 as usize);
+        self.erases += 1;
+        Ok(self.config.model.timing.t_erase_us)
+    }
+
+    /// Programs one WL (all three TLC pages at once) with `params`.
+    ///
+    /// Leader WLs are normally programmed with `ProgramParams::default()`
+    /// so their monitored values are valid references for the followers
+    /// (§5.1, footnote 4).
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::WlOutOfRange`] for an invalid address.
+    /// * [`NandError::ProgramOnDirtyWl`] if the WL was already programmed
+    ///   since the last erase of its block.
+    /// * [`NandError::IllegalParameters`] if `params` exceeds device
+    ///   limits.
+    pub fn program_wl(
+        &mut self,
+        wl: WlAddr,
+        data: WlData,
+        params: &ProgramParams,
+    ) -> Result<ProgramReport, NandError> {
+        let idx = self.check_wl(wl)?;
+        if self.wl_state[idx] != PageState::Free {
+            return Err(NandError::ProgramOnDirtyWl(wl));
+        }
+
+        let disturbed = self.env.sample_disturbance();
+        let shift = if disturbed { 2 } else { 0 };
+        let chars = self.ispp.characterize(&self.process, wl, &self.env, shift);
+        let outcome = self.ispp.program(&chars, params)?;
+
+        self.wl_state[idx] = PageState::Written;
+        self.wl_data[idx] = data;
+        self.wl_post_ber[idx] = outcome.post_ber;
+        self.programs += 1;
+
+        Ok(ProgramReport {
+            latency_us: outcome.latency_us,
+            loop_intervals: outcome.observed_intervals,
+            ber_ep1: outcome.ber_ep1,
+            post_ber: outcome.post_ber,
+            pulses: outcome.pulses,
+            verifies: outcome.verifies,
+            disturbed,
+            pe_cycles: self.env.pe(wl.block.0 as usize),
+        })
+    }
+
+    /// Reads one page.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PageOutOfRange`] for an invalid address.
+    /// * [`NandError::ReadUnwritten`] if the page's WL has not been
+    ///   programmed since the last erase.
+    pub fn read_page(
+        &mut self,
+        page: PageAddr,
+        params: ReadParams,
+    ) -> Result<ReadReport, NandError> {
+        if !self.config.geometry.contains_page(page) {
+            return Err(NandError::PageOutOfRange(page));
+        }
+        let idx = self.config.geometry.wl_flat(page.wl);
+        if self.wl_state[idx] != PageState::Written {
+            return Err(NandError::ReadUnwritten(page));
+        }
+
+        let needs_retry = self
+            .retry
+            .needs_retry_at_default(&self.process, page.wl, &mut self.env);
+        let disturbed = self.env.sample_disturbance();
+        let jitter = self.retry.sample_thermal_jitter(&mut self.env);
+        let outcome = self.retry.read(
+            &self.process,
+            page.wl,
+            &self.env,
+            params,
+            needs_retry,
+            disturbed,
+            jitter,
+        );
+        self.reads += 1;
+
+        Ok(ReadReport {
+            latency_us: outcome.latency_us,
+            retries: outcome.retries,
+            final_offset: outcome.final_offset,
+            data: self.wl_data[idx].pages[page.page.0 as usize],
+        })
+    }
+
+    /// Get-Features: the post-program BER of a written WL, used by the
+    /// §4.1.4 safety check. Returns `None` for unwritten WLs.
+    pub fn wl_post_ber(&self, wl: WlAddr) -> Option<f64> {
+        let idx = self.config.geometry.wl_flat(wl);
+        (self.wl_state[idx] == PageState::Written).then(|| self.wl_post_ber[idx])
+    }
+
+    /// Program state of a WL.
+    pub fn wl_state(&self, wl: WlAddr) -> PageState {
+        self.wl_state[self.config.geometry.wl_flat(wl)]
+    }
+}
+
+/// A package of NAND chips addressed by [`ChipId`](crate::ChipId) index.
+///
+/// The SSD simulator and FTLs use this as the physical storage substrate:
+/// 8 chips of the paper geometry form the 32-GB evaluation SSD (§6.1).
+#[derive(Debug)]
+pub struct FlashArray {
+    chips: Vec<NandChip>,
+}
+
+impl FlashArray {
+    /// Creates `n` chips with per-chip process variation derived from
+    /// `seed`.
+    pub fn new(config: NandConfig, n: usize, seed: u64) -> Self {
+        FlashArray {
+            chips: (0..n)
+                .map(|i| NandChip::new(config, seed.wrapping_add(i as u64 * 0x51ed)))
+                .collect(),
+        }
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the array has no chips.
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Shared access to chip `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] for an invalid index.
+    pub fn chip(&self, i: usize) -> Result<&NandChip, NandError> {
+        self.chips.get(i).ok_or(NandError::ChipOutOfRange(i))
+    }
+
+    /// Exclusive access to chip `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] for an invalid index.
+    pub fn chip_mut(&mut self, i: usize) -> Result<&mut NandChip, NandError> {
+        self.chips.get_mut(i).ok_or(NandError::ChipOutOfRange(i))
+    }
+
+    /// Iterates over the chips.
+    pub fn iter(&self) -> std::slice::Iter<'_, NandChip> {
+        self.chips.iter()
+    }
+
+    /// Iterates mutably over the chips.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, NandChip> {
+        self.chips.iter_mut()
+    }
+
+    /// Pins every chip to an aging state.
+    pub fn set_aging(&mut self, state: AgingState) {
+        for c in &mut self.chips {
+            c.set_aging(state);
+        }
+    }
+
+    /// Sets every chip's ambient-disturbance probability.
+    pub fn set_disturbance_prob(&mut self, p: f64) {
+        for c in &mut self.chips {
+            c.env_mut().set_disturbance_prob(p);
+        }
+    }
+
+    /// Sets every chip's ambient temperature in °C (retention loss
+    /// scales with an Arrhenius law around the 30 °C reference).
+    pub fn set_ambient_celsius(&mut self, celsius: f64) {
+        for c in &mut self.chips {
+            c.env_mut().set_ambient_celsius(celsius);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ispp::ProgramParams;
+
+    fn chip() -> NandChip {
+        NandChip::new(NandConfig::small(), 5)
+    }
+
+    #[test]
+    fn erase_program_read_roundtrip() {
+        let mut c = chip();
+        let b = BlockId(1);
+        c.erase(b).unwrap();
+        let wl = c.geometry().wl_addr(b, 2, 1);
+        c.program_wl(wl, WlData::from_pages([7, 8, 9]), &ProgramParams::default())
+            .unwrap();
+        for (i, expected) in [7u64, 8, 9].iter().enumerate() {
+            let p = c.geometry().page_addr(b, 2, 1, i as u8);
+            assert_eq!(c.read_page(p, ReadParams::default()).unwrap().data, *expected);
+        }
+    }
+
+    #[test]
+    fn double_program_rejected_until_erase() {
+        let mut c = chip();
+        let b = BlockId(0);
+        c.erase(b).unwrap();
+        let wl = c.geometry().wl_addr(b, 0, 0);
+        c.program_wl(wl, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        let err = c
+            .program_wl(wl, WlData::host(3), &ProgramParams::default())
+            .unwrap_err();
+        assert_eq!(err, NandError::ProgramOnDirtyWl(wl));
+        c.erase(b).unwrap();
+        c.program_wl(wl, WlData::host(3), &ProgramParams::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn read_unwritten_rejected() {
+        let mut c = chip();
+        let p = c.geometry().page_addr(BlockId(0), 0, 0, 0);
+        assert_eq!(
+            c.read_page(p, ReadParams::default()).unwrap_err(),
+            NandError::ReadUnwritten(p)
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut c = chip();
+        let g = *c.geometry();
+        assert!(matches!(
+            c.erase(BlockId(g.blocks_per_chip)),
+            Err(NandError::BlockOutOfRange(_))
+        ));
+        let wl = g.wl_addr(BlockId(0), g.hlayers_per_block, 0);
+        assert!(matches!(
+            c.program_wl(wl, WlData::host(0), &ProgramParams::default()),
+            Err(NandError::WlOutOfRange(_))
+        ));
+        let p = g.page_addr(BlockId(0), 0, 0, 3);
+        assert!(matches!(
+            c.read_page(p, ReadParams::default()),
+            Err(NandError::PageOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn erase_advances_pe_and_frees_wls() {
+        let mut c = chip();
+        let b = BlockId(3);
+        c.erase(b).unwrap();
+        let wl = c.geometry().wl_addr(b, 1, 1);
+        c.program_wl(wl, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        assert_eq!(c.wl_state(wl), PageState::Written);
+        assert!(c.wl_post_ber(wl).is_some());
+        c.erase(b).unwrap();
+        assert_eq!(c.wl_state(wl), PageState::Free);
+        assert!(c.wl_post_ber(wl).is_none());
+        assert_eq!(c.env().erase_count(3), 2);
+    }
+
+    #[test]
+    fn program_reports_monitorable_values() {
+        let mut c = chip();
+        c.erase(BlockId(0)).unwrap();
+        let wl = c.geometry().wl_addr(BlockId(0), 4, 0);
+        let r = c
+            .program_wl(wl, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        assert!(r.latency_us > 0.0);
+        assert!(r.ber_ep1 > 0.0);
+        assert!(r.post_ber > 0.0);
+        assert!(r.pulses > 0);
+        assert!(r.verifies > 0);
+        for iv in r.loop_intervals {
+            assert!(iv.lmin >= 1 && iv.lmin <= iv.lmax);
+        }
+    }
+
+    #[test]
+    fn follower_with_leader_params_is_faster_and_equally_reliable() {
+        let mut c = chip();
+        c.erase(BlockId(2)).unwrap();
+        let leader = c.geometry().wl_addr(BlockId(2), 3, 0);
+        let report = c
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        let mut params = ProgramParams::default();
+        for (s, iv) in report.loop_intervals.iter().enumerate() {
+            params.n_skip[s] = iv.safe_skip();
+        }
+        let follower = c.geometry().wl_addr(BlockId(2), 3, 1);
+        let fr = c.program_wl(follower, WlData::host(3), &params).unwrap();
+        assert!(fr.latency_us < report.latency_us);
+        assert!((fr.post_ber - report.post_ber).abs() / report.post_ber < 0.05);
+    }
+
+    #[test]
+    fn flash_array_addressing() {
+        let mut arr = FlashArray::new(NandConfig::small(), 4, 9);
+        assert_eq!(arr.len(), 4);
+        assert!(!arr.is_empty());
+        assert!(arr.chip(4).is_err());
+        arr.chip_mut(0).unwrap().erase(BlockId(0)).unwrap();
+        assert_eq!(arr.chip(0).unwrap().op_counts().0, 1);
+        assert_eq!(arr.chip(1).unwrap().op_counts().0, 0);
+    }
+
+    #[test]
+    fn chips_have_distinct_process_variation() {
+        let arr = FlashArray::new(NandConfig::small(), 2, 9);
+        let g = *arr.chip(0).unwrap().geometry();
+        let wl = g.wl_addr(BlockId(0), 3, 0);
+        let a = arr.chip(0).unwrap().process().wl_factor(wl);
+        let b = arr.chip(1).unwrap().process().wl_factor(wl);
+        assert_ne!(a, b);
+    }
+}

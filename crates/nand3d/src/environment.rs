@@ -1,0 +1,305 @@
+//! Operating conditions: P/E cycling, retention time and environmental
+//! disturbances.
+//!
+//! The paper evaluates three aging states (§6.2): fresh (0K P/E, no
+//! retention), 2K P/E + 1-month retention, and 2K P/E + 1-year retention.
+//! [`AgingState`] names them; [`Environment`] tracks per-block P/E counts
+//! and the retention clock, and models the *sudden operating-condition
+//! changes* (e.g. temperature surges, §4.1.4) that can invalidate
+//! monitored parameters and must be caught by the safety check.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three evaluation aging states of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgingState {
+    /// 0K P/E cycles, no retention ("fresh").
+    Fresh,
+    /// 2K P/E cycles with 1-month retention.
+    MidLife,
+    /// 2K P/E cycles with 1-year retention (end of lifetime).
+    EndOfLife,
+}
+
+impl AgingState {
+    /// All three states in paper order (Fig. 17(a)–(c)).
+    pub const ALL: [AgingState; 3] = [
+        AgingState::Fresh,
+        AgingState::MidLife,
+        AgingState::EndOfLife,
+    ];
+
+    /// P/E cycles of this state.
+    pub fn pe_cycles(self) -> u32 {
+        match self {
+            AgingState::Fresh => 0,
+            AgingState::MidLife | AgingState::EndOfLife => 2000,
+        }
+    }
+
+    /// Retention time in months.
+    pub fn retention_months(self) -> f64 {
+        match self {
+            AgingState::Fresh => 0.0,
+            AgingState::MidLife => 1.0,
+            AgingState::EndOfLife => 12.0,
+        }
+    }
+
+    /// Index into per-state lookup tables (e.g.
+    /// [`RetryModel::retry_need`](crate::config::RetryModel::retry_need)).
+    pub fn index(self) -> usize {
+        match self {
+            AgingState::Fresh => 0,
+            AgingState::MidLife => 1,
+            AgingState::EndOfLife => 2,
+        }
+    }
+
+    /// Human-readable label used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            AgingState::Fresh => "0K P/E, no retention",
+            AgingState::MidLife => "2K P/E, 1-month retention",
+            AgingState::EndOfLife => "2K P/E, 1-year retention",
+        }
+    }
+}
+
+impl std::fmt::Display for AgingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Reference ambient temperature of the paper's evaluation (§6.2: all
+/// aging states are evaluated at 30 °C).
+pub const REFERENCE_CELSIUS: f64 = 30.0;
+
+/// Activation energy of charge loss used for Arrhenius scaling, eV
+/// (typical for charge-trap retention; cf. HeatWatch \[40\]).
+pub const ACTIVATION_ENERGY_EV: f64 = 1.1;
+
+/// Boltzmann constant in eV/K.
+const BOLTZMANN_EV_PER_K: f64 = 8.617e-5;
+
+/// Mutable operating conditions of one chip.
+///
+/// During SSD simulation the P/E counters advance with erases; for
+/// characterization experiments the whole environment can be pinned to an
+/// [`AgingState`] with [`Environment::set_aging`], mirroring how the paper
+/// pre-cycles blocks and bakes chips to emulate retention.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Per-block program/erase cycle counts.
+    pe_cycles: Vec<u32>,
+    /// Global retention override in months (None → use per-WL program
+    /// timestamps, which short simulations keep at ≈0).
+    retention_override_months: Option<f64>,
+    /// P/E override applied on top of the live counters (pre-cycling).
+    pe_override: Option<u32>,
+    /// Bernoulli process modelling sudden ambient changes: probability
+    /// that a given operation happens under disturbed conditions.
+    disturbance_prob: f64,
+    /// Ambient temperature, °C. Retention loss accelerates above the
+    /// 30 °C reference following an Arrhenius law.
+    ambient_celsius: f64,
+    rng: StdRng,
+}
+
+impl Environment {
+    /// A fresh environment for `blocks` blocks.
+    pub fn new(blocks: usize, seed: u64) -> Self {
+        Environment {
+            pe_cycles: vec![0; blocks],
+            retention_override_months: None,
+            pe_override: None,
+            disturbance_prob: 0.0,
+            ambient_celsius: REFERENCE_CELSIUS,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Pins the environment to one of the paper's aging states.
+    pub fn set_aging(&mut self, state: AgingState) {
+        self.pe_override = Some(state.pe_cycles());
+        self.retention_override_months = Some(state.retention_months());
+    }
+
+    /// Pins raw P/E cycles and retention months (for sweeps).
+    pub fn set_aging_raw(&mut self, pe: u32, retention_months: f64) {
+        self.pe_override = Some(pe);
+        self.retention_override_months = Some(retention_months);
+    }
+
+    /// Removes any aging override, returning to live accounting.
+    pub fn clear_aging(&mut self) {
+        self.pe_override = None;
+        self.retention_override_months = None;
+    }
+
+    /// Sets the probability that any one operation happens under suddenly
+    /// changed ambient conditions (triggers §4.1.4 safety-check paths and
+    /// §4.2 ORT mispredictions).
+    pub fn set_disturbance_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.disturbance_prob = p;
+    }
+
+    /// Effective P/E cycles of `block`.
+    #[inline]
+    pub fn pe(&self, block: usize) -> u32 {
+        self.pe_override
+            .unwrap_or(0)
+            .saturating_add(self.pe_cycles[block])
+    }
+
+    /// Raw retention time in months at the reference temperature
+    /// (global model; per-WL data age is negligible at simulation time
+    /// scales).
+    #[inline]
+    pub fn retention_months(&self) -> f64 {
+        self.retention_override_months.unwrap_or(0.0)
+    }
+
+    /// Sets the ambient temperature in °C (default: the paper's 30 °C).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the plausible operating range −40..=125 °C.
+    pub fn set_ambient_celsius(&mut self, celsius: f64) {
+        assert!(
+            (-40.0..=125.0).contains(&celsius),
+            "temperature out of operating range"
+        );
+        self.ambient_celsius = celsius;
+    }
+
+    /// The ambient temperature, °C.
+    #[inline]
+    pub fn ambient_celsius(&self) -> f64 {
+        self.ambient_celsius
+    }
+
+    /// Arrhenius acceleration factor of retention loss relative to the
+    /// 30 °C reference: `exp(Ea/k · (1/T_ref − 1/T))`. Equals 1 at 30 °C,
+    /// ≈4–5× at 55 °C, well below 1 in cold storage.
+    pub fn retention_acceleration(&self) -> f64 {
+        let t_ref = REFERENCE_CELSIUS + 273.15;
+        let t = self.ambient_celsius + 273.15;
+        (ACTIVATION_ENERGY_EV / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)).exp()
+    }
+
+    /// Temperature-adjusted retention time in months: the quantity the
+    /// reliability and read-retry models consume.
+    #[inline]
+    pub fn effective_retention_months(&self) -> f64 {
+        self.retention_months() * self.retention_acceleration()
+    }
+
+    /// Records one erase of `block`.
+    #[inline]
+    pub fn record_erase(&mut self, block: usize) {
+        self.pe_cycles[block] = self.pe_cycles[block].saturating_add(1);
+    }
+
+    /// Live (non-overridden) erase count of `block`.
+    #[inline]
+    pub fn erase_count(&self, block: usize) -> u32 {
+        self.pe_cycles[block]
+    }
+
+    /// Samples whether the next operation happens under disturbed ambient
+    /// conditions.
+    #[inline]
+    pub fn sample_disturbance(&mut self) -> bool {
+        self.disturbance_prob > 0.0 && self.rng.gen::<f64>() < self.disturbance_prob
+    }
+
+    /// Uniform sample in `[0, 1)` from the environment's RNG (used by the
+    /// chip for per-operation stochastic decisions so that everything
+    /// stays on one deterministic stream).
+    #[inline]
+    pub fn sample_uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aging_state_values_match_paper() {
+        assert_eq!(AgingState::Fresh.pe_cycles(), 0);
+        assert_eq!(AgingState::MidLife.pe_cycles(), 2000);
+        assert_eq!(AgingState::EndOfLife.pe_cycles(), 2000);
+        assert_eq!(AgingState::Fresh.retention_months(), 0.0);
+        assert_eq!(AgingState::MidLife.retention_months(), 1.0);
+        assert_eq!(AgingState::EndOfLife.retention_months(), 12.0);
+    }
+
+    #[test]
+    fn overrides_and_live_counts_compose() {
+        let mut env = Environment::new(4, 1);
+        assert_eq!(env.pe(0), 0);
+        env.record_erase(0);
+        env.record_erase(0);
+        assert_eq!(env.erase_count(0), 2);
+        assert_eq!(env.pe(0), 2, "live erases count toward effective P/E");
+        env.set_aging(AgingState::EndOfLife);
+        assert_eq!(env.pe(0), 2002);
+        assert_eq!(env.retention_months(), 12.0);
+        env.clear_aging();
+        assert_eq!(env.retention_months(), 0.0);
+    }
+
+    #[test]
+    fn temperature_reference_is_neutral() {
+        let env = Environment::new(1, 0);
+        assert!((env.retention_acceleration() - 1.0).abs() < 1e-12);
+        assert_eq!(env.ambient_celsius(), REFERENCE_CELSIUS);
+    }
+
+    #[test]
+    fn heat_accelerates_and_cold_preserves() {
+        let mut env = Environment::new(1, 0);
+        env.set_aging_raw(2000, 6.0);
+        env.set_ambient_celsius(55.0);
+        let hot = env.effective_retention_months();
+        assert!(hot > 6.0 * 3.0, "55°C should accelerate several-fold: {hot}");
+        env.set_ambient_celsius(5.0);
+        let cold = env.effective_retention_months();
+        assert!(cold < 6.0 * 0.1, "5°C should slow retention loss: {cold}");
+    }
+
+    #[test]
+    #[should_panic(expected = "operating range")]
+    fn absurd_temperature_rejected() {
+        Environment::new(1, 0).set_ambient_celsius(400.0);
+    }
+
+    #[test]
+    fn disturbance_rate_is_respected() {
+        let mut env = Environment::new(1, 5);
+        env.set_disturbance_prob(0.25);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| env.sample_disturbance()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.22..0.28).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn zero_disturbance_never_fires() {
+        let mut env = Environment::new(1, 5);
+        assert!((0..1000).all(|_| !env.sample_disturbance()));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn disturbance_prob_validated() {
+        Environment::new(1, 0).set_disturbance_prob(1.5);
+    }
+}

@@ -1,0 +1,349 @@
+//! The read operation and read-retry model.
+//!
+//! Retention and P/E cycling shift the Vth distributions, so reads at the
+//! default read reference voltages (`V_Ref`) may contain more errors than
+//! the ECC can correct (paper §2.3, Fig. 4). The controller then *retries*
+//! with adjusted offsets `ΔV_Ref` until the page decodes; `tREAD` grows
+//! linearly with the number of retries.
+//!
+//! The model quantizes the Vth shift of an h-layer into an **optimal
+//! offset index** in `0..=`[`MAX_OFFSET_INDEX`]. A read started at offset
+//! `o` succeeds when `|o − optimal|` is small enough for the ECC and
+//! otherwise costs one retry per search step. Thanks to the horizontal
+//! similarity, the optimum is a property of the *h-layer* (plus
+//! conditions), so a PS-aware FTL can cache it per h-layer (§4.2).
+
+use crate::config::CalibratedModel;
+use crate::environment::Environment;
+use crate::geometry::WlAddr;
+use crate::process::ProcessModel;
+use serde::{Deserialize, Serialize};
+
+/// The largest read-offset index (§5.1: three bits encode
+/// `2^3 − 1 = 7` adjustment levels per reference).
+pub const MAX_OFFSET_INDEX: u8 = 7;
+
+/// Parameters of one page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReadParams {
+    /// Starting `ΔV_Ref` offset index. `0` is the device default;
+    /// a PS-aware FTL passes its cached per-h-layer optimum (the ORT
+    /// entry, §5.1).
+    pub start_offset: u8,
+}
+
+impl ReadParams {
+    /// A read starting from the cached offset `offset`.
+    pub fn from_offset(offset: u8) -> Self {
+        ReadParams {
+            start_offset: offset,
+        }
+    }
+}
+
+/// Result of one page read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryOutcome {
+    /// Number of read retries performed (`NumRetry`).
+    pub retries: u32,
+    /// Read latency in µs, `t_read + retries · t_retry`.
+    pub latency_us: f64,
+    /// The offset index that finally decoded; the FTL stores this in its
+    /// ORT for subsequent reads of the h-layer.
+    pub final_offset: u8,
+    /// Whether the starting offset already decoded (no retry needed).
+    pub first_try: bool,
+}
+
+/// The read-retry engine for one chip.
+#[derive(Debug, Clone)]
+pub struct RetryEngine {
+    model: CalibratedModel,
+}
+
+impl RetryEngine {
+    /// Creates an engine from the calibrated model.
+    pub fn new(model: CalibratedModel) -> Self {
+        RetryEngine { model }
+    }
+
+    /// The ground-truth optimal offset index of `wl`'s h-layer under the
+    /// current conditions.
+    ///
+    /// The shift grows with retention time and P/E wear, scaled by the
+    /// layer's aging sensitivity — so different h-layers of one block
+    /// have different optima (§4.2: "each h-layer in a block has
+    /// different D"), while WLs of one h-layer share one.
+    pub fn optimal_offset(&self, process: &ProcessModel, wl: WlAddr, env: &Environment) -> u8 {
+        let pe = env.pe(wl.block.0 as usize);
+        let months = env.effective_retention_months();
+        let sens = process.aging_sensitivity(wl.block, wl.h.0);
+        let factor = process.layer_factor(wl.block, wl.h.0);
+        let x = f64::from(pe) / 2000.0;
+        let t = (months / 12.0).max(0.0);
+        // Retention dominates the shift; wear steepens it. The layer
+        // factor spreads the optimum across h-layers.
+        let shift = (2.1 * t.powf(0.3) * (0.25 + x) * sens * (0.6 + 0.4 * factor))
+            / self.model.retry.shift_per_step;
+        (shift.round() as i64).clamp(0, i64::from(MAX_OFFSET_INDEX)) as u8
+    }
+
+    /// Samples the ambient thermal jitter for one read: a ±1 step shift
+    /// of the effective optimum that occurs with
+    /// [`RetryModel::thermal_jitter_prob`](crate::config::RetryModel::thermal_jitter_prob)
+    /// while data sits under retention. Returns 0 for fresh data.
+    pub fn sample_thermal_jitter(&self, env: &mut Environment) -> i8 {
+        if env.effective_retention_months() <= 0.0 {
+            return 0;
+        }
+        let p = self.model.retry.thermal_jitter_prob;
+        if env.sample_uniform() < p {
+            if env.sample_uniform() < 0.5 {
+                -1
+            } else {
+                1
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Whether a read of `wl` at this aging state needs the retry path at
+    /// all when started from the *device default* references.
+    ///
+    /// Matches the probabilistic model of §6.2: 0% of reads retry when
+    /// fresh, 30% at 2K P/E + 1 month, 90% at 2K P/E + 1 year. The
+    /// per-read draw comes from `env`'s deterministic RNG stream.
+    pub fn needs_retry_at_default(
+        &self,
+        process: &ProcessModel,
+        wl: WlAddr,
+        env: &mut Environment,
+    ) -> bool {
+        let optimal = self.optimal_offset(process, wl, env);
+        if optimal == 0 {
+            return false;
+        }
+        let p = self.retry_need_probability(env, wl.block.0 as usize);
+        env.sample_uniform() < p
+    }
+
+    /// The probability that a read of a page in `block` needs retries
+    /// under the environment's aging condition (linear interpolation of
+    /// the §6.2 anchors over retention time at 2K P/E).
+    pub fn retry_need_probability(&self, env: &Environment, block: usize) -> f64 {
+        let months = env.effective_retention_months();
+        let pe_frac = (f64::from(env.pe(block)) / 2000.0).min(1.0);
+        let need = &self.model.retry.retry_need;
+        let by_retention = if months <= 0.0 {
+            0.0
+        } else if months <= 1.0 {
+            need[1] * months
+        } else {
+            need[1] + (need[2] - need[1]) * ((months - 1.0) / 11.0).min(1.0)
+        };
+        by_retention * pe_frac
+    }
+
+    /// Executes one page read of `wl` starting from `params.start_offset`.
+    ///
+    /// `needs_retry` is the outcome of
+    /// [`RetryEngine::needs_retry_at_default`] (sampled once per read by
+    /// the chip); `disturbed` marks a sudden ambient change that moves the
+    /// optimum by one step, modelling ORT mispredictions (§4.2);
+    /// `thermal_jitter` is the per-read ±1 drift sampled by
+    /// [`RetryEngine::sample_thermal_jitter`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn read(
+        &self,
+        process: &ProcessModel,
+        wl: WlAddr,
+        env: &Environment,
+        params: ReadParams,
+        needs_retry: bool,
+        disturbed: bool,
+        thermal_jitter: i8,
+    ) -> RetryOutcome {
+        let base = self.optimal_offset(process, wl, env);
+        let mut optimal = (i16::from(base) + i16::from(thermal_jitter))
+            .clamp(0, i16::from(MAX_OFFSET_INDEX)) as u8;
+        if disturbed {
+            optimal = (optimal + 1).min(MAX_OFFSET_INDEX);
+        }
+
+        let t = &self.model.timing;
+        if !needs_retry {
+            // The page decodes at the starting references: either the
+            // shift is benign at this aging state, or the cached offset
+            // is already optimal. Starting *at* the optimum always
+            // decodes first try.
+            return RetryOutcome {
+                retries: 0,
+                latency_us: t.t_read_us,
+                final_offset: if params.start_offset == optimal {
+                    optimal
+                } else {
+                    params.start_offset
+                },
+                first_try: true,
+            };
+        }
+
+        // The retry loop walks offsets away from the starting point until
+        // it hits the optimum (Fig. 4: `V_Ref` is adjusted by one offset
+        // per retry).
+        let distance = u32::from(params.start_offset.abs_diff(optimal));
+        let retries = distance;
+        RetryOutcome {
+            retries,
+            latency_us: t.t_read_us + f64::from(retries) * t.t_retry_us,
+            final_offset: optimal,
+            first_try: retries == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CalibratedModel;
+    use crate::environment::AgingState;
+    use crate::geometry::{BlockId, Geometry};
+
+    fn setup() -> (RetryEngine, ProcessModel, Environment) {
+        let model = CalibratedModel::default();
+        let geometry = Geometry::paper();
+        let process = ProcessModel::new(geometry, model.reliability, 7);
+        let env = Environment::new(geometry.blocks_per_chip as usize, 3);
+        (RetryEngine::new(model), process, env)
+    }
+
+    #[test]
+    fn fresh_chips_never_retry() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::Fresh);
+        let g = *process.geometry();
+        for b in 0..8u32 {
+            for h in (0..48u16).step_by(7) {
+                let wl = g.wl_addr(BlockId(b), h, 0);
+                assert_eq!(engine.optimal_offset(&process, wl, &env), 0);
+                assert!(!engine.needs_retry_at_default(&process, wl, &mut env));
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_offset_shared_within_hlayer() {
+        // §4.2: the optimum is an h-layer property.
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        for h in [0u16, 15, 33, 47] {
+            let offsets: Vec<u8> = (0..4u16)
+                .map(|v| engine.optimal_offset(&process, g.wl_addr(BlockId(9), h, v), &env))
+                .collect();
+            assert!(offsets.windows(2).all(|w| w[0] == w[1]), "{offsets:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_offsets_differ_across_hlayers() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        let offsets: Vec<u8> = (0..48u16)
+            .map(|h| engine.optimal_offset(&process, g.wl_addr(BlockId(9), h, 0), &env))
+            .collect();
+        let distinct: std::collections::HashSet<u8> = offsets.iter().copied().collect();
+        assert!(distinct.len() >= 2, "all h-layers share one offset: {offsets:?}");
+    }
+
+    #[test]
+    fn offset_grows_with_aging() {
+        let (engine, process, mut env) = setup();
+        let wl = process.geometry().wl_addr(BlockId(4), 24, 0);
+        env.set_aging(AgingState::Fresh);
+        let fresh = engine.optimal_offset(&process, wl, &env);
+        env.set_aging(AgingState::MidLife);
+        let mid = engine.optimal_offset(&process, wl, &env);
+        env.set_aging(AgingState::EndOfLife);
+        let old = engine.optimal_offset(&process, wl, &env);
+        assert!(fresh <= mid && mid <= old);
+        assert!(old > fresh, "offsets must move over life");
+    }
+
+    #[test]
+    fn retry_need_fractions_match_paper() {
+        let (engine, _process, mut env) = setup();
+        env.set_aging(AgingState::Fresh);
+        assert_eq!(engine.retry_need_probability(&env, 0), 0.0);
+        env.set_aging(AgingState::MidLife);
+        assert!((engine.retry_need_probability(&env, 0) - 0.30).abs() < 1e-9);
+        env.set_aging(AgingState::EndOfLife);
+        assert!((engine.retry_need_probability(&env, 0) - 0.90).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unaware_read_pays_distance_aware_read_pays_zero() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let wl = process.geometry().wl_addr(BlockId(11), 40, 2);
+        let optimal = engine.optimal_offset(&process, wl, &env);
+        assert!(optimal > 0);
+
+        let unaware = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+        assert_eq!(unaware.retries, u32::from(optimal));
+        assert!(!unaware.first_try);
+        assert_eq!(unaware.final_offset, optimal);
+
+        let aware = engine.read(
+            &process,
+            wl,
+            &env,
+            ReadParams::from_offset(optimal),
+            true,
+            false,
+            0,
+        );
+        assert_eq!(aware.retries, 0);
+        assert!(aware.first_try);
+        assert!(aware.latency_us < unaware.latency_us);
+    }
+
+    #[test]
+    fn disturbance_costs_one_retry_for_aware_reads() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let wl = process.geometry().wl_addr(BlockId(11), 20, 1);
+        let optimal = engine.optimal_offset(&process, wl, &env);
+        assert!(optimal < MAX_OFFSET_INDEX, "need headroom for the shift");
+        let out = engine.read(
+            &process,
+            wl,
+            &env,
+            ReadParams::from_offset(optimal),
+            true,
+            true,
+            0,
+        );
+        assert_eq!(out.retries, 1);
+        assert_eq!(out.final_offset, optimal + 1);
+    }
+
+    #[test]
+    fn latency_is_linear_in_retries() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        let t = NandTimingRef(&engine);
+        for h in 0..48u16 {
+            let wl = g.wl_addr(BlockId(2), h, 0);
+            let out = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+            let expected = t.0.model.timing.t_read_us
+                + f64::from(out.retries) * t.0.model.timing.t_retry_us;
+            assert!((out.latency_us - expected).abs() < 1e-9);
+        }
+    }
+
+    struct NandTimingRef<'a>(&'a RetryEngine);
+}

@@ -1,0 +1,210 @@
+//! The host write buffer.
+//!
+//! Host writes complete as soon as their pages are accepted into the DRAM
+//! write buffer; a background flush drains the buffer to NAND one WL
+//! (3 pages) at a time. The buffer's utilization `μ` is the signal
+//! cubeFTL's WL allocation manager uses to detect write bursts (§5.2):
+//! `μ > μ_TH` means the host is producing data faster than the flush
+//! drains it, so follower (fast) WLs should be used.
+//!
+//! Pages stay resident — and readable at DRAM latency — until their flush
+//! completes; re-writing a buffered page updates it in place without
+//! consuming a new slot.
+
+use std::collections::{HashMap, VecDeque};
+
+/// FIFO write buffer with in-place update and in-flight accounting.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    /// Pages accepted but not yet picked for a flush.
+    queue: VecDeque<u64>,
+    /// Residency count per LPN (queued or in-flight); reads hit on any.
+    resident: HashMap<u64, u32>,
+    /// Queued-copy count per LPN (for O(1) in-place update checks).
+    queued_count: HashMap<u64, u32>,
+    /// Pages picked for an ongoing flush but not yet programmed.
+    in_flight: usize,
+}
+
+impl WriteBuffer {
+    /// A buffer holding `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one slot");
+        WriteBuffer {
+            capacity,
+            queue: VecDeque::new(),
+            resident: HashMap::new(),
+            queued_count: HashMap::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied slots (queued + in flight).
+    pub fn fill(&self) -> usize {
+        self.queue.len() + self.in_flight
+    }
+
+    /// Utilization `μ` in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.fill() as f64 / self.capacity as f64
+    }
+
+    /// Pages waiting to be flushed.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether `n` more pages fit right now.
+    pub fn has_room(&self, n: usize) -> bool {
+        self.fill() + n <= self.capacity
+    }
+
+    /// Accepts a host page write. Returns `false` (and changes nothing)
+    /// if the buffer is full; returns `true` on acceptance. Re-writing a
+    /// page that is still queued updates it in place.
+    pub fn push(&mut self, lpn: u64) -> bool {
+        // In-place update only if a queued (not yet in-flight) copy
+        // exists; an in-flight copy is already bound to a NAND program,
+        // so the re-write needs its own slot.
+        if self.queued_count.get(&lpn).is_some_and(|c| *c > 0) {
+            return true;
+        }
+        if !self.has_room(1) {
+            return false;
+        }
+        self.queue.push_back(lpn);
+        *self.resident.entry(lpn).or_insert(0) += 1;
+        *self.queued_count.entry(lpn).or_insert(0) += 1;
+        true
+    }
+
+    /// Whether a read of `lpn` can be served from DRAM.
+    pub fn contains(&self, lpn: u64) -> bool {
+        self.resident.get(&lpn).is_some_and(|c| *c > 0)
+    }
+
+    /// Takes up to 3 queued pages for a flush, marking them in flight.
+    /// Returns `None` when fewer than `min_pages` are queued.
+    pub fn take_for_flush(&mut self, min_pages: usize) -> Option<[u64; 3]> {
+        if self.queue.len() < min_pages.max(1) {
+            return None;
+        }
+        let mut out = [u64::MAX; 3];
+        let n = self.queue.len().min(3);
+        for slot in out.iter_mut().take(n) {
+            let lpn = self.queue.pop_front().expect("checked length");
+            match self.queued_count.get_mut(&lpn) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.queued_count.remove(&lpn);
+                }
+                None => unreachable!("queued page without count"),
+            }
+            *slot = lpn;
+        }
+        self.in_flight += n;
+        Some(out)
+    }
+
+    /// Completes a flush of `lpns` (as returned by
+    /// [`WriteBuffer::take_for_flush`]), freeing the slots.
+    pub fn complete_flush(&mut self, lpns: [u64; 3]) {
+        for lpn in lpns {
+            if lpn == u64::MAX {
+                continue;
+            }
+            self.in_flight -= 1;
+            match self.resident.get_mut(&lpn) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.resident.remove(&lpn);
+                }
+                None => unreachable!("flush completion for unknown page"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_complete_cycle() {
+        let mut b = WriteBuffer::new(8);
+        for lpn in 0..6 {
+            assert!(b.push(lpn));
+        }
+        assert_eq!(b.fill(), 6);
+        assert!((b.utilization() - 0.75).abs() < 1e-12);
+
+        let batch = b.take_for_flush(3).unwrap();
+        assert_eq!(batch, [0, 1, 2]);
+        assert_eq!(b.queued(), 3);
+        assert_eq!(b.fill(), 6, "in-flight pages still occupy slots");
+        assert!(b.contains(0), "in-flight pages still readable");
+
+        b.complete_flush(batch);
+        assert_eq!(b.fill(), 3);
+        assert!(!b.contains(0));
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn full_buffer_rejects() {
+        let mut b = WriteBuffer::new(2);
+        assert!(b.push(1));
+        assert!(b.push(2));
+        assert!(!b.push(3));
+        assert_eq!(b.fill(), 2);
+    }
+
+    #[test]
+    fn rewrite_of_queued_page_is_free() {
+        let mut b = WriteBuffer::new(2);
+        assert!(b.push(7));
+        assert!(b.push(7));
+        assert_eq!(b.fill(), 1);
+    }
+
+    #[test]
+    fn rewrite_of_in_flight_page_takes_new_slot() {
+        let mut b = WriteBuffer::new(4);
+        b.push(7);
+        let batch = b.take_for_flush(1).unwrap();
+        assert_eq!(batch[0], 7);
+        assert!(b.push(7), "needs a fresh slot");
+        assert_eq!(b.fill(), 2);
+        b.complete_flush(batch);
+        assert_eq!(b.fill(), 1);
+        assert!(b.contains(7), "newer copy still resident");
+    }
+
+    #[test]
+    fn take_respects_min_pages() {
+        let mut b = WriteBuffer::new(8);
+        b.push(1);
+        b.push(2);
+        assert!(b.take_for_flush(3).is_none());
+        let batch = b.take_for_flush(1).unwrap();
+        assert_eq!(batch, [1, 2, u64::MAX]);
+        b.complete_flush(batch);
+        assert_eq!(b.fill(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        WriteBuffer::new(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The interface between the simulator and a flash translation layer.
+//!
+//! The simulator owns time, queueing and the write buffer; the FTL owns
+//! placement, mapping, NAND parameter selection and garbage collection.
+//! Each call hands the FTL a chip to place data on (the simulator picks
+//! an idle chip to maximize parallelism) plus a [`HostContext`] carrying
+//! the write-buffer utilization `μ` that cubeFTL's WL allocation manager
+//! consumes (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-call context the simulator passes to the FTL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostContext {
+    /// Write-buffer utilization `μ` in `[0, 1]` at dispatch time.
+    pub buffer_utilization: f64,
+    /// Simulated time in µs.
+    pub now_us: f64,
+}
+
+/// Result of asking the FTL to program one WL worth of host pages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WlWrite {
+    /// NAND time the chip is busy for this write, µs: any GC the FTL ran
+    /// first, plus the WL program itself (and a §4.1.4 re-program if the
+    /// safety check fired).
+    pub nand_us: f64,
+    /// Whether a garbage collection ran as part of this write.
+    pub did_gc: bool,
+    /// Whether the WL was a (slow) leader WL (`false` = follower).
+    pub leader: bool,
+}
+
+/// Result of asking the FTL to read one logical page.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageRead {
+    /// Chip holding the mapped physical page.
+    pub chip: usize,
+    /// NAND time for the read, including read retries, µs.
+    pub nand_us: f64,
+    /// Number of read retries the NAND performed (`NumRetry`).
+    pub retries: u32,
+}
+
+/// FTL-internal counters, reported alongside the simulator's own
+/// statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host WLs programmed.
+    pub host_wl_programs: u64,
+    /// WLs programmed on the fast follower path.
+    pub follower_wl_programs: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Valid pages migrated by GC.
+    pub gc_page_moves: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Total read retries observed.
+    pub read_retries: u64,
+    /// Page reads served from NAND.
+    pub nand_reads: u64,
+    /// §4.1.4 safety-check re-programs.
+    pub safety_reprograms: u64,
+    /// Host TRIMs applied (pages unmapped).
+    pub host_trims: u64,
+}
+
+/// A flash translation layer drivable by [`SsdSim`](crate::SsdSim).
+///
+/// Implementations must always succeed on writes — running garbage
+/// collection internally when space runs out — and may return `None` from
+/// [`FtlDriver::read_page`] only for logical pages that were never
+/// written.
+pub trait FtlDriver {
+    /// Programs up to one WL (3 pages) of host data on `chip`. Entries in
+    /// `lpns` may be padded with `u64::MAX` when fewer than 3 pages are
+    /// flushed.
+    fn write_wl(&mut self, chip: usize, lpns: [u64; 3], ctx: &HostContext) -> WlWrite;
+
+    /// Reads the current mapping of `lpn`. Returns `None` if the page was
+    /// never written.
+    fn read_page(&mut self, lpn: u64, ctx: &HostContext) -> Option<PageRead>;
+
+    /// Invalidate a logical page (TRIM). Default: ignored.
+    fn trim(&mut self, lpn: u64) {
+        let _ = lpn;
+    }
+
+    /// FTL-internal counters.
+    fn stats(&self) -> FtlStats;
+
+    /// Short name for reports (e.g. `"cubeFTL"`).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ftl_stats_default_is_zeroed() {
+        let s = FtlStats::default();
+        assert_eq!(s.host_wl_programs, 0);
+        assert_eq!(s.gc_runs, 0);
+        assert_eq!(s.read_retries, 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn FtlDriver) {}
+    }
+}

@@ -1,0 +1,148 @@
+//! Latency recording, percentiles and CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// Records a stream of latencies (µs) and answers distribution queries
+/// (mean, percentiles, CDF series) — the raw material for the latency
+/// CDFs of Fig. 18.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_us: f64) {
+        debug_assert!(latency_us >= 0.0, "negative latency");
+        self.samples.push(latency_us);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) by nearest-rank, or 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// A CDF as `points` evenly spaced `(latency_us, cumulative
+    /// fraction)` pairs.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+                (self.samples[idx], frac)
+            })
+            .collect()
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(f64::from(i));
+        }
+        assert_eq!(r.len(), 100);
+        assert!((r.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(r.percentile(50.0), 50.0);
+        assert_eq!(r.percentile(90.0), 90.0);
+        assert_eq!(r.percentile(100.0), 100.0);
+        assert_eq!(r.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_calm() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.percentile(99.0), 0.0);
+        assert!(r.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        let mut r = LatencyRecorder::new();
+        for i in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0] {
+            r.record(i);
+        }
+        let cdf = r.cdf(5);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validated() {
+        LatencyRecorder::new().percentile(0.0);
+    }
+
+    #[test]
+    fn recording_after_query_resorts() {
+        let mut r = LatencyRecorder::new();
+        r.record(5.0);
+        assert_eq!(r.percentile(50.0), 5.0);
+        r.record(1.0);
+        assert_eq!(r.percentile(50.0), 1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Filebench-style workload personalities (paper §6.1).
+//!
+//! Filebench \[38\] emulates application I/O with "personalities"; the
+//! paper uses Mail (varmail), Web (webserver), Proxy (webproxy) and OLTP.
+//! This module generates block-level request streams with each
+//! personality's published first-order characteristics:
+//!
+//! | personality | reads | write pattern |
+//! |---|---|---|
+//! | Mail | ≈50% | small sync writes in delivery bursts + log appends |
+//! | Web | ≈84% | almost only log appends |
+//! | Proxy | ≈90% | cache-fill object writes in small bursts |
+//! | OLTP | ≈10% | commit bursts: sequential log + random dirty pages (reads absorbed by the DB buffer pool) |
+//!
+//! Each generator devotes a small slice of the logical space to a
+//! sequential, wrapping log region; the rest is the data region accessed
+//! with Zipfian skew.
+
+use crate::zipf::Zipfian;
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssdsim::HostRequest;
+
+/// The four Filebench personalities used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilebenchKind {
+    /// varmail: mail server.
+    Mail,
+    /// webserver: static content serving.
+    Web,
+    /// webproxy: caching proxy.
+    Proxy,
+    /// OLTP: transactional database.
+    Oltp,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Personality {
+    /// Overall fraction of *operations* that are reads.
+    read_fraction: f64,
+    /// Read request size range in pages (inclusive).
+    read_pages: (u32, u32),
+    /// Write request size range in pages (inclusive).
+    write_pages: (u32, u32),
+    /// Writes per burst (inclusive range).
+    burst_len: (u32, u32),
+    /// Fraction of writes that are sequential log appends.
+    log_fraction: f64,
+    /// Fraction of operations that are file deletions (TRIMs of
+    /// previously written data). varmail constantly creates and deletes
+    /// mail files.
+    trim_fraction: f64,
+    /// Zipf skew of data-region accesses.
+    theta: f64,
+}
+
+impl FilebenchKind {
+    fn personality(self) -> Personality {
+        match self {
+            FilebenchKind::Mail => Personality {
+                read_fraction: 0.50,
+                read_pages: (1, 1),
+                write_pages: (1, 1),
+                burst_len: (4, 12),
+                log_fraction: 0.30,
+                trim_fraction: 0.06,
+                theta: 0.90,
+            },
+            FilebenchKind::Web => Personality {
+                read_fraction: 0.84,
+                read_pages: (1, 2),
+                write_pages: (1, 1),
+                burst_len: (1, 3),
+                log_fraction: 0.90,
+                trim_fraction: 0.0,
+                theta: 0.85,
+            },
+            FilebenchKind::Proxy => Personality {
+                read_fraction: 0.90,
+                read_pages: (1, 3),
+                write_pages: (1, 4),
+                burst_len: (2, 8),
+                log_fraction: 0.20,
+                trim_fraction: 0.02,
+                theta: 0.95,
+            },
+            FilebenchKind::Oltp => Personality {
+                read_fraction: 0.10,
+                read_pages: (1, 1),
+                write_pages: (1, 2),
+                burst_len: (8, 32),
+                log_fraction: 0.50,
+                trim_fraction: 0.0,
+                theta: 0.95,
+            },
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FilebenchKind::Mail => "Mail",
+            FilebenchKind::Web => "Web",
+            FilebenchKind::Proxy => "Proxy",
+            FilebenchKind::Oltp => "OLTP",
+        }
+    }
+}
+
+/// A Filebench-personality request generator.
+#[derive(Debug, Clone)]
+pub struct FilebenchWorkload {
+    kind: FilebenchKind,
+    p: Personality,
+    /// Probability that a fresh draw starts a write burst (derated so the
+    /// op-level read fraction matches the personality).
+    burst_start_prob: f64,
+    data_pages: u64,
+    log_start: u64,
+    log_pages: u64,
+    log_head: u64,
+    burst_remaining: u32,
+    zipf: Zipfian,
+    rng: StdRng,
+}
+
+impl FilebenchWorkload {
+    /// A generator over `logical_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_pages < 64` (too small to partition).
+    pub fn new(kind: FilebenchKind, logical_pages: u64, seed: u64) -> Self {
+        assert!(logical_pages >= 64, "address space too small");
+        let p = kind.personality();
+        // 1/16th of the space is the log region.
+        let log_pages = (logical_pages / 16).max(8);
+        let data_pages = logical_pages - log_pages;
+        let mean_burst = f64::from(p.burst_len.0 + p.burst_len.1) / 2.0;
+        let w = 1.0 - p.read_fraction;
+        // Solve the draw-level burst probability so that bursts of mean
+        // length L yield an op-level write fraction of w:
+        //   writes = (1-r)·L, ops = r + (1-r)·L  →  r = L(1-w)/(w+L(1-w)).
+        let r = mean_burst * (1.0 - w) / (w + mean_burst * (1.0 - w));
+        FilebenchWorkload {
+            kind,
+            p,
+            burst_start_prob: 1.0 - r,
+            data_pages,
+            log_start: data_pages,
+            log_pages,
+            log_head: 0,
+            burst_remaining: 0,
+            zipf: Zipfian::new(data_pages, p.theta, true, seed),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15)),
+        }
+    }
+
+    /// The personality of this generator.
+    pub fn kind(&self) -> FilebenchKind {
+        self.kind
+    }
+
+    fn size_in(&mut self, range: (u32, u32)) -> u32 {
+        self.rng.gen_range(range.0..=range.1)
+    }
+
+    fn next_write(&mut self) -> HostRequest {
+        if self.rng.gen::<f64>() < self.p.log_fraction {
+            // Sequential log append, wrapping.
+            let n = self.size_in(self.p.write_pages).min(self.log_pages as u32);
+            if self.log_head + u64::from(n) > self.log_pages {
+                self.log_head = 0;
+            }
+            let lpn = self.log_start + self.log_head;
+            self.log_head += u64::from(n);
+            if self.log_head >= self.log_pages {
+                self.log_head = 0;
+            }
+            HostRequest::write_span(lpn, n)
+        } else {
+            let n = self.size_in(self.p.write_pages);
+            let lpn = self.zipf.sample().min(self.data_pages - u64::from(n));
+            HostRequest::write_span(lpn, n)
+        }
+    }
+}
+
+impl Iterator for FilebenchWorkload {
+    type Item = HostRequest;
+
+    fn next(&mut self) -> Option<HostRequest> {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            return Some(self.next_write());
+        }
+        if self.p.trim_fraction > 0.0 && self.rng.gen::<f64>() < self.p.trim_fraction {
+            // Delete a file: discard a small span of data pages.
+            let n = self.size_in((1, 4));
+            let lpn = self.zipf.sample().min(self.data_pages - u64::from(n));
+            return Some(HostRequest::trim_span(lpn, n));
+        }
+        if self.rng.gen::<f64>() < self.burst_start_prob {
+            let len = self.size_in(self.p.burst_len);
+            self.burst_remaining = len.saturating_sub(1);
+            Some(self.next_write())
+        } else {
+            let n = self.size_in(self.p.read_pages);
+            let lpn = self.zipf.sample().min(self.data_pages - u64::from(n));
+            Some(HostRequest::read_span(lpn, n))
+        }
+    }
+}
+
+impl Workload for FilebenchWorkload {
+    fn label(&self) -> &str {
+        self.kind.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdsim::HostOp;
+
+    fn op_write_fraction(kind: FilebenchKind) -> f64 {
+        let w = FilebenchWorkload::new(kind, 100_000, 1);
+        let mut writes = 0u64;
+        let n = 50_000;
+        for req in w.take(n as usize) {
+            if req.op == HostOp::Write {
+                writes += 1;
+            }
+        }
+        writes as f64 / n as f64
+    }
+
+    #[test]
+    fn op_mix_matches_personalities() {
+        assert!((0.45..0.56).contains(&op_write_fraction(FilebenchKind::Mail)));
+        assert!((0.10..0.22).contains(&op_write_fraction(FilebenchKind::Web)));
+        assert!((0.05..0.16).contains(&op_write_fraction(FilebenchKind::Proxy)));
+        assert!((0.82..0.96).contains(&op_write_fraction(FilebenchKind::Oltp)));
+    }
+
+    #[test]
+    fn oltp_writes_come_in_long_bursts() {
+        let w = FilebenchWorkload::new(FilebenchKind::Oltp, 100_000, 2);
+        let mut run = 0u32;
+        let mut max_run = 0u32;
+        for req in w.take(20_000) {
+            if req.op == HostOp::Write {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run >= 8, "OLTP burst length {max_run}");
+    }
+
+    #[test]
+    fn log_appends_are_sequential() {
+        let mut w = FilebenchWorkload::new(FilebenchKind::Web, 10_000, 3);
+        let log_start = w.log_start;
+        let mut last: Option<u64> = None;
+        let mut sequential = 0;
+        let mut total = 0;
+        for req in w.by_ref().take(30_000) {
+            if req.op == HostOp::Write && req.lpn >= log_start {
+                if let Some(prev) = last {
+                    total += 1;
+                    if req.lpn >= prev {
+                        sequential += 1;
+                    }
+                }
+                last = Some(req.lpn);
+            }
+        }
+        assert!(total > 100, "need log writes to judge");
+        // Mostly ascending (wraps occasionally).
+        assert!(f64::from(sequential) / f64::from(total) > 0.9);
+    }
+
+    #[test]
+    fn requests_stay_in_space() {
+        for kind in [
+            FilebenchKind::Mail,
+            FilebenchKind::Web,
+            FilebenchKind::Proxy,
+            FilebenchKind::Oltp,
+        ] {
+            let w = FilebenchWorkload::new(kind, 2_000, 4);
+            for req in w.take(10_000) {
+                assert!(req.lpn + u64::from(req.n_pages) <= 2_000);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_space_rejected() {
+        FilebenchWorkload::new(FilebenchKind::Mail, 10, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Storage-engine models for the two database workloads of §6.1:
+//! **Rocks** (RocksDB — an LSM tree) and **Mongo** (MongoDB — a
+//! B-tree/WiredTiger engine), both driven by YCSB workload A
+//! (50/50 reads and updates over a Zipfian key popularity).
+//!
+//! The real engines are not run; instead each model translates the
+//! YCSB-A op stream into the engine's characteristic block-level
+//! pattern:
+//!
+//! * **LSM (Rocks)** — updates append to a write-ahead log; a full
+//!   memtable flushes as a long *sequential write burst* (an SSTable);
+//!   every few flushes a compaction reads several SSTables back and
+//!   rewrites them sequentially. Point reads look up one (sometimes two)
+//!   pages. The bursty sequential writes are exactly what cubeFTL's WAM
+//!   absorbs with follower WLs (§6.2 explains the Rocks/OLTP gains).
+//! * **B-tree (Mongo)** — updates append to a journal and dirty random
+//!   leaf pages; a periodic checkpoint writes the dirty pages back in a
+//!   burst. Reads touch a leaf (and occasionally an internal node).
+
+use crate::zipf::Zipfian;
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssdsim::HostRequest;
+use std::collections::VecDeque;
+
+/// Layout shared by both models: a small wrapping log/journal region and
+/// a large data region.
+#[derive(Debug, Clone, Copy)]
+struct Regions {
+    data_pages: u64,
+    log_start: u64,
+    log_pages: u64,
+}
+
+impl Regions {
+    fn new(logical_pages: u64) -> Self {
+        assert!(logical_pages >= 256, "address space too small");
+        let log_pages = (logical_pages / 32).max(16);
+        Regions {
+            data_pages: logical_pages - log_pages,
+            log_start: logical_pages - log_pages,
+            log_pages,
+        }
+    }
+}
+
+/// RocksDB under YCSB-A: the LSM model.
+#[derive(Debug, Clone)]
+pub struct RocksWorkload {
+    regions: Regions,
+    zipf: Zipfian,
+    rng: StdRng,
+    pending: VecDeque<HostRequest>,
+    /// Updates accumulated in the (in-memory) memtable.
+    memtable_fill: u32,
+    /// Updates per memtable flush.
+    memtable_updates: u32,
+    /// Pages written per flush (SSTable size).
+    flush_pages: u32,
+    /// Flushes per compaction.
+    compaction_every: u32,
+    flushes: u32,
+    /// Next SSTable write position in the data region (wrapping).
+    sst_head: u64,
+    wal_head: u64,
+}
+
+impl RocksWorkload {
+    /// A Rocks generator over `logical_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_pages < 256`.
+    pub fn new(logical_pages: u64, seed: u64) -> Self {
+        let regions = Regions::new(logical_pages);
+        RocksWorkload {
+            regions,
+            zipf: Zipfian::ycsb(regions.data_pages, seed),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0xd129_0d3b_3f61_0e51)),
+            pending: VecDeque::new(),
+            memtable_fill: 0,
+            memtable_updates: 384,
+            flush_pages: 96,
+            compaction_every: 4,
+            flushes: 0,
+            sst_head: 0,
+            wal_head: 0,
+        }
+    }
+
+    fn wal_append(&mut self) -> HostRequest {
+        let lpn = self.regions.log_start + self.wal_head;
+        self.wal_head = (self.wal_head + 1) % self.regions.log_pages;
+        HostRequest::write(lpn)
+    }
+
+    fn seq_data_write(&mut self, pages: u32) {
+        // Emit the burst in WL-sized spans so the flush pipeline streams.
+        let mut remaining = pages;
+        while remaining > 0 {
+            let n = remaining.min(3);
+            let lpn = self.sst_head;
+            self.sst_head = (self.sst_head + u64::from(n)) % (self.regions.data_pages - 3);
+            self.pending.push_back(HostRequest::write_span(lpn, n));
+            remaining -= n;
+        }
+    }
+
+    fn flush_memtable(&mut self) {
+        self.seq_data_write(self.flush_pages);
+        self.flushes += 1;
+        if self.flushes.is_multiple_of(self.compaction_every) {
+            // Compaction: read the participating SSTables back, then
+            // write the merged run sequentially.
+            let span = self.flush_pages * self.compaction_every;
+            let base = self
+                .sst_head
+                .saturating_sub(u64::from(span))
+                .min(self.regions.data_pages - u64::from(span) - 1);
+            let mut off = 0u32;
+            while off < span {
+                let n = (span - off).min(4);
+                self.pending
+                    .push_back(HostRequest::read_span(base + u64::from(off), n));
+                off += n;
+            }
+            self.seq_data_write(span);
+            // The merged SSTables replace the inputs: discard the old
+            // range (RocksDB issues DeleteFile → TRIM), handing the FTL
+            // migration-free garbage.
+            self.pending.push_back(HostRequest::trim_span(base, span));
+        }
+    }
+
+    fn ycsb_op(&mut self) {
+        if self.rng.gen::<f64>() < 0.5 {
+            // Read: point lookup; 20% of lookups touch a second level.
+            let lpn = self.zipf.sample().min(self.regions.data_pages - 1);
+            self.pending.push_back(HostRequest::read(lpn));
+            if self.rng.gen::<f64>() < 0.2 {
+                let lpn2 = self.zipf.sample().min(self.regions.data_pages - 1);
+                self.pending.push_back(HostRequest::read(lpn2));
+            }
+        } else {
+            // Update: WAL append; memtable flush when full.
+            let wal = self.wal_append();
+            self.pending.push_back(wal);
+            self.memtable_fill += 1;
+            if self.memtable_fill >= self.memtable_updates {
+                self.memtable_fill = 0;
+                self.flush_memtable();
+            }
+        }
+    }
+}
+
+impl Iterator for RocksWorkload {
+    type Item = HostRequest;
+
+    fn next(&mut self) -> Option<HostRequest> {
+        while self.pending.is_empty() {
+            self.ycsb_op();
+        }
+        self.pending.pop_front()
+    }
+}
+
+impl Workload for RocksWorkload {
+    fn label(&self) -> &str {
+        "Rocks"
+    }
+}
+
+/// MongoDB under YCSB-A: the B-tree model.
+#[derive(Debug, Clone)]
+pub struct MongoWorkload {
+    regions: Regions,
+    zipf: Zipfian,
+    rng: StdRng,
+    pending: VecDeque<HostRequest>,
+    /// Leaf pages dirtied since the last checkpoint.
+    dirty: Vec<u64>,
+    /// Updates per checkpoint.
+    checkpoint_updates: u32,
+    updates: u32,
+    journal_head: u64,
+}
+
+impl MongoWorkload {
+    /// A Mongo generator over `logical_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_pages < 256`.
+    pub fn new(logical_pages: u64, seed: u64) -> Self {
+        let regions = Regions::new(logical_pages);
+        MongoWorkload {
+            regions,
+            zipf: Zipfian::ycsb(regions.data_pages, seed ^ 0xbeef),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f)),
+            pending: VecDeque::new(),
+            dirty: Vec::new(),
+            checkpoint_updates: 256,
+            updates: 0,
+            journal_head: 0,
+        }
+    }
+
+    fn journal_append(&mut self) -> HostRequest {
+        let lpn = self.regions.log_start + self.journal_head;
+        self.journal_head = (self.journal_head + 1) % self.regions.log_pages;
+        HostRequest::write(lpn)
+    }
+
+    fn checkpoint(&mut self) {
+        // Write back all dirty leaves, in address order (WiredTiger
+        // checkpoints are mostly ordered writes of random pages).
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
+        for lpn in dirty {
+            self.pending.push_back(HostRequest::write(lpn));
+        }
+    }
+
+    fn ycsb_op(&mut self) {
+        if self.rng.gen::<f64>() < 0.5 {
+            // Read a leaf; 15% also read an internal node.
+            let lpn = self.zipf.sample().min(self.regions.data_pages - 1);
+            if self.rng.gen::<f64>() < 0.15 {
+                let internal = lpn / 128;
+                self.pending.push_back(HostRequest::read(internal));
+            }
+            self.pending.push_back(HostRequest::read(lpn));
+        } else {
+            // Update: journal write now, leaf dirtied for the checkpoint.
+            let j = self.journal_append();
+            self.pending.push_back(j);
+            let leaf = self.zipf.sample().min(self.regions.data_pages - 1);
+            self.dirty.push(leaf);
+            self.updates += 1;
+            if self.updates >= self.checkpoint_updates {
+                self.updates = 0;
+                self.checkpoint();
+            }
+        }
+    }
+}
+
+impl Iterator for MongoWorkload {
+    type Item = HostRequest;
+
+    fn next(&mut self) -> Option<HostRequest> {
+        while self.pending.is_empty() {
+            self.ycsb_op();
+        }
+        self.pending.pop_front()
+    }
+}
+
+impl Workload for MongoWorkload {
+    fn label(&self) -> &str {
+        "Mongo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdsim::HostOp;
+
+    #[test]
+    fn rocks_produces_flush_bursts() {
+        let w = RocksWorkload::new(100_000, 1);
+        let mut run_pages = 0u32;
+        let mut max_run = 0u32;
+        for req in w.take(30_000) {
+            if req.op == HostOp::Write && req.lpn < 90_000 {
+                run_pages += req.n_pages;
+                max_run = max_run.max(run_pages);
+            } else if req.op == HostOp::Read {
+                run_pages = 0;
+            }
+        }
+        assert!(max_run >= 48, "flush burst of {max_run} pages");
+    }
+
+    #[test]
+    fn rocks_compactions_read_then_rewrite() {
+        let w = RocksWorkload::new(100_000, 2);
+        let mut data_reads_spanning = 0u64;
+        for req in w.take(60_000) {
+            if req.op == HostOp::Read && req.n_pages > 1 {
+                data_reads_spanning += 1;
+            }
+        }
+        assert!(data_reads_spanning > 0, "compaction reads never appeared");
+    }
+
+    #[test]
+    fn rocks_write_amplification_above_one() {
+        // Each user update produces ≥1 WAL page plus its share of flush
+        // and compaction traffic.
+        let w = RocksWorkload::new(100_000, 3);
+        let mut pages_w = 0u64;
+        let mut pages_r = 0u64;
+        for req in w.take(50_000) {
+            match req.op {
+                HostOp::Write => pages_w += u64::from(req.n_pages),
+                HostOp::Read => pages_r += u64::from(req.n_pages),
+                HostOp::Trim => {}
+            }
+        }
+        assert!(pages_w > pages_r / 2, "YCSB-A is update-heavy at block level");
+    }
+
+    #[test]
+    fn mongo_checkpoints_write_dirty_leaves() {
+        let w = MongoWorkload::new(100_000, 4);
+        let mut data_writes = 0u64;
+        let mut journal_writes = 0u64;
+        for req in w.take(40_000) {
+            if req.op == HostOp::Write {
+                if req.lpn >= 100_000 - (100_000 / 32) {
+                    journal_writes += 1;
+                } else {
+                    data_writes += 1;
+                }
+            }
+        }
+        assert!(journal_writes > 0);
+        assert!(data_writes > 0, "checkpoints must write leaves back");
+    }
+
+    #[test]
+    fn both_stay_in_range_and_are_deterministic() {
+        let space = 50_000u64;
+        let a: Vec<_> = RocksWorkload::new(space, 9).take(5_000).collect();
+        let b: Vec<_> = RocksWorkload::new(space, 9).take(5_000).collect();
+        assert_eq!(a, b);
+        for req in &a {
+            assert!(req.lpn + u64::from(req.n_pages) <= space);
+        }
+        let m: Vec<_> = MongoWorkload::new(space, 9).take(5_000).collect();
+        for req in &m {
+            assert!(req.lpn + u64::from(req.n_pages) <= space);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_space_rejected() {
+        RocksWorkload::new(100, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! A YCSB-style Zipfian sampler.
+//!
+//! Implements the Gray et al. "quickly generating billion-record
+//! synthetic databases" algorithm used by YCSB's `ZipfianGenerator`:
+//! constant-time sampling after an O(n) zeta precomputation. Combined
+//! with a multiplicative hash scatter so that the popular items are
+//! spread over the address space rather than clustered at low LPNs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-distributed sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scatter: bool,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// A sampler over `0..n` with skew `theta` (0 < θ < 1; larger is more
+    /// skewed). `scatter` hashes ranks over the space (YCSB's
+    /// `ScrambledZipfian` behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64, scatter: bool, seed: u64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scatter,
+            rng: StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d),
+        }
+    }
+
+    /// A scrambled sampler with the YCSB default skew.
+    pub fn ycsb(n: u64, seed: u64) -> Self {
+        Zipfian::new(n, Self::DEFAULT_THETA, true, seed)
+    }
+
+    /// Draws the next sample in `0..n`.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scatter {
+            // FNV-ish multiplicative scramble, then fold into range.
+            rank.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678) % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // For very large n, subsample the tail: the zeta sum converges and
+    // the tail contribution is approximated by an integral.
+    const EXACT_LIMIT: u64 = 1_000_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // ∫_{EXACT_LIMIT}^{n} x^{-θ} dx
+        let a = EXACT_LIMIT as f64;
+        let b = n as f64;
+        head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipfian::ycsb(1000, 1);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 1000);
+        }
+    }
+
+    #[test]
+    fn unscrambled_head_is_heavy() {
+        let mut z = Zipfian::new(10_000, 0.99, false, 2);
+        let mut head = 0u64;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample() < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 the first 1% of ranks should carry well over a
+        // third of the mass.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.35, "head mass {frac}");
+    }
+
+    #[test]
+    fn scrambled_spreads_but_keeps_skew() {
+        let mut z = Zipfian::ycsb(10_000, 3);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(max > 1_000, "hottest key too cold: {max}");
+        assert!(nonzero > 2_000, "scramble failed to spread: {nonzero}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut z = Zipfian::ycsb(500, 9);
+            (0..100).map(|_| z.sample()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut z = Zipfian::ycsb(500, 9);
+            (0..100).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_domain_zeta_approximation_works() {
+        let mut z = Zipfian::ycsb(50_000_000, 4);
+        for _ in 0..1000 {
+            assert!(z.sample() < 50_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        Zipfian::ycsb(0, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! `cubeftl-sim` — run one SSD simulation from the command line.
+//!
+//! ```text
+//! cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]
+//!             [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --release --bin cubeftl-sim -- --workload rocks --aging eol --ftl all
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --workload oltp --requests 100000
+//! ```
+
+use cubeftl::harness::{run_eval, EvalConfig};
+use cubeftl::{AgingState, FtlKind, StandardWorkload};
+use std::process::ExitCode;
+
+fn parse_ftl(s: &str) -> Option<Vec<FtlKind>> {
+    Some(match s {
+        "page" => vec![FtlKind::Page],
+        "vert" => vec![FtlKind::Vert],
+        "cube" => vec![FtlKind::Cube],
+        "cube-" | "cube_minus" => vec![FtlKind::CubeMinus],
+        "all" => FtlKind::ALL.to_vec(),
+        _ => return None,
+    })
+}
+
+fn parse_workload(s: &str) -> Option<StandardWorkload> {
+    Some(match s {
+        "mail" => StandardWorkload::Mail,
+        "web" => StandardWorkload::Web,
+        "proxy" => StandardWorkload::Proxy,
+        "oltp" => StandardWorkload::Oltp,
+        "rocks" => StandardWorkload::Rocks,
+        "mongo" => StandardWorkload::Mongo,
+        _ => return None,
+    })
+}
+
+fn parse_aging(s: &str) -> Option<AgingState> {
+    Some(match s {
+        "fresh" => AgingState::Fresh,
+        "midlife" | "mid" => AgingState::MidLife,
+        "eol" | "endoflife" => AgingState::EndOfLife,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]\n\
+         \x20                  [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kinds = vec![FtlKind::Cube];
+    let mut workload = StandardWorkload::Rocks;
+    let mut aging = AgingState::Fresh;
+    let mut cfg = EvalConfig::reduced();
+    let mut celsius: Option<f64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match (flag, value) {
+            ("--ftl", Some(v)) => match parse_ftl(v) {
+                Some(k) => kinds = k,
+                None => return usage(),
+            },
+            ("--workload", Some(v)) => match parse_workload(v) {
+                Some(w) => workload = w,
+                None => return usage(),
+            },
+            ("--aging", Some(v)) => match parse_aging(v) {
+                Some(a) => aging = a,
+                None => return usage(),
+            },
+            ("--requests", Some(v)) => match v.parse() {
+                Ok(n) => cfg.requests = n,
+                Err(_) => return usage(),
+            },
+            ("--blocks", Some(v)) => match v.parse() {
+                Ok(n) => cfg.blocks_per_chip = n,
+                Err(_) => return usage(),
+            },
+            ("--seed", Some(v)) => match v.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return usage(),
+            },
+            ("--temp", Some(v)) => match v.parse() {
+                Ok(c) => celsius = Some(c),
+                Err(_) => return usage(),
+            },
+            ("--help", _) | ("-h", _) => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    println!(
+        "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}\n",
+        cfg.blocks_per_chip,
+        cfg.requests,
+        cfg.seed,
+        celsius.map(|c| format!(", {c} °C")).unwrap_or_default()
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "FTL", "IOPS", "p50 rd (ms)", "p99 rd (ms)", "p90 wr (ms)", "GC runs", "retries", "WA"
+    );
+    if let Some(c) = celsius {
+        cfg.ambient_celsius = c;
+    }
+    for kind in kinds {
+        let mut r = run_eval(kind, workload, aging, &cfg);
+        println!(
+            "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6}",
+            r.ftl_name,
+            r.iops,
+            r.read_latency.percentile(50.0) / 1000.0,
+            r.read_latency.percentile(99.0) / 1000.0,
+            r.write_latency.percentile(90.0) / 1000.0,
+            r.ftl.gc_runs,
+            r.ftl.read_retries,
+            r.write_amplification()
+                .map(|w| format!("{w:.2}"))
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,178 @@
+//! One-call paper experiments: configure, prefill, age, run, report.
+//!
+//! The paper's evaluation (§6) runs each FTL under each workload at each
+//! aging state on a 32-GB SSD. [`run_eval`] reproduces one such cell;
+//! [`EvalConfig`] controls the scale (full paper scale, or a reduced
+//! block count for quick runs — the FTL behaviour is unchanged, only the
+//! physical capacity shrinks).
+
+use ftl::{Ftl, FtlConfig, FtlKind};
+use nand3d::AgingState;
+use ssdsim::{SimReport, SsdConfig, SsdSim};
+use workloads::StandardWorkload;
+
+/// Scale and length of one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Blocks per chip (428 reproduces the paper's 32-GB SSD; smaller
+    /// values shrink capacity for faster runs).
+    pub blocks_per_chip: u32,
+    /// Host requests to simulate per run.
+    pub requests: u64,
+    /// Fraction of the logical space written before measuring (drives
+    /// realistic GC behaviour).
+    pub prefill_fraction: f64,
+    /// Ambient-disturbance probability per NAND operation.
+    pub disturbance_prob: f64,
+    /// Ambient temperature, °C (the paper evaluates at 30 °C).
+    pub ambient_celsius: f64,
+    /// Workload/process seed.
+    pub seed: u64,
+    /// Host platform parameters.
+    pub ssd: SsdConfig,
+}
+
+impl EvalConfig {
+    /// The paper-scale configuration (428 blocks/chip ≈ 32 GB).
+    pub fn paper() -> Self {
+        EvalConfig {
+            blocks_per_chip: 428,
+            requests: 200_000,
+            prefill_fraction: 0.9,
+            disturbance_prob: 0.002,
+            ambient_celsius: 30.0,
+            seed: 42,
+            ssd: SsdConfig::paper(),
+        }
+    }
+
+    /// A reduced-scale configuration for figure regeneration on a laptop
+    /// (≈4.8 GB SSD, same chip/bus topology and FTL behaviour).
+    pub fn reduced() -> Self {
+        EvalConfig {
+            blocks_per_chip: 64,
+            requests: 60_000,
+            ..EvalConfig::paper()
+        }
+    }
+
+    /// A tiny smoke-test configuration for doc examples and CI.
+    pub fn smoke() -> Self {
+        EvalConfig {
+            blocks_per_chip: 12,
+            requests: 2_000,
+            prefill_fraction: 0.5,
+            disturbance_prob: 0.0,
+            ambient_celsius: 30.0,
+            seed: 42,
+            ssd: SsdConfig::paper(),
+        }
+    }
+
+    /// The FTL configuration this evaluation scale implies.
+    pub fn ftl_config(&self) -> FtlConfig {
+        let mut cfg = FtlConfig::paper();
+        cfg.nand.geometry.blocks_per_chip = self.blocks_per_chip;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::paper()
+    }
+}
+
+/// Builds an FTL of `kind`, prefills it, pins the aging state, and runs
+/// `workload` under the closed-loop simulator. Fully deterministic for a
+/// given [`EvalConfig`].
+pub fn run_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+) -> SimReport {
+    run_eval_custom(kind, workload, aging, cfg, cfg.ftl_config())
+}
+
+/// Like [`run_eval`] but with an explicit FTL configuration — the entry
+/// point for ablation studies (μ_TH sweeps, active-block counts, …).
+pub fn run_eval_custom(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    ftl_cfg: FtlConfig,
+) -> SimReport {
+    let mut ftl = Ftl::new(kind, ftl_cfg);
+    let mut sim = SsdSim::new(cfg.ssd);
+
+    // Pin the aging state first (the paper pre-cycles blocks and bakes
+    // retention before the FTL ever runs, §6.2), then prefill to
+    // establish mappings and block occupancy so GC behaves like a used
+    // drive. Prefilling *after* aging also means every monitored leader
+    // parameter is valid for the measured run — flipping conditions
+    // mid-run would (correctly) trip the §4.1.4 safety check on every
+    // active h-layer.
+    ftl.set_aging(aging);
+    ftl.set_ambient_celsius(cfg.ambient_celsius);
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    sim.prefill(&mut ftl, 0..prefill);
+    ftl.set_disturbance_prob(cfg.disturbance_prob);
+    ftl.reset_stats();
+
+    let stream = workload.build(prefill.max(1024), cfg.seed);
+    sim.run(&mut ftl, stream, cfg.requests)
+}
+
+/// Runs the three-FTL comparison of Fig. 17 for one workload and aging
+/// state. Returns `(pageFTL, vertFTL, cubeFTL)` reports.
+pub fn run_fig17_cell(
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+) -> (SimReport, SimReport, SimReport) {
+    (
+        run_eval(FtlKind::Page, workload, aging, cfg),
+        run_eval(FtlKind::Vert, workload, aging, cfg),
+        run_eval(FtlKind::Cube, workload, aging, cfg),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_eval_completes_all_requests() {
+        let cfg = EvalConfig::smoke();
+        let r = run_eval(FtlKind::Page, StandardWorkload::Mail, AgingState::Fresh, &cfg);
+        assert_eq!(r.completed, cfg.requests);
+        assert!(r.iops > 0.0);
+        assert!(r.reads > 0 && r.writes > 0);
+    }
+
+    #[test]
+    fn eval_is_deterministic() {
+        let cfg = EvalConfig::smoke();
+        let a = run_eval(FtlKind::Cube, StandardWorkload::Web, AgingState::MidLife, &cfg);
+        let b = run_eval(FtlKind::Cube, StandardWorkload::Web, AgingState::MidLife, &cfg);
+        assert_eq!(a.iops, b.iops);
+        assert_eq!(a.sim_time_us, b.sim_time_us);
+    }
+
+    #[test]
+    fn cube_beats_page_on_a_write_heavy_workload() {
+        let cfg = EvalConfig::smoke();
+        let page = run_eval(FtlKind::Page, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
+        let cube = run_eval(FtlKind::Cube, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
+        assert!(
+            cube.iops > page.iops,
+            "cubeFTL {} IOPS vs pageFTL {} IOPS",
+            cube.iops,
+            page.iops
+        );
+    }
+}

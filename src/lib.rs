@@ -1,0 +1,40 @@
+//! # cubeftl — a reproduction of "Exploiting Process Similarity of 3D
+//! Flash Memory for High Performance SSDs" (MICRO 2019)
+//!
+//! This workspace re-implements the paper's full stack:
+//!
+//! * [`nand3d`] — a behavioral 3D TLC NAND model with the paper's two
+//!   process characteristics: horizontal intra-layer **similarity** and
+//!   vertical inter-layer **variability**, plus micro-operation-level
+//!   ISPP programming and read-retry engines.
+//! * [`ftl`] — the PS-aware **cubeFTL** (OPM + WAM + safety check) and
+//!   the `pageFTL` / `vertFTL` / `cubeFTL-` comparison points.
+//! * [`ssdsim`] — a closed-loop SSD timing simulator (buses, chips,
+//!   write buffer, queueing) standing in for the paper's FlashBench
+//!   platform.
+//! * [`workloads`] — the six evaluation workloads (Filebench
+//!   Mail/Web/Proxy/OLTP, YCSB-A over LSM and B-tree engine models).
+//!
+//! The [`harness`] module glues these together into one-call paper
+//! experiments; `crates/bench` hosts one binary per paper figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cubeftl::harness::{EvalConfig, run_eval};
+//! use cubeftl::{AgingState, FtlKind, StandardWorkload};
+//!
+//! let cfg = EvalConfig::smoke();
+//! let report = run_eval(FtlKind::Cube, StandardWorkload::Mail, AgingState::Fresh, &cfg);
+//! assert!(report.iops > 0.0);
+//! ```
+
+pub use ftl::{Ftl, FtlConfig, FtlKind, Opm, ProgramOrder, Wam};
+pub use nand3d::{
+    AgingState, BlockId, FlashArray, Geometry, NandChip, NandConfig, ProgramParams, ReadParams,
+    WlAddr,
+};
+pub use ssdsim::{FtlDriver, HostRequest, SimReport, SsdConfig, SsdSim};
+pub use workloads::{StandardWorkload, Workload};
+
+pub mod harness;

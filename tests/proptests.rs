@@ -1,0 +1,167 @@
+//! Property-based tests on the core data structures and invariants.
+
+use cubeftl::{FtlConfig, FtlDriver, Geometry, ProgramOrder};
+use ftl::{Ftl, FtlKind, Mapping, Ppn};
+use nand3d::BlockId;
+use proptest::prelude::*;
+use ssdsim::{HostContext, WriteBuffer};
+use std::collections::{HashMap, HashSet};
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    (1u32..6, 2u16..12, 2u16..6).prop_map(|(blocks, hlayers, wls)| Geometry {
+        blocks_per_chip: blocks,
+        hlayers_per_block: hlayers,
+        wls_per_hlayer: wls,
+        pages_per_wl: 3,
+        page_size: 16 * 1024,
+    })
+}
+
+proptest! {
+    /// Every program order visits every WL of a block exactly once, and
+    /// never schedules a follower before its h-layer's leader.
+    #[test]
+    fn program_orders_are_leader_first_permutations(g in arb_geometry(), order_idx in 0usize..3) {
+        let order = ProgramOrder::ALL[order_idx];
+        let block = BlockId(0);
+        let mut seen = HashSet::new();
+        let mut leader_done = vec![false; g.hlayers_per_block as usize];
+        let mut count = 0u32;
+        for wl in order.sequence(&g, block) {
+            prop_assert!(g.contains_wl(wl));
+            prop_assert!(seen.insert(wl), "duplicate WL {wl}");
+            if wl.is_leader() {
+                leader_done[wl.h.0 as usize] = true;
+            } else {
+                prop_assert!(leader_done[wl.h.0 as usize], "follower {wl} before leader");
+            }
+            count += 1;
+        }
+        prop_assert_eq!(count, g.wls_per_block());
+    }
+
+    /// Page address flattening is a bijection for arbitrary geometries.
+    #[test]
+    fn page_flat_roundtrips(g in arb_geometry(), flat in 0usize..10_000) {
+        let flat = flat % g.pages_per_chip() as usize;
+        let addr = g.page_unflat(flat);
+        prop_assert!(g.contains_page(addr));
+        prop_assert_eq!(g.page_flat(addr), flat);
+    }
+
+    /// The mapping table never loses or duplicates pages under arbitrary
+    /// map/unmap sequences.
+    #[test]
+    fn mapping_is_consistent(ops in prop::collection::vec((0u64..64, 0u32..200), 1..200)) {
+        let g = Geometry::small();
+        let mut m = Mapping::new(g, 1, 64);
+        let mut shadow: HashMap<u64, u32> = HashMap::new();
+        let mut used: HashSet<u32> = HashSet::new();
+        for (lpn, page_seed) in ops {
+            // Pick a fresh physical page (never reused without erase).
+            let page = (0..g.pages_per_chip() as u32)
+                .map(|i| (page_seed + i) % g.pages_per_chip() as u32)
+                .find(|p| !used.contains(p));
+            let Some(page) = page else { break };
+            used.insert(page);
+            if let Some(old) = shadow.insert(lpn, page) {
+                // The mapping must report the overwritten location.
+                prop_assert_eq!(m.map(lpn, Ppn { chip: 0, page }), Some(Ppn { chip: 0, page: old }));
+            } else {
+                prop_assert_eq!(m.map(lpn, Ppn { chip: 0, page }), None);
+            }
+        }
+        // Forward and reverse agree with the shadow model.
+        prop_assert_eq!(m.total_valid(), shadow.len() as u64);
+        for (lpn, page) in &shadow {
+            prop_assert_eq!(m.lookup(*lpn), Some(Ppn { chip: 0, page: *page }));
+            prop_assert_eq!(m.reverse(Ppn { chip: 0, page: *page }), Some(*lpn));
+        }
+    }
+
+    /// The write buffer's fill accounting never leaks slots across
+    /// arbitrary push/flush/complete interleavings.
+    #[test]
+    fn write_buffer_conserves_slots(ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..300)) {
+        let mut b = WriteBuffer::new(16);
+        let mut in_flight: Vec<[u64; 3]> = Vec::new();
+        for (lpn, flush) in ops {
+            if flush {
+                if let Some(batch) = b.take_for_flush(1) {
+                    in_flight.push(batch);
+                }
+                // Complete the oldest in-flight flush half the time.
+                if in_flight.len() > 1 {
+                    let batch = in_flight.remove(0);
+                    b.complete_flush(batch);
+                }
+            } else {
+                let _ = b.push(lpn);
+            }
+            prop_assert!(b.fill() <= b.capacity());
+        }
+        // Drain everything; fill must return to the queued remainder.
+        for batch in in_flight.drain(..) {
+            b.complete_flush(batch);
+        }
+        prop_assert_eq!(b.fill(), b.queued());
+    }
+
+    /// Read-your-writes: after an arbitrary write sequence, every written
+    /// LPN maps to readable data, for every FTL variant.
+    #[test]
+    fn ftl_read_your_writes(
+        lpns in prop::collection::vec(0u64..500, 30..120),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = FtlKind::ALL[kind_idx];
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::new(kind, cfg);
+        let ctx = HostContext { buffer_utilization: 0.5, now_us: 0.0 };
+        let mut written = HashSet::new();
+        for chunk in lpns.chunks(3) {
+            let mut batch = [u64::MAX; 3];
+            // Deduplicate within a WL: one WL cannot hold one LPN twice.
+            let mut chunk_seen = HashSet::new();
+            for (i, lpn) in chunk.iter().enumerate() {
+                if chunk_seen.insert(*lpn) {
+                    batch[i] = *lpn;
+                    written.insert(*lpn);
+                }
+            }
+            ftl.write_wl((chunk[0] % 2) as usize, batch, &ctx);
+        }
+        for lpn in &written {
+            prop_assert!(ftl.read_page(*lpn, &ctx).is_some(), "{}: lost {lpn}", kind.name());
+        }
+        // Unwritten pages stay unmapped.
+        prop_assert!(ftl.read_page(9999, &ctx).is_none());
+    }
+
+    /// The latency recorder's percentile is monotone and bounded by the
+    /// sample extremes.
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut r = ssdsim::LatencyRecorder::new();
+        for s in &samples {
+            r.record(*s);
+        }
+        let mut prev = 0.0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = r.percentile(p);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((r.percentile(100.0) - max).abs() < 1e-12);
+    }
+
+    /// Zipfian samples stay in range for arbitrary domains and seeds.
+    #[test]
+    fn zipf_in_range(n in 1u64..100_000, seed in 0u64..1000) {
+        let mut z = workloads::Zipfian::ycsb(n, seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample() < n);
+        }
+    }
+}
