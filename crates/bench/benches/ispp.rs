@@ -19,7 +19,11 @@ fn bench_ispp(c: &mut Criterion) {
 
     let chars = engine.characterize(&process, wl, &env, 0);
     c.bench_function("ispp/program_default", |b| {
-        b.iter(|| engine.program(black_box(&chars), &ProgramParams::default()).unwrap())
+        b.iter(|| {
+            engine
+                .program(black_box(&chars), &ProgramParams::default())
+                .unwrap()
+        })
     });
 
     let mut follower = ProgramParams::default();
@@ -30,7 +34,11 @@ fn bench_ispp(c: &mut Criterion) {
     follower.v_start_up_mv = up;
     follower.v_final_down_mv = down;
     c.bench_function("ispp/program_follower", |b| {
-        b.iter(|| engine.program(black_box(&chars), black_box(&follower)).unwrap())
+        b.iter(|| {
+            engine
+                .program(black_box(&chars), black_box(&follower))
+                .unwrap()
+        })
     });
 
     c.bench_function("ispp/margin_table", |b| {

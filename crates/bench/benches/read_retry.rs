@@ -19,7 +19,17 @@ fn bench_read(c: &mut Criterion) {
 
     let optimal = engine.optimal_offset(&process, wl, &env);
     c.bench_function("read/ps_unaware", |b| {
-        b.iter(|| engine.read(&process, black_box(wl), &env, ReadParams::default(), true, false, 0))
+        b.iter(|| {
+            engine.read(
+                &process,
+                black_box(wl),
+                &env,
+                ReadParams::default(),
+                true,
+                false,
+                0,
+            )
+        })
     });
     c.bench_function("read/ps_aware", |b| {
         b.iter(|| {

@@ -74,9 +74,14 @@ fn main() {
     banner("ablation 3 — write-buffer size (Rocks, fresh)");
     let mut t = Table::new(["buffer (pages)", "IOPS", "p50 write (ms)", "p90 write (ms)"]);
     for pages in [16usize, 48, 128, 256] {
-        let mut c = cfg;
+        let mut c = cfg.clone();
         c.ssd.buffer_pages = pages;
-        let mut r = run_eval(FtlKind::Cube, StandardWorkload::Rocks, AgingState::Fresh, &c);
+        let mut r = run_eval(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::Fresh,
+            &c,
+        );
         t.row([
             pages.to_string(),
             format!("{:.0}", r.iops),
@@ -90,9 +95,14 @@ fn main() {
     banner("ablation 4 — ambient disturbance rate (Mail, mid-life)");
     let mut t = Table::new(["P(disturbance)", "IOPS", "safety re-programs"]);
     for p in [0.0, 0.002, 0.01, 0.05] {
-        let mut c = cfg;
+        let mut c = cfg.clone();
         c.disturbance_prob = p;
-        let r = run_eval(FtlKind::Cube, StandardWorkload::Mail, AgingState::MidLife, &c);
+        let r = run_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::MidLife,
+            &c,
+        );
         t.row([
             format!("{p}"),
             format!("{:.0}", r.iops),
@@ -105,7 +115,12 @@ fn main() {
 
     // ---- 5. ambient temperature (extension; cf. HeatWatch [40]) ----------
     banner("extension — ambient temperature (Web, 2K P/E + 1-month retention)");
-    let mut t = Table::new(["temperature (°C)", "pageFTL IOPS", "cubeFTL IOPS", "cube/page"]);
+    let mut t = Table::new([
+        "temperature (°C)",
+        "pageFTL IOPS",
+        "cubeFTL IOPS",
+        "cube/page",
+    ]);
     for celsius in [5.0, 30.0, 45.0, 55.0] {
         let mut iops = Vec::new();
         for kind in [FtlKind::Page, FtlKind::Cube] {
@@ -138,7 +153,12 @@ fn main() {
     let chip = NandChip::new(NandConfig::paper(), 7);
     let g = *chip.geometry();
     let rel = chip.reliability();
-    let mut t = Table::new(["aging", "escalating (µs/read)", "PS-predicted (µs/read)", "saving"]);
+    let mut t = Table::new([
+        "aging",
+        "escalating (µs/read)",
+        "PS-predicted (µs/read)",
+        "saving",
+    ]);
     for (label, pe, months) in [
         ("fresh", 0u32, 0.0f64),
         ("2K + 1 month", 2000, 1.0),

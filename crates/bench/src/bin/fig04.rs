@@ -23,14 +23,23 @@ fn main() {
     });
     let fresh = model.landscape(&VthConditions::default());
 
-    let mut t = Table::new(["state", "fresh mean (V)", "aged mean (V)", "shift (mV)", "σ aged (mV)"]);
+    let mut t = Table::new([
+        "state",
+        "fresh mean (V)",
+        "aged mean (V)",
+        "shift (mV)",
+        "σ aged (mV)",
+    ]);
     let names = ["E", "P1", "P2", "P3", "P4", "P5", "P6", "P7"];
     for (i, name) in names.iter().enumerate() {
         t.row([
             (*name).to_owned(),
             format!("{:+.2}", fresh.states[i].mean_v),
             format!("{:+.2}", aged.states[i].mean_v),
-            format!("{:+.0}", (aged.states[i].mean_v - fresh.states[i].mean_v) * 1000.0),
+            format!(
+                "{:+.0}",
+                (aged.states[i].mean_v - fresh.states[i].mean_v) * 1000.0
+            ),
             format!("{:.0}", aged.states[i].sigma_v * 1000.0),
         ]);
     }

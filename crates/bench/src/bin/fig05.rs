@@ -16,8 +16,16 @@ fn main() {
     let block = BlockId(17);
 
     for (title, pe, months) in [
-        ("Fig. 5(a) — normalized retention BER, 1K P/E + 6-month retention", 1000u32, 6.0),
-        ("Fig. 5(b) — normalized retention BER, 2K P/E + 1-year retention", 2000, 12.0),
+        (
+            "Fig. 5(a) — normalized retention BER, 1K P/E + 6-month retention",
+            1000u32,
+            6.0,
+        ),
+        (
+            "Fig. 5(b) — normalized retention BER, 2K P/E + 1-year retention",
+            2000,
+            12.0,
+        ),
     ] {
         banner(title);
         // Normalize over the best h-layer's BER (as the paper does).
@@ -40,7 +48,13 @@ fn main() {
 
     banner("Fig. 5(c) — ΔH across blocks, P/E cycles and retention times");
     let mut t = Table::new(["P/E", "retention (mo)", "blocks", "max ΔH", "mean ΔH"]);
-    for (pe, months) in [(0u32, 0.0f64), (1000, 1.0), (1000, 12.0), (2000, 1.0), (2000, 12.0)] {
+    for (pe, months) in [
+        (0u32, 0.0f64),
+        (1000, 1.0),
+        (1000, 12.0),
+        (2000, 1.0),
+        (2000, 12.0),
+    ] {
         let mut max_dh: f64 = 0.0;
         let mut sum = 0.0;
         let mut n = 0.0;

@@ -57,7 +57,13 @@ fn main() {
     println!("(paper: P7 can safely skip ~7 VFYs, P1 only 1; BER grows beyond the limit)");
 
     banner("Fig. 8(b) — [L_min, L_max] distribution per program state");
-    let mut t = Table::new(["state", "L_min (mean)", "L_max (mean)", "N_skip (mean)", "width"]);
+    let mut t = Table::new([
+        "state",
+        "L_min (mean)",
+        "L_max (mean)",
+        "N_skip (mean)",
+        "width",
+    ]);
     let mut lmin_sum = [0.0f64; NUM_PROGRAM_STATES];
     let mut lmax_sum = [0.0f64; NUM_PROGRAM_STATES];
     let mut n = 0.0;

@@ -42,7 +42,10 @@ fn main() {
                 },
             )
             .expect("within safe margin");
-        assert!(after.post_ber < ecc, "balancing must stay under the ECC limit");
+        assert!(
+            after.post_ber < ecc,
+            "balancing must stay under the ECC limit"
+        );
         t.row([
             label.to_owned(),
             f2(before.post_ber / ecc),

@@ -17,8 +17,18 @@ fn main() {
     let block = BlockId(17);
 
     for (title, pe, months, sweep_start) in [
-        ("Fig. 10(a) — BER over V_Start adjustment margins (2K P/E + 1 yr)", 2000u32, 12.0, true),
-        ("Fig. 10(b) — BER over V_Final adjustment margins (2K P/E + 1 yr)", 2000, 12.0, false),
+        (
+            "Fig. 10(a) — BER over V_Start adjustment margins (2K P/E + 1 yr)",
+            2000u32,
+            12.0,
+            true,
+        ),
+        (
+            "Fig. 10(b) — BER over V_Final adjustment margins (2K P/E + 1 yr)",
+            2000,
+            12.0,
+            false,
+        ),
     ] {
         banner(title);
         let mut env = chip.env().clone();

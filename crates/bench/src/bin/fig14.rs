@@ -20,7 +20,9 @@ fn main() {
     let g = *chip.geometry();
 
     // Program a population of pages across blocks and layers.
-    let blocks: Vec<BlockId> = (0..24u32).map(|b| BlockId(b * 16 % g.blocks_per_chip)).collect();
+    let blocks: Vec<BlockId> = (0..24u32)
+        .map(|b| BlockId(b * 16 % g.blocks_per_chip))
+        .collect();
     for &b in &blocks {
         chip.erase(b).expect("in range");
         for wl in g.wls_of_block(b).collect::<Vec<_>>() {
@@ -45,7 +47,9 @@ fn main() {
             for wl in g.wls_of_block(b).collect::<Vec<_>>() {
                 for page in g.pages_of_wl(wl).collect::<Vec<_>>() {
                     // PS-unaware read: default references.
-                    let r = chip.read_page(page, ReadParams::default()).expect("written");
+                    let r = chip
+                        .read_page(page, ReadParams::default())
+                        .expect("written");
                     unaware_hist[(r.retries as usize).min(7)] += 1;
                     unaware_total += u64::from(r.retries);
 
@@ -66,7 +70,11 @@ fn main() {
     banner("Fig. 14 — NumRetry distribution at 2K P/E + 1-year retention");
     let mut t = Table::new(["NumRetry", "PS-unaware (%)", "PS-aware (%)"]);
     for n in 0..8usize {
-        let label = if n == 7 { "7+".to_owned() } else { n.to_string() };
+        let label = if n == 7 {
+            "7+".to_owned()
+        } else {
+            n.to_string()
+        };
         t.row([
             label,
             format!("{:.1}", 100.0 * unaware_hist[n] as f64 / reads as f64),

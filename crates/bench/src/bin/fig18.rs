@@ -25,8 +25,14 @@ fn main() {
         .collect();
 
     for (which, title) in [
-        (true, "Fig. 18(a) — write latency percentiles, Rocks, fresh (ms)"),
-        (false, "Fig. 18(b) — read latency percentiles, Rocks, fresh (ms)"),
+        (
+            true,
+            "Fig. 18(a) — write latency percentiles, Rocks, fresh (ms)",
+        ),
+        (
+            false,
+            "Fig. 18(b) — read latency percentiles, Rocks, fresh (ms)",
+        ),
     ] {
         banner(title);
         let mut headers = vec!["percentile".to_owned()];

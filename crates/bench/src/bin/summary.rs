@@ -31,7 +31,12 @@ fn main() {
             max_dh = max_dh.max(delta_h(&bers));
         }
     }
-    t.row(["max ΔH (intra-layer)", "≈1", &format!("{max_dh:.2}"), "Fig. 5"]);
+    t.row([
+        "max ΔH (intra-layer)",
+        "≈1",
+        &format!("{max_dh:.2}"),
+        "Fig. 5",
+    ]);
 
     // ΔV.
     let avg_dv = |pe: u32, months: f64| -> f64 {
@@ -45,8 +50,18 @@ fn main() {
             .sum::<f64>()
             / 48.0
     };
-    t.row(["ΔV fresh", "1.6", &format!("{:.2}", avg_dv(0, 0.0)), "Fig. 6"]);
-    t.row(["ΔV 2K P/E + 1 yr", "2.3", &format!("{:.2}", avg_dv(2000, 12.0)), "Fig. 6"]);
+    t.row([
+        "ΔV fresh",
+        "1.6",
+        &format!("{:.2}", avg_dv(0, 0.0)),
+        "Fig. 6",
+    ]);
+    t.row([
+        "ΔV 2K P/E + 1 yr",
+        "2.3",
+        &format!("{:.2}", avg_dv(2000, 12.0)),
+        "Fig. 6",
+    ]);
 
     // Per-block ΔV quartile spread.
     let mut dvs: Vec<f64> = (0..128u32)
@@ -59,13 +74,23 @@ fn main() {
         .collect();
     dvs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let spread = (dvs[dvs.len() * 3 / 4] / dvs[dvs.len() / 4] - 1.0) * 100.0;
-    t.row(["per-block ΔV difference", "18%", &format!("{spread:.0}%"), "Fig. 6(d)"]);
+    t.row([
+        "per-block ΔV difference",
+        "18%",
+        &format!("{spread:.0}%"),
+        "Fig. 6(d)",
+    ]);
 
     // tPROG / tREAD.
     let engine = chip.ispp();
     let chars = engine.characterize(process, g.wl_addr(BlockId(3), 12, 0), chip.env(), 0);
     let tprog = engine.default_tprog_us(&chars);
-    t.row(["default tPROG", "≈700 µs", &format!("{tprog:.0} µs"), "§5.1"]);
+    t.row([
+        "default tPROG",
+        "≈700 µs",
+        &format!("{tprog:.0} µs"),
+        "§5.1",
+    ]);
     t.row(["tREAD (no retry)", "≈80 µs", "80 µs", "§5.1"]);
 
     // VFY skip, window shrink, combined, vertFTL-style (averaged).
@@ -83,7 +108,14 @@ fn main() {
             let skip_out = engine.program(&chars, &skip).unwrap();
             let (up, down) = split_margin_mv(320.0, engine.ispp_model());
             let win = engine
-                .program(&chars, &ProgramParams { v_start_up_mv: up, v_final_down_mv: down, ..ProgramParams::default() })
+                .program(
+                    &chars,
+                    &ProgramParams {
+                        v_start_up_mv: up,
+                        v_final_down_mv: down,
+                        ..ProgramParams::default()
+                    },
+                )
                 .unwrap();
             let mut combined = skip;
             let (up, down) = split_margin_mv(chars.safe_margin_mv, engine.ispp_model());
@@ -130,7 +162,10 @@ fn main() {
     for b in 0..16u32 {
         for h in (0..g.hlayers_per_block).step_by(4) {
             let chars = engine.characterize(process, g.wl_addr(BlockId(b), h, 1), chip.env(), 0);
-            def_sum += engine.program(&chars, &ProgramParams::default()).unwrap().latency_us;
+            def_sum += engine
+                .program(&chars, &ProgramParams::default())
+                .unwrap()
+                .latency_us;
             vert_sum += engine
                 .program(
                     &chars,
@@ -233,7 +268,8 @@ fn main() {
         &format!("{:+.0}%", (c_oltp.iops / v_oltp.iops - 1.0) * 100.0),
         "Fig. 17(a)",
     ]);
-    let (p_proxy, _, c_proxy) = run_fig17_cell(StandardWorkload::Proxy, AgingState::EndOfLife, &cfg);
+    let (p_proxy, _, c_proxy) =
+        run_fig17_cell(StandardWorkload::Proxy, AgingState::EndOfLife, &cfg);
     t.row([
         "cubeFTL vs pageFTL, Proxy EOL (largest)",
         "largest gain",
@@ -241,10 +277,24 @@ fn main() {
         "Fig. 17(c)",
     ]);
 
-    let mut page_rocks = run_eval(FtlKind::Page, StandardWorkload::Rocks, AgingState::Fresh, &cfg);
-    let mut minus_rocks =
-        run_eval(FtlKind::CubeMinus, StandardWorkload::Rocks, AgingState::Fresh, &cfg);
-    let mut cube_rocks = run_eval(FtlKind::Cube, StandardWorkload::Rocks, AgingState::Fresh, &cfg);
+    let mut page_rocks = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Rocks,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let mut minus_rocks = run_eval(
+        FtlKind::CubeMinus,
+        StandardWorkload::Rocks,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let mut cube_rocks = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Rocks,
+        AgingState::Fresh,
+        &cfg,
+    );
     t.row([
         "p90 write latency, pageFTL/cubeFTL (Rocks)",
         "1.53x",

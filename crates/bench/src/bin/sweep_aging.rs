@@ -18,7 +18,13 @@ fn main() {
     cfg.requests = cfg.requests.min(30_000);
 
     banner("IOPS vs retention time at 2K P/E (Mail workload)");
-    let mut t = Table::new(["retention (months)", "pageFTL", "vertFTL", "cubeFTL", "cube/page"]);
+    let mut t = Table::new([
+        "retention (months)",
+        "pageFTL",
+        "vertFTL",
+        "cubeFTL",
+        "cube/page",
+    ]);
     for months in [0.0f64, 0.5, 1.0, 3.0, 6.0, 9.0, 12.0] {
         let mut iops = Vec::new();
         for kind in [FtlKind::Page, FtlKind::Vert, FtlKind::Cube] {

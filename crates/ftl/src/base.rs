@@ -18,7 +18,8 @@ use crate::gc::select_victim;
 use crate::mapping::{Mapping, Ppn};
 use crate::order::ProgramOrder;
 use nand3d::{
-    AgingState, BlockId, FlashArray, Geometry, PageAddr, ProgramParams, ReadParams, WlData,
+    AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, PageAddr, ProgramParams,
+    ReadFaultKind, ReadParams, WlData,
 };
 use ssdsim::{FtlDriver, FtlStats, HostContext, PageRead, WlWrite};
 use std::collections::VecDeque;
@@ -185,6 +186,17 @@ impl Ftl {
         self.array.set_disturbance_prob(p);
     }
 
+    /// Installs a fault-injection plan on every chip (each chip draws a
+    /// distinct deterministic fault stream derived from the plan seed).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.array.set_fault_plan(plan);
+    }
+
+    /// Array-wide totals of injected faults.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.array.fault_counters()
+    }
+
     /// Clears the measurement counters (call after prefill, before a
     /// measured run).
     pub fn reset_stats(&mut self) {
@@ -291,7 +303,19 @@ impl Ftl {
                 .program_wl(wl, WlData::from_pages(lpns), &params)
                 .expect("allocator hands out erased WLs");
             latency += report.latency_us;
-            self.stats.host_wl_programs += u64::from(!self.in_gc && attempts == 1);
+
+            if report.aborted {
+                // Program suspend/abort: the WL holds no valid data (it
+                // stays free on the chip side), so re-issue the same pages
+                // on the next WL the allocator hands out.
+                self.stats.program_aborts += 1;
+                assert!(
+                    attempts < 64,
+                    "fault plan aborts every program attempt on chip {chip}"
+                );
+                choice = self.select_wl(chip, mu);
+                continue;
+            }
 
             if let Some(opm) = &mut self.opm {
                 let engine_report = &report;
@@ -304,9 +328,12 @@ impl Ftl {
                 if opm.safety_check(chip, wl, engine_report) && attempts < 4 {
                     // §4.1.4: the WL is considered improperly programmed;
                     // re-program the same data on the following WL with
-                    // fresh monitoring (default parameters).
-                    opm.invalidate_layer(chip, wl);
+                    // fresh monitoring (default parameters). The h-layer's
+                    // monitored parameters are demoted (discarded) until a
+                    // new leader re-monitors it.
+                    let newly_demoted = opm.demote_layer(chip, wl);
                     self.stats.safety_reprograms += 1;
+                    self.stats.safety_demotions += u64::from(newly_demoted);
                     // Re-monitor: force default params by treating the
                     // retry as a leader-style program.
                     choice = WlChoice::Leader(self.select_wl(chip, mu).addr());
@@ -334,6 +361,7 @@ impl Ftl {
             if !choice.is_leader() {
                 self.stats.follower_wl_programs += 1;
             }
+            self.stats.host_wl_programs += u64::from(!self.in_gc);
             return (latency, leader);
         }
     }
@@ -352,9 +380,9 @@ impl Ftl {
             let victim = {
                 let active: Vec<BlockId> = self.active_blocks(chip);
                 let is_free = &self.is_free[chip];
-                let candidates = (0..g.blocks_per_chip).map(BlockId).filter(|b| {
-                    !is_free[b.0 as usize] && !active.contains(b)
-                });
+                let candidates = (0..g.blocks_per_chip)
+                    .map(BlockId)
+                    .filter(|b| !is_free[b.0 as usize] && !active.contains(b));
                 select_victim(&self.mapping, chip, candidates, per_block)
             };
             let Some(victim) = victim else {
@@ -443,6 +471,15 @@ impl Ftl {
         debug_assert_eq!(report.data, lpn, "mapping returned wrong data");
         self.stats.nand_reads += 1;
         self.stats.read_retries += u64::from(report.retries);
+        match report.fault {
+            // Stale cached ΔV_Ref: the extra retry found a working offset,
+            // and the ORT update below refreshes the cached entry.
+            Some(ReadFaultKind::StuckRetry) => self.stats.stuck_retry_recoveries += 1,
+            // First attempt uncorrectable: recovered via a full offset
+            // scan (charged as MAX_OFFSET_INDEX + 1 retries).
+            Some(ReadFaultKind::Uncorrectable) => self.stats.uncorrectable_recoveries += 1,
+            None => {}
+        }
         if let Some(opm) = &mut self.opm {
             opm.update_read_offset(chip, page.wl, report.final_offset);
         }
@@ -509,7 +546,12 @@ mod tests {
         }
     }
 
-    fn write_all<F: FtlDriver>(ftl: &mut F, lpns: impl Iterator<Item = u64>, chips: usize, mu: f64) {
+    fn write_all<F: FtlDriver>(
+        ftl: &mut F,
+        lpns: impl Iterator<Item = u64>,
+        chips: usize,
+        mu: f64,
+    ) {
         let mut batch = [WlData::PAD; 3];
         let mut n = 0;
         let mut chip = 0;
@@ -563,13 +605,22 @@ mod tests {
             let working_set = 200u64;
             // Write far more data than physical capacity / 3 to force GC.
             let total = cfg.nand.geometry.pages_per_chip() * cfg.chips as u64 * 3;
-            write_all(&mut ftl, (0..total).map(|i| i % working_set), cfg.chips, 0.5);
+            write_all(
+                &mut ftl,
+                (0..total).map(|i| i % working_set),
+                cfg.chips,
+                0.5,
+            );
             let stats = ftl.stats();
             assert!(stats.gc_runs > 0, "{}: GC never ran", kind.name());
             assert!(stats.erases > 0);
             // All data still readable after GC.
             for lpn in 0..working_set {
-                assert!(ftl.read_page(lpn, &ctx(0.0)).is_some(), "{}: lost lpn {lpn}", kind.name());
+                assert!(
+                    ftl.read_page(lpn, &ctx(0.0)).is_some(),
+                    "{}: lost lpn {lpn}",
+                    kind.name()
+                );
             }
         }
     }
@@ -631,7 +682,9 @@ mod tests {
             let mut t = 0.0;
             for i in 0..100u64 {
                 let lpns = [i * 3, i * 3 + 1, i * 3 + 2];
-                t += ftl.write_wl((i % cfg.chips as u64) as usize, lpns, &ctx(0.5)).nand_us;
+                t += ftl
+                    .write_wl((i % cfg.chips as u64) as usize, lpns, &ctx(0.5))
+                    .nand_us;
             }
             times.push(t);
         }
@@ -701,6 +754,115 @@ mod tests {
         assert_eq!(Ftl::vert(cfg).name(), "vertFTL");
         assert_eq!(Ftl::cube(cfg).name(), "cubeFTL");
         assert_eq!(Ftl::cube_minus(cfg).name(), "cubeFTL-");
+    }
+
+    #[test]
+    fn targeted_ber_spike_triggers_one_safety_reprogram_and_remonitor() {
+        use nand3d::FaultKind;
+        let cfg = FtlConfig::small();
+        // cubeFTL- allocates sequentially (horizontal-first), so chip 0's
+        // first block programs WL (b0,h0,v0) leader, then (b0,h0,v1)
+        // follower. Spike the follower's post-program BER 4× — past the
+        // §4.1.4 safety factor of 3×.
+        let mut ftl = Ftl::cube_minus(cfg);
+        let plan = FaultPlan::seeded(7).with_target(0, 0, 1, FaultKind::BerSpike);
+        ftl.set_fault_plan(&plan);
+
+        ftl.write_wl(0, [0, 1, 2], &ctx(0.5)); // leader (b0,h0,v0)
+        ftl.write_wl(0, [3, 4, 5], &ctx(0.5)); // follower (b0,h0,v1) — spiked
+        ftl.write_wl(0, [6, 7, 8], &ctx(0.5)); // follower (b0,h0,v3)
+
+        let stats = ftl.stats();
+        assert_eq!(stats.safety_reprograms, 1, "exactly one §4.1.4 re-program");
+        assert_eq!(stats.safety_demotions, 1, "the h-layer was demoted once");
+        assert_eq!(stats.host_wl_programs, 3, "re-program is not a host WL");
+        assert_eq!(ftl.fault_counters().ber_spikes, 1);
+        // The re-program on the next WL ran leader-style with default
+        // parameters and re-monitored the layer: it is no longer demoted.
+        let g = cfg.nand.geometry;
+        let wl = g.wl_addr(BlockId(0), 0, 1);
+        let opm = ftl.opm().expect("cubeFTL- has an OPM");
+        assert!(!opm.is_demoted(0, wl), "re-monitor lifts the demotion");
+        assert!(
+            opm.follower_params(0, wl).is_some(),
+            "fresh monitored parameters recorded by the re-program"
+        );
+        // All data (including the re-programmed WL) reads back.
+        for lpn in 0..9 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some(), "lost lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn targeted_abort_reissues_on_next_wl() {
+        use nand3d::FaultKind;
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube_minus(cfg);
+        let plan = FaultPlan::seeded(7).with_target(0, 0, 1, FaultKind::ProgramAbort);
+        ftl.set_fault_plan(&plan);
+
+        ftl.write_wl(0, [0, 1, 2], &ctx(0.5));
+        ftl.write_wl(0, [3, 4, 5], &ctx(0.5)); // aborted once, re-issued
+        let stats = ftl.stats();
+        assert_eq!(stats.program_aborts, 1);
+        assert_eq!(stats.host_wl_programs, 2);
+        assert_eq!(ftl.fault_counters().program_aborts, 1);
+        for lpn in 0..6 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some(), "lost lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn read_faults_are_recovered_and_counted() {
+        use nand3d::FaultKind;
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        let plan = FaultPlan::seeded(11)
+            .with_rate(FaultKind::StuckRetry, 0.05)
+            .with_rate(FaultKind::UncorrectableRead, 0.05);
+        ftl.set_fault_plan(&plan);
+        ftl.reset_stats();
+        for lpn in 0..300 {
+            // read_mapped debug-asserts the page data matches the LPN, so
+            // a faulted read returning wrong data would panic here.
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some());
+        }
+        let stats = ftl.stats();
+        let counters = ftl.fault_counters();
+        assert!(stats.stuck_retry_recoveries > 0, "no stuck retries seen");
+        assert!(stats.uncorrectable_recoveries > 0, "no uncorrectables seen");
+        // No GC ran, so every injected read fault maps to one recovery.
+        assert_eq!(stats.stuck_retry_recoveries, counters.stuck_retries);
+        assert_eq!(stats.uncorrectable_recoveries, counters.uncorrectable_reads);
+        // Uncorrectable recoveries pay a full offset scan.
+        assert!(stats.read_retries >= stats.uncorrectable_recoveries * 8);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use nand3d::FaultKind;
+        let run = || {
+            let cfg = FtlConfig::small();
+            let mut ftl = Ftl::cube(cfg);
+            let plan = FaultPlan::seeded(99)
+                .with_rate(FaultKind::IsppLoopOutlier, 0.02)
+                .with_rate(FaultKind::BerSpike, 0.02)
+                .with_rate(FaultKind::ProgramAbort, 0.01)
+                .with_rate(FaultKind::StuckRetry, 0.02)
+                .with_rate(FaultKind::UncorrectableRead, 0.02);
+            ftl.set_fault_plan(&plan);
+            write_all(&mut ftl, (0..1200).map(|i| i % 400), cfg.chips, 0.7);
+            for lpn in 0..400 {
+                ftl.read_page(lpn, &ctx(0.0)).unwrap();
+            }
+            (ftl.stats(), ftl.fault_counters())
+        };
+        let (s1, c1) = run();
+        let (s2, c2) = run();
+        assert_eq!(s1, s2, "stats must not depend on anything but the seed");
+        assert_eq!(c1, c2, "fault draws must be reproducible");
+        assert!(c1.total() > 0, "the plan should actually inject faults");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use nand3d::{
     Geometry, IsppEngine, LoopInterval, ProgramParams, ProgramReport, WlAddr, NUM_PROGRAM_STATES,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Parameters monitored from a leader-WL program, ready for reuse by the
 /// followers of the same h-layer.
@@ -65,6 +65,11 @@ pub struct Opm {
     /// The ORT: last known good read offset per h-layer of every block.
     /// Dense per chip: `block * hlayers + h`.
     ort: Vec<Vec<u8>>,
+    /// H-layers demoted by the §4.1.4 safety check: their monitored
+    /// parameters were discarded (followers fall back to conservative
+    /// defaults — no VFY skips, full window) until a leader-style
+    /// program re-monitors the layer.
+    demoted: HashSet<LayerKey>,
     hlayers: u16,
     /// Safety-check threshold: a follower whose post-program BER exceeds
     /// the previous WL's by this factor is considered improperly
@@ -80,6 +85,7 @@ impl Opm {
             leader_params: HashMap::new(),
             last_post_ber: HashMap::new(),
             ort: vec![vec![0; entries]; chips],
+            demoted: HashSet::new(),
             hlayers: geometry.hlayers_per_block,
             safety_factor: 3.0,
         }
@@ -123,6 +129,10 @@ impl Opm {
             },
         );
         self.last_post_ber.insert(key, report.post_ber);
+        // A fresh monitor re-promotes a demoted layer (§4.1.4: the
+        // re-programmed WL runs with default parameters and its report
+        // becomes the new reference).
+        self.demoted.remove(&key);
     }
 
     /// The follower program parameters for `wl`'s h-layer, if its leader
@@ -156,12 +166,36 @@ impl Opm {
         self.last_post_ber.remove(&key);
     }
 
-    /// Drops all monitored program parameters of `block` (erase).
+    /// §4.1.4 demotion: drops the h-layer's monitored VFY-skip/window
+    /// parameters — followers revert to conservative
+    /// `ProgramParams::default()` (no skips, full window, full MaxLoop
+    /// budget) — and flags the layer until a leader-style program
+    /// re-monitors it. Returns `true` if the layer was not already
+    /// demoted.
+    pub fn demote_layer(&mut self, chip: usize, wl: WlAddr) -> bool {
+        self.invalidate_layer(chip, wl);
+        self.demoted.insert(Self::key(chip, wl))
+    }
+
+    /// Whether `wl`'s h-layer is currently demoted (awaiting re-monitor).
+    pub fn is_demoted(&self, chip: usize, wl: WlAddr) -> bool {
+        self.demoted.contains(&Self::key(chip, wl))
+    }
+
+    /// Number of h-layers currently demoted.
+    pub fn demoted_layers(&self) -> usize {
+        self.demoted.len()
+    }
+
+    /// Drops all monitored program parameters of `block` (erase). An
+    /// erase also clears demotion flags: a fresh block starts clean.
     pub fn invalidate_block(&mut self, chip: usize, block: u32) {
         self.leader_params
             .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
         self.last_post_ber
             .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
+        self.demoted
+            .retain(|k| !(k.0 == chip as u32 && k.1 == block));
     }
 
     /// The ORT entry for `wl`'s h-layer: the starting read offset for a
@@ -232,7 +266,10 @@ mod tests {
         opm.record_leader(0, leader, &report, chip.ispp());
 
         let follower = g.wl_addr(nand3d::BlockId(1), 4, 2);
-        let params = opm.follower_params(0, follower).unwrap().to_program_params();
+        let params = opm
+            .follower_params(0, follower)
+            .unwrap()
+            .to_program_params();
         let fr = chip.program_wl(follower, WlData::host(3), &params).unwrap();
         assert!(fr.latency_us < report.latency_us * 0.85);
         // The spent window margin costs a small, bounded BER uptick —
@@ -256,8 +293,12 @@ mod tests {
             verifies: 50,
             disturbed: false,
             pe_cycles: 0,
+            aborted: false,
         };
-        assert!(!opm.safety_check(0, wl, &mk(1e-4)), "first WL sets baseline");
+        assert!(
+            !opm.safety_check(0, wl, &mk(1e-4)),
+            "first WL sets baseline"
+        );
         let next = g.wl_addr(nand3d::BlockId(0), 1, 1);
         assert!(!opm.safety_check(0, next, &mk(1.5e-4)), "small growth ok");
         let bad = g.wl_addr(nand3d::BlockId(0), 1, 2);
@@ -265,6 +306,56 @@ mod tests {
         // The anomalous value must NOT become the new baseline.
         let after = g.wl_addr(nand3d::BlockId(0), 1, 3);
         assert!(opm.safety_check(0, after, &mk(9e-4)), "still anomalous");
+    }
+
+    #[test]
+    fn demotion_resets_layer_to_conservative_until_remonitored() {
+        let (mut opm, mut chip) = setup();
+        chip.erase(nand3d::BlockId(0)).unwrap();
+        let g = *chip.geometry();
+        let leader = g.wl_addr(nand3d::BlockId(0), 2, 0);
+        let report = chip
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, leader, &report, chip.ispp());
+        let follower = g.wl_addr(nand3d::BlockId(0), 2, 3);
+        assert!(opm.follower_params(0, follower).is_some());
+        assert!(!opm.is_demoted(0, follower));
+
+        // §4.1.4: demotion discards the monitored parameters — followers
+        // fall back to conservative defaults — and flags the layer.
+        assert!(opm.demote_layer(0, follower), "first demotion is new");
+        assert!(!opm.demote_layer(0, follower), "re-demotion is idempotent");
+        assert!(opm.follower_params(0, follower).is_none());
+        assert!(opm.is_demoted(0, leader), "flag is per h-layer, not per WL");
+        assert_eq!(opm.demoted_layers(), 1);
+        // Other layers are untouched.
+        assert!(!opm.is_demoted(0, g.wl_addr(nand3d::BlockId(0), 3, 0)));
+
+        // A fresh leader-style monitor re-promotes the layer.
+        let retry = g.wl_addr(nand3d::BlockId(0), 2, 1);
+        let retry_report = chip
+            .program_wl(retry, WlData::host(3), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, retry, &retry_report, chip.ispp());
+        assert!(!opm.is_demoted(0, follower));
+        assert_eq!(opm.demoted_layers(), 0);
+        assert!(opm.follower_params(0, follower).is_some());
+    }
+
+    #[test]
+    fn erase_clears_demotion_flags() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        let wl = g.wl_addr(nand3d::BlockId(1), 4, 2);
+        opm.demote_layer(0, wl);
+        let other_block = g.wl_addr(nand3d::BlockId(2), 4, 2);
+        opm.demote_layer(0, other_block);
+        assert_eq!(opm.demoted_layers(), 2);
+        opm.invalidate_block(0, 1);
+        assert_eq!(opm.demoted_layers(), 1, "only block 1's flag is cleared");
+        assert!(!opm.is_demoted(0, wl));
+        assert!(opm.is_demoted(0, other_block));
     }
 
     #[test]
@@ -296,7 +387,9 @@ mod tests {
         assert_eq!(opm.pending_layers(), 1);
         opm.invalidate_block(0, 0);
         assert_eq!(opm.pending_layers(), 0);
-        assert!(opm.follower_params(0, g.wl_addr(nand3d::BlockId(0), 0, 1)).is_none());
+        assert!(opm
+            .follower_params(0, g.wl_addr(nand3d::BlockId(0), 0, 1))
+            .is_none());
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
         let after_leaders = g.hlayers_per_block as u32;
         let mixed = ProgramOrder::Mixed.available_followers(&g, after_leaders);
         let horizontal = ProgramOrder::HorizontalFirst.available_followers(&g, after_leaders);
-        assert_eq!(mixed, (u32::from(g.wls_per_hlayer) - 1) * u32::from(g.hlayers_per_block));
+        assert_eq!(
+            mixed,
+            (u32::from(g.wls_per_hlayer) - 1) * u32::from(g.hlayers_per_block)
+        );
         assert!(mixed > horizontal);
     }
 

@@ -164,7 +164,10 @@ mod tests {
                 let follower = g.wl_addr(BlockId(b), h, 1);
                 let forecast = predictor.follower_tprog(&opm, 0, follower);
                 assert!(forecast.monitored);
-                let params = opm.follower_params(0, follower).unwrap().to_program_params();
+                let params = opm
+                    .follower_params(0, follower)
+                    .unwrap()
+                    .to_program_params();
                 let actual = chip.program_wl(follower, WlData::host(3), &params).unwrap();
                 let err = LatencyPredictor::error_fraction(&forecast, &actual);
                 assert!(
@@ -213,7 +216,10 @@ mod tests {
                 opm.record_leader(0, leader, &report, chip.ispp());
                 let follower = g.wl_addr(BlockId(b), h, 1);
                 let forecast = predictor.follower_tprog(&opm, 0, follower);
-                let params = opm.follower_params(0, follower).unwrap().to_program_params();
+                let params = opm
+                    .follower_params(0, follower)
+                    .unwrap()
+                    .to_program_params();
                 let actual = chip.program_wl(follower, WlData::host(3), &params).unwrap();
                 errors.push(LatencyPredictor::error_fraction(&forecast, &actual));
             }

@@ -15,6 +15,7 @@
 use crate::config::NandConfig;
 use crate::environment::{AgingState, Environment};
 use crate::error::NandError;
+use crate::faults::{FaultCounters, FaultInjector, FaultPlan, ProgramFault, ReadFaultKind};
 use crate::geometry::{BlockId, Geometry, PageAddr, WlAddr};
 use crate::ispp::{IsppEngine, LoopInterval, ProgramParams, NUM_PROGRAM_STATES};
 use crate::process::ProcessModel;
@@ -80,6 +81,10 @@ pub struct ProgramReport {
     /// style metadata; FTLs track this anyway and the S_M conversion
     /// table of §4.1.2 is indexed by it).
     pub pe_cycles: u32,
+    /// Whether the program was suspended/aborted (injected fault): the
+    /// WL is still erased and carries no data; the FTL must re-issue the
+    /// payload on another WL.
+    pub aborted: bool,
 }
 
 /// Report of one page read command.
@@ -93,6 +98,9 @@ pub struct ReadReport {
     pub final_offset: u8,
     /// Logical tag stored in the page.
     pub data: u64,
+    /// The injected read fault this command recovered from, if any.
+    /// Recovery costs retries/latency but never corrupts `data`.
+    pub fault: Option<ReadFaultKind>,
 }
 
 /// One 3D TLC NAND chip.
@@ -122,6 +130,8 @@ pub struct NandChip {
     retry: RetryEngine,
     reliability: ReliabilityModel,
     env: Environment,
+    /// Installed fault injector, if a plan is active.
+    faults: Option<FaultInjector>,
     /// Per-WL program state.
     wl_state: Vec<PageState>,
     /// Per-WL stored data tags.
@@ -138,16 +148,21 @@ impl NandChip {
     /// `seed`.
     pub fn new(config: NandConfig, seed: u64) -> Self {
         let process = ProcessModel::new(config.geometry, config.model.reliability, seed);
-        let wls =
-            (config.geometry.blocks_per_chip * config.geometry.wls_per_block()) as usize;
+        let wls = (config.geometry.blocks_per_chip * config.geometry.wls_per_block()) as usize;
         NandChip {
             process,
             ispp: IsppEngine::new(config.model),
             retry: RetryEngine::new(config.model),
             reliability: ReliabilityModel::new(config.model.reliability),
             env: Environment::new(config.geometry.blocks_per_chip as usize, seed ^ 0xABCD),
+            faults: None,
             wl_state: vec![PageState::Free; wls],
-            wl_data: vec![WlData { pages: [WlData::PAD; 3] }; wls],
+            wl_data: vec![
+                WlData {
+                    pages: [WlData::PAD; 3]
+                };
+                wls
+            ],
             wl_post_ber: vec![0.0; wls],
             erases: 0,
             programs: 0,
@@ -202,6 +217,24 @@ impl NandChip {
         self.env.set_aging(state);
     }
 
+    /// Installs a fault-injection plan, instantiated for `chip_index`
+    /// (so each chip of an array draws a distinct fault stream). An
+    /// inactive plan removes any installed injector.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, chip_index: u64) {
+        self.faults = plan
+            .is_active()
+            .then(|| FaultInjector::new(plan.clone(), chip_index));
+    }
+
+    /// Counts of faults injected into this chip so far (zero counters if
+    /// no plan is installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::counters)
+            .unwrap_or_default()
+    }
+
     /// Lifetime command counts `(erases, programs, reads)`.
     pub fn op_counts(&self) -> (u64, u64, u64) {
         (self.erases, self.programs, self.reads)
@@ -229,7 +262,9 @@ impl NandChip {
         let count = g.wls_per_block() as usize;
         for i in first..first + count {
             self.wl_state[i] = PageState::Free;
-            self.wl_data[i] = WlData { pages: [WlData::PAD; 3] };
+            self.wl_data[i] = WlData {
+                pages: [WlData::PAD; 3],
+            };
             self.wl_post_ber[i] = 0.0;
         }
         self.env.record_erase(block.0 as usize);
@@ -261,15 +296,38 @@ impl NandChip {
             return Err(NandError::ProgramOnDirtyWl(wl));
         }
 
+        let fault = self.faults.as_mut().and_then(|f| f.on_program(wl));
         let disturbed = self.env.sample_disturbance();
-        let shift = if disturbed { 2 } else { 0 };
+        let mut shift: i8 = if disturbed { 2 } else { 0 };
+        if let Some(ProgramFault::LoopOutlier(extra)) = fault {
+            shift = shift.saturating_add(extra);
+        }
         let chars = self.ispp.characterize(&self.process, wl, &self.env, shift);
-        let outcome = self.ispp.program(&chars, params)?;
+        let mut outcome = self.ispp.program(&chars, params)?;
+        if let Some(ProgramFault::BerSpike(factor)) = fault {
+            outcome.apply_ber_spike(factor);
+        }
+        self.programs += 1;
+
+        if matches!(fault, Some(ProgramFault::Abort)) {
+            // Suspend/abort mid-ISPP: the WL stays erased, the command
+            // still burned part of its pulse budget before aborting.
+            return Ok(ProgramReport {
+                latency_us: outcome.latency_us * 0.5,
+                loop_intervals: outcome.observed_intervals,
+                ber_ep1: outcome.ber_ep1,
+                post_ber: outcome.post_ber,
+                pulses: outcome.pulses / 2,
+                verifies: outcome.verifies / 2,
+                disturbed,
+                pe_cycles: self.env.pe(wl.block.0 as usize),
+                aborted: true,
+            });
+        }
 
         self.wl_state[idx] = PageState::Written;
         self.wl_data[idx] = data;
         self.wl_post_ber[idx] = outcome.post_ber;
-        self.programs += 1;
 
         Ok(ProgramReport {
             latency_us: outcome.latency_us,
@@ -280,6 +338,7 @@ impl NandChip {
             verifies: outcome.verifies,
             disturbed,
             pe_cycles: self.env.pe(wl.block.0 as usize),
+            aborted: false,
         })
     }
 
@@ -303,12 +362,13 @@ impl NandChip {
             return Err(NandError::ReadUnwritten(page));
         }
 
+        let fault = self.faults.as_mut().and_then(|f| f.on_read(page.wl));
         let needs_retry = self
             .retry
             .needs_retry_at_default(&self.process, page.wl, &mut self.env);
         let disturbed = self.env.sample_disturbance();
         let jitter = self.retry.sample_thermal_jitter(&mut self.env);
-        let outcome = self.retry.read(
+        let outcome = self.retry.read_faulted(
             &self.process,
             page.wl,
             &self.env,
@@ -316,6 +376,7 @@ impl NandChip {
             needs_retry,
             disturbed,
             jitter,
+            fault,
         );
         self.reads += 1;
 
@@ -324,6 +385,7 @@ impl NandChip {
             retries: outcome.retries,
             final_offset: outcome.final_offset,
             data: self.wl_data[idx].pages[page.page.0 as usize],
+            fault,
         })
     }
 
@@ -419,6 +481,21 @@ impl FlashArray {
             c.env_mut().set_ambient_celsius(celsius);
         }
     }
+
+    /// Installs `plan` on every chip, each with its own fault stream
+    /// derived from the plan seed and the chip index.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (i, c) in self.chips.iter_mut().enumerate() {
+            c.set_fault_plan(plan, i as u64);
+        }
+    }
+
+    /// Array-wide totals of injected faults.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.chips.iter().fold(FaultCounters::default(), |acc, c| {
+            acc.merged(&c.fault_counters())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -440,7 +517,10 @@ mod tests {
             .unwrap();
         for (i, expected) in [7u64, 8, 9].iter().enumerate() {
             let p = c.geometry().page_addr(b, 2, 1, i as u8);
-            assert_eq!(c.read_page(p, ReadParams::default()).unwrap().data, *expected);
+            assert_eq!(
+                c.read_page(p, ReadParams::default()).unwrap().data,
+                *expected
+            );
         }
     }
 

@@ -269,7 +269,10 @@ mod tests {
         env.set_aging_raw(2000, 6.0);
         env.set_ambient_celsius(55.0);
         let hot = env.effective_retention_months();
-        assert!(hot > 6.0 * 3.0, "55°C should accelerate several-fold: {hot}");
+        assert!(
+            hot > 6.0 * 3.0,
+            "55°C should accelerate several-fold: {hot}"
+        );
         env.set_ambient_celsius(5.0);
         let cold = env.effective_retention_months();
         assert!(cold < 6.0 * 0.1, "5°C should slow retention loss: {cold}");

@@ -232,11 +232,13 @@ impl Geometry {
     pub fn wls_of_block(&self, block: BlockId) -> impl Iterator<Item = WlAddr> + '_ {
         let hs = self.hlayers_per_block;
         let vs = self.wls_per_hlayer;
-        (0..hs).flat_map(move |h| (0..vs).map(move |v| WlAddr {
-            block,
-            h: HLayer(h),
-            v: VLayer(v),
-        }))
+        (0..hs).flat_map(move |h| {
+            (0..vs).map(move |v| WlAddr {
+                block,
+                h: HLayer(h),
+                v: VLayer(v),
+            })
+        })
     }
 
     /// Iterates over the pages of one WL in slot order.

@@ -159,6 +159,17 @@ pub struct IsppOutcome {
     pub post_ber: f64,
 }
 
+impl IsppOutcome {
+    /// Fault-injection hook: a transient program-disturb burst multiplies
+    /// the post-program raw BER (the §4.1.4 safety check observes the
+    /// spike through the Get-Features report). Latency and monitored
+    /// intervals are unchanged — the anomaly is invisible until checked.
+    pub fn apply_ber_spike(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "a spike cannot lower the BER");
+        self.post_ber *= factor;
+    }
+}
+
 /// The ISPP program engine for one chip.
 ///
 /// Stateless apart from the calibrated model; all per-WL state comes in
@@ -328,7 +339,9 @@ impl IsppEngine {
             .max(1);
         // Compress completion loops into the reduced window from the top.
         for s in (0..NUM_PROGRAM_STATES).rev() {
-            let cap = window.saturating_sub((NUM_PROGRAM_STATES - 1 - s) as u8).max(1);
+            let cap = window
+                .saturating_sub((NUM_PROGRAM_STATES - 1 - s) as u8)
+                .max(1);
             if observed[s].lmax > cap {
                 let d = observed[s].lmax - cap;
                 observed[s].lmax = cap;
@@ -494,9 +507,16 @@ mod tests {
         // differences).
         let (engine, process, env) = setup();
         let distinct: std::collections::HashSet<_> = (0..48u16)
-            .map(|h| engine.characterize(&process, wl(&process, 3, h, 0), &env, 0).intervals)
+            .map(|h| {
+                engine
+                    .characterize(&process, wl(&process, 3, h, 0), &env, 0)
+                    .intervals
+            })
             .collect();
-        assert!(distinct.len() >= 2, "all 48 h-layers share one interval set");
+        assert!(
+            distinct.len() >= 2,
+            "all 48 h-layers share one interval set"
+        );
     }
 
     #[test]
@@ -518,7 +538,10 @@ mod tests {
                 let skipped = engine.program(&chars, &params).unwrap();
                 assert_eq!(skipped.over_skip_excess, 0);
                 assert!((skipped.post_ber - default.post_ber).abs() < 1e-12);
-                assert_eq!(skipped.pulses, default.pulses, "skip does not change pulses");
+                assert_eq!(
+                    skipped.pulses, default.pulses,
+                    "skip does not change pulses"
+                );
                 total_default += default.latency_us;
                 total_skip += skipped.latency_us;
                 n += 1.0;
@@ -588,8 +611,7 @@ mod tests {
             for h in (0..48u16).step_by(3) {
                 let chars = engine.characterize(&process, wl(&process, b, h, 1), &env, 0);
                 let default = engine.program(&chars, &ProgramParams::default()).unwrap();
-                let total =
-                    chars.safe_margin_mv.min(engine.ispp_model().max_adjust_mv);
+                let total = chars.safe_margin_mv.min(engine.ispp_model().max_adjust_mv);
                 let (up, down) = split_margin_mv(total, engine.ispp_model());
                 let mut params = ProgramParams {
                     v_start_up_mv: up,
@@ -607,9 +629,18 @@ mod tests {
         }
         let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
         let max = reductions.iter().cloned().fold(f64::MIN, f64::max);
-        assert!((0.25..0.34).contains(&avg), "avg follower reduction {avg:.3}");
-        assert!(max <= 0.40, "max follower reduction {max:.3} (paper: 35.9%)");
-        assert!(max >= 0.28, "max follower reduction {max:.3} (paper: 35.9%)");
+        assert!(
+            (0.25..0.34).contains(&avg),
+            "avg follower reduction {avg:.3}"
+        );
+        assert!(
+            max <= 0.40,
+            "max follower reduction {max:.3} (paper: 35.9%)"
+        );
+        assert!(
+            max >= 0.28,
+            "max follower reduction {max:.3} (paper: 35.9%)"
+        );
     }
 
     #[test]
@@ -706,7 +737,10 @@ mod tests {
             }
         }
         let reduction = 1.0 - total_vert / total_default;
-        assert!((0.05..0.11).contains(&reduction), "vertFTL-style reduction {reduction:.3}");
+        assert!(
+            (0.05..0.11).contains(&reduction),
+            "vertFTL-style reduction {reduction:.3}"
+        );
     }
 
     #[test]

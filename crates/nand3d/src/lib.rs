@@ -52,6 +52,7 @@ pub mod config;
 pub mod ecc;
 pub mod environment;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod ispp;
 pub mod process;
@@ -64,6 +65,9 @@ pub use config::{CalibratedModel, NandConfig, NandTiming};
 pub use ecc::{DecodeMode, EccModel};
 pub use environment::{AgingState, Environment, ACTIVATION_ENERGY_EV, REFERENCE_CELSIUS};
 pub use error::NandError;
+pub use faults::{
+    FaultCounters, FaultInjector, FaultKind, FaultPlan, ProgramFault, ReadFaultKind, TargetedFault,
+};
 pub use geometry::{BlockId, ChipId, Geometry, HLayer, PageAddr, PageIndex, VLayer, WlAddr};
 pub use ispp::{IsppEngine, LoopInterval, ProgramParams, StateIndex, NUM_PROGRAM_STATES};
 pub use process::ProcessModel;

@@ -166,8 +166,7 @@ fn etching_profile(h: usize, hlayers: usize, p: &ReliabilityParams) -> f64 {
     let top = p.top_edge_amp * (-h / p.top_edge_decay).exp();
     let bottom = p.bottom_edge_amp * (-(n - 1.0 - h) / p.bottom_edge_decay).exp();
     let x = h / (n - 1.0);
-    let mid = p.mid_bump_amp
-        * (-((x - p.mid_bump_center) / p.mid_bump_width).powi(2)).exp();
+    let mid = p.mid_bump_amp * (-((x - p.mid_bump_center) / p.mid_bump_width).powi(2)).exp();
     1.0 + top + bottom + mid
 }
 
@@ -198,7 +197,10 @@ mod tests {
         let b = model(7);
         let wl = a.geometry().wl_addr(BlockId(3), 20, 2);
         assert_eq!(a.wl_factor(wl), b.wl_factor(wl));
-        assert_eq!(a.layer_factor(BlockId(5), 40), b.layer_factor(BlockId(5), 40));
+        assert_eq!(
+            a.layer_factor(BlockId(5), 40),
+            b.layer_factor(BlockId(5), 40)
+        );
     }
 
     #[test]
@@ -243,7 +245,12 @@ mod tests {
         };
         let mid = avg(12); // a "good" region away from edges and κ bump
         assert!(avg(0) > 1.25 * mid, "top edge {} vs mid {}", avg(0), mid);
-        assert!(avg(47) > 1.25 * mid, "bottom edge {} vs mid {}", avg(47), mid);
+        assert!(
+            avg(47) > 1.25 * mid,
+            "bottom edge {} vs mid {}",
+            avg(47),
+            mid
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::config::CalibratedModel;
 use crate::environment::Environment;
+use crate::faults::ReadFaultKind;
 use crate::geometry::WlAddr;
 use crate::process::ProcessModel;
 use serde::{Deserialize, Serialize};
@@ -201,6 +202,63 @@ impl RetryEngine {
             first_try: retries == 0,
         }
     }
+
+    /// Fault-injection hook around [`RetryEngine::read`]: applies an
+    /// injected read fault to the retry search.
+    ///
+    /// * [`ReadFaultKind::StuckRetry`] — the cached `ΔV_Ref` has drifted
+    ///   stale: the effective optimum moves (+2 steps) and the retry path
+    ///   is forced, so the read pays at least one corrective retry and
+    ///   reports the refreshed working offset for the FTL's ORT.
+    /// * [`ReadFaultKind::Uncorrectable`] — the first attempt fails even
+    ///   near the optimum; the controller falls back to a full offset
+    ///   scan (one retry per offset level) before the page decodes. Data
+    ///   is always recovered — the fault costs latency, never integrity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_faulted(
+        &self,
+        process: &ProcessModel,
+        wl: WlAddr,
+        env: &Environment,
+        params: ReadParams,
+        needs_retry: bool,
+        disturbed: bool,
+        thermal_jitter: i8,
+        fault: Option<ReadFaultKind>,
+    ) -> RetryOutcome {
+        let t = &self.model.timing;
+        match fault {
+            None => self.read(
+                process,
+                wl,
+                env,
+                params,
+                needs_retry,
+                disturbed,
+                thermal_jitter,
+            ),
+            Some(ReadFaultKind::StuckRetry) => {
+                let stale_jitter = thermal_jitter.saturating_add(2);
+                let mut out = self.read(process, wl, env, params, true, disturbed, stale_jitter);
+                if out.retries == 0 {
+                    // The drifted optimum collided with the cached offset;
+                    // the stale entry still costs one corrective retry.
+                    out.retries = 1;
+                    out.latency_us += t.t_retry_us;
+                    out.first_try = false;
+                }
+                out
+            }
+            Some(ReadFaultKind::Uncorrectable) => {
+                let mut out = self.read(process, wl, env, params, true, disturbed, thermal_jitter);
+                let full_scan = u32::from(MAX_OFFSET_INDEX) + 1;
+                out.retries = out.retries.max(full_scan);
+                out.latency_us = t.t_read_us + f64::from(out.retries) * t.t_retry_us;
+                out.first_try = false;
+                out
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +313,10 @@ mod tests {
             .map(|h| engine.optimal_offset(&process, g.wl_addr(BlockId(9), h, 0), &env))
             .collect();
         let distinct: std::collections::HashSet<u8> = offsets.iter().copied().collect();
-        assert!(distinct.len() >= 2, "all h-layers share one offset: {offsets:?}");
+        assert!(
+            distinct.len() >= 2,
+            "all h-layers share one offset: {offsets:?}"
+        );
     }
 
     #[test]
@@ -339,8 +400,8 @@ mod tests {
         for h in 0..48u16 {
             let wl = g.wl_addr(BlockId(2), h, 0);
             let out = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
-            let expected = t.0.model.timing.t_read_us
-                + f64::from(out.retries) * t.0.model.timing.t_retry_us;
+            let expected =
+                t.0.model.timing.t_read_us + f64::from(out.retries) * t.0.model.timing.t_retry_us;
             assert!((out.latency_us - expected).abs() < 1e-9);
         }
     }

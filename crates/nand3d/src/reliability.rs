@@ -49,13 +49,7 @@ impl ReliabilityModel {
     /// Raw retention BER of WL `wl` after `retention_months` months with
     /// `pe` program/erase cycles, under the process variation of
     /// `process`.
-    pub fn ber(
-        &self,
-        process: &ProcessModel,
-        wl: WlAddr,
-        pe: u32,
-        retention_months: f64,
-    ) -> f64 {
+    pub fn ber(&self, process: &ProcessModel, wl: WlAddr, pe: u32, retention_months: f64) -> f64 {
         let f = process.wl_factor(wl);
         let s = process.aging_sensitivity(wl.block, wl.h.0);
         self.ber_from_factors(f, s, pe, retention_months)
@@ -87,12 +81,7 @@ impl ReliabilityModel {
     /// data, so only the wear/process part contributes, plus the
     /// fraction of the future retention loss already visible as early
     /// charge loss.
-    pub fn ber_ep1(
-        &self,
-        process: &ProcessModel,
-        wl: WlAddr,
-        pe: u32,
-    ) -> f64 {
+    pub fn ber_ep1(&self, process: &ProcessModel, wl: WlAddr, pe: u32) -> f64 {
         let p = &self.params;
         let f = process.wl_factor(wl);
         let s = process.aging_sensitivity(wl.block, wl.h.0);
@@ -200,7 +189,10 @@ mod tests {
                         .map(|v| m.ber(&p, g.wl_addr(BlockId(b), h, v), pe, months))
                         .collect();
                     let dh = delta_h(&bers);
-                    assert!(dh < 1.08, "ΔH = {dh} at block {b} layer {h} ({pe} P/E, {months} mo)");
+                    assert!(
+                        dh < 1.08,
+                        "ΔH = {dh} at block {b} layer {h} ({pe} P/E, {months} mo)"
+                    );
                 }
             }
         }
@@ -212,8 +204,14 @@ mod tests {
         let (p, m) = setup(3);
         let fresh = avg_delta_v(&p, &m, 0, 0.0);
         let aged = avg_delta_v(&p, &m, 2000, 12.0);
-        assert!((1.35..1.95).contains(&fresh), "fresh ΔV = {fresh}, expected ≈1.6");
-        assert!((2.0..2.7).contains(&aged), "aged ΔV = {aged}, expected ≈2.3");
+        assert!(
+            (1.35..1.95).contains(&fresh),
+            "fresh ΔV = {fresh}, expected ≈1.6"
+        );
+        assert!(
+            (2.0..2.7).contains(&aged),
+            "aged ΔV = {aged}, expected ≈2.3"
+        );
         assert!(aged > fresh * 1.2, "ΔV must grow with aging");
     }
 
@@ -259,7 +257,10 @@ mod tests {
         let b12 = m.ber(&p, wl, 2000, 12.0);
         let first = b1 - b0;
         let later = (b12 - b6) / 6.0;
-        assert!(first > later, "first month {first} vs later monthly {later}");
+        assert!(
+            first > later,
+            "first month {first} vs later monthly {later}"
+        );
     }
 
     #[test]

@@ -270,7 +270,11 @@ mod tests {
     #[test]
     fn fresh_ber_is_negligible_at_default_refs() {
         let l = landscape(0, 0.0);
-        assert!(l.ber_at_offset(0) < 1e-3, "fresh BER {}", l.ber_at_offset(0));
+        assert!(
+            l.ber_at_offset(0) < 1e-3,
+            "fresh BER {}",
+            l.ber_at_offset(0)
+        );
         assert_eq!(l.optimal_offset(7), 0, "fresh optimum is the default");
     }
 

@@ -62,8 +62,31 @@ pub struct FtlStats {
     pub nand_reads: u64,
     /// §4.1.4 safety-check re-programs.
     pub safety_reprograms: u64,
+    /// §4.1.4 h-layer demotions: monitored parameters discarded and the
+    /// layer held at conservative defaults until re-monitored.
+    pub safety_demotions: u64,
+    /// Program suspend/abort events recovered by re-issuing the data on
+    /// the next WL.
+    pub program_aborts: u64,
+    /// Reads recovered from a stale cached `ΔV_Ref` (ORT refreshed).
+    pub stuck_retry_recoveries: u64,
+    /// Reads recovered from an uncorrectable first attempt via a full
+    /// offset scan.
+    pub uncorrectable_recoveries: u64,
     /// Host TRIMs applied (pages unmapped).
     pub host_trims: u64,
+}
+
+impl FtlStats {
+    /// Total fault-recovery actions taken (safety re-programs and
+    /// demotions, abort re-issues, and faulted-read recoveries).
+    pub fn recovery_actions(&self) -> u64 {
+        self.safety_reprograms
+            + self.safety_demotions
+            + self.program_aborts
+            + self.stuck_retry_recoveries
+            + self.uncorrectable_recoveries
+    }
 }
 
 /// A flash translation layer drivable by [`SsdSim`](crate::SsdSim).

@@ -111,7 +111,8 @@ impl SimReport {
             return None;
         }
         let nand_pages =
-            (self.ftl.host_wl_programs + self.ftl.safety_reprograms) * 3 + self.ftl.gc_page_moves;
+            (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
+                + self.ftl.gc_page_moves;
         Some(nand_pages as f64 / host_pages as f64)
     }
 }
@@ -488,9 +489,7 @@ impl SsdSim {
         let bus = chip % self.config.buses;
         let pages = match &op {
             ChipOp::Read { .. } => 1.0,
-            ChipOp::Flush { lpns, .. } => {
-                lpns.iter().filter(|&&l| l != u64::MAX).count() as f64
-            }
+            ChipOp::Flush { lpns, .. } => lpns.iter().filter(|&&l| l != u64::MAX).count() as f64,
         };
         let transfer = pages * self.config.t_xfer_page_us;
         let start = self.now.max(self.bus_free_at[bus]);
@@ -739,10 +738,7 @@ mod tests {
         assert_eq!(report.completed, 500);
         assert!(report.reads > 0 && report.writes > 0);
         assert!(!ftl.utilizations.is_empty());
-        assert!(ftl
-            .utilizations
-            .iter()
-            .all(|u| (0.0..=1.0).contains(u)));
+        assert!(ftl.utilizations.iter().all(|u| (0.0..=1.0).contains(u)));
     }
 
     #[test]
@@ -827,8 +823,12 @@ mod tests {
             let mut sim = SsdSim::new(cfg);
             let mut ftl = StubFtl::new(cfg.chips);
             sim.prefill(&mut ftl, 0..512);
-            sim.run(&mut ftl, (0..2000u64).map(|i| HostRequest::read(i % 512)), 2000)
-                .sim_time_us
+            sim.run(
+                &mut ftl,
+                (0..2000u64).map(|i| HostRequest::read(i % 512)),
+                2000,
+            )
+            .sim_time_us
         };
         let one = run_with(1);
         let two = run_with(2);

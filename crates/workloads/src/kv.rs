@@ -312,7 +312,10 @@ mod tests {
                 HostOp::Trim => {}
             }
         }
-        assert!(pages_w > pages_r / 2, "YCSB-A is update-heavy at block level");
+        assert!(
+            pages_w > pages_r / 2,
+            "YCSB-A is update-heavy at block level"
+        );
     }
 
     #[test]

@@ -90,18 +90,26 @@ impl StandardWorkload {
     /// `logical_pages` pages.
     pub fn build(self, logical_pages: u64, seed: u64) -> Box<dyn Workload> {
         match self {
-            StandardWorkload::Mail => {
-                Box::new(FilebenchWorkload::new(FilebenchKind::Mail, logical_pages, seed))
-            }
-            StandardWorkload::Web => {
-                Box::new(FilebenchWorkload::new(FilebenchKind::Web, logical_pages, seed))
-            }
-            StandardWorkload::Proxy => {
-                Box::new(FilebenchWorkload::new(FilebenchKind::Proxy, logical_pages, seed))
-            }
-            StandardWorkload::Oltp => {
-                Box::new(FilebenchWorkload::new(FilebenchKind::Oltp, logical_pages, seed))
-            }
+            StandardWorkload::Mail => Box::new(FilebenchWorkload::new(
+                FilebenchKind::Mail,
+                logical_pages,
+                seed,
+            )),
+            StandardWorkload::Web => Box::new(FilebenchWorkload::new(
+                FilebenchKind::Web,
+                logical_pages,
+                seed,
+            )),
+            StandardWorkload::Proxy => Box::new(FilebenchWorkload::new(
+                FilebenchKind::Proxy,
+                logical_pages,
+                seed,
+            )),
+            StandardWorkload::Oltp => Box::new(FilebenchWorkload::new(
+                FilebenchKind::Oltp,
+                logical_pages,
+                seed,
+            )),
             StandardWorkload::Rocks => Box::new(RocksWorkload::new(logical_pages, seed)),
             StandardWorkload::Mongo => Box::new(MongoWorkload::new(logical_pages, seed)),
         }
@@ -168,7 +176,10 @@ mod tests {
         assert!(web < 0.30, "Web write fraction {web}");
         assert!(proxy < 0.30, "Proxy write fraction {proxy}");
         assert!((0.35..0.65).contains(&mail), "Mail write fraction {mail}");
-        assert!(oltp > mail && oltp > web && oltp > proxy, "OLTP must be most write-intensive");
+        assert!(
+            oltp > mail && oltp > web && oltp > proxy,
+            "OLTP must be most write-intensive"
+        );
         assert!(oltp > 0.75, "OLTP write fraction {oltp}");
     }
 

@@ -34,7 +34,10 @@ impl Zipfian {
     /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
     pub fn new(n: u64, theta: f64, scatter: bool, seed: u64) -> Self {
         assert!(n > 0, "zipfian over empty domain");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -69,7 +72,9 @@ impl Zipfian {
         let rank = rank.min(self.n - 1);
         if self.scatter {
             // FNV-ish multiplicative scramble, then fold into range.
-            rank.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678) % self.n
+            rank.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x1234_5678)
+                % self.n
         } else {
             rank
         }
@@ -88,7 +93,9 @@ fn zeta(n: u64, theta: f64) -> f64 {
     if n <= EXACT_LIMIT {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
-        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let head: f64 = (1..=EXACT_LIMIT)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         // ∫_{EXACT_LIMIT}^{n} x^{-θ} dx
         let a = EXACT_LIMIT as f64;
         let b = n as f64;

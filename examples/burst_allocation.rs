@@ -17,7 +17,9 @@ fn phase(ftl: &mut Ftl, label: &str, mu: f64, wls: u64, start_lpn: u64) -> u64 {
             buffer_utilization: mu,
             now_us: 0.0,
         };
-        total_us += ftl.write_wl((i % 2) as usize, [lpn, lpn + 1, lpn + 2], &ctx).nand_us;
+        total_us += ftl
+            .write_wl((i % 2) as usize, [lpn, lpn + 1, lpn + 2], &ctx)
+            .nand_us;
     }
     let followers = ftl.stats().follower_wl_programs - before;
     println!(
@@ -41,7 +43,11 @@ fn main() {
 
     println!(
         "\nburst used {}x more follower WLs than the calm phase —",
-        if calm == 0 { burst } else { burst / calm.max(1) }
+        if calm == 0 {
+            burst
+        } else {
+            burst / calm.max(1)
+        }
     );
     println!("that asymmetry is what keeps the write buffer draining fast under pressure");
     println!("(compare cubeFTL vs cubeFTL- in Fig. 18: `cargo run -p bench --bin fig18`).");

@@ -13,12 +13,17 @@ fn main() {
     let process = chip.process();
     let rel = chip.reliability();
 
-    println!("chip: {} blocks x {} h-layers x {} WLs x {} pages",
-        g.blocks_per_chip, g.hlayers_per_block, g.wls_per_hlayer, g.pages_per_wl);
+    println!(
+        "chip: {} blocks x {} h-layers x {} WLs x {} pages",
+        g.blocks_per_chip, g.hlayers_per_block, g.wls_per_hlayer, g.pages_per_wl
+    );
 
     // --- Intra-layer similarity (paper §3.2) ---------------------------
     println!("\nintra-layer similarity at 2K P/E + 1-year retention (block 5):");
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>7}", "h-layer", "WL1", "WL2", "WL3", "WL4", "dH");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "h-layer", "WL1", "WL2", "WL3", "WL4", "dH"
+    );
     let block = BlockId(5);
     let mut worst_dh: f64 = 0.0;
     for h in (0..g.hlayers_per_block).step_by(8) {

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let leader = chip.geometry().wl_addr(block, 3, 0);
     let leader_report = chip.program_wl(leader, WlData::host(0), &ProgramParams::default())?;
-    println!("leader WL  {leader}: tPROG = {:.1} µs (default parameters)", leader_report.latency_us);
+    println!(
+        "leader WL  {leader}: tPROG = {:.1} µs (default parameters)",
+        leader_report.latency_us
+    );
 
     // Thanks to the horizontal intra-layer similarity, the leader's
     // [L_min, L_max] intervals tell us exactly which verify steps the
@@ -56,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let read = ftl.read_page(17, &ctx).expect("just written");
-    println!("read lpn 17 from chip {}: {:.1} µs, {} retries", read.chip, read.nand_us, read.retries);
+    println!(
+        "read lpn 17 from chip {}: {:.1} µs, {} retries",
+        read.chip, read.nand_us, read.retries
+    );
     Ok(())
 }

@@ -3,17 +3,22 @@
 //! ```text
 //! cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]
 //!             [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]
+//!             [--fault-seed N] [--fault-rate CLASS=RATE]...
 //! ```
+//!
+//! `--fault-rate` enables seeded fault injection (repeatable); CLASS is one
+//! of `ispp-outlier`, `ber-spike`, `stuck-retry`, `uncorrectable`, `abort`.
 //!
 //! Examples:
 //!
 //! ```sh
 //! cargo run --release --bin cubeftl-sim -- --workload rocks --aging eol --ftl all
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --workload oltp --requests 100000
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --fault-rate ber-spike=0.01 --fault-rate abort=0.005
 //! ```
 
 use cubeftl::harness::{run_eval, EvalConfig};
-use cubeftl::{AgingState, FtlKind, StandardWorkload};
+use cubeftl::{AgingState, FaultKind, FaultPlan, FtlKind, StandardWorkload};
 use std::process::ExitCode;
 
 fn parse_ftl(s: &str) -> Option<Vec<FtlKind>> {
@@ -48,10 +53,23 @@ fn parse_aging(s: &str) -> Option<AgingState> {
     })
 }
 
+fn parse_fault_class(s: &str) -> Option<FaultKind> {
+    Some(match s {
+        "ispp-outlier" => FaultKind::IsppLoopOutlier,
+        "ber-spike" => FaultKind::BerSpike,
+        "stuck-retry" => FaultKind::StuckRetry,
+        "uncorrectable" => FaultKind::UncorrectableRead,
+        "abort" => FaultKind::ProgramAbort,
+        _ => return None,
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]\n\
-         \x20                  [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]"
+         \x20                  [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]\n\
+         \x20                  [--fault-seed N] [--fault-rate CLASS=RATE]...\n\
+         \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort"
     );
     ExitCode::FAILURE
 }
@@ -63,6 +81,8 @@ fn main() -> ExitCode {
     let mut aging = AgingState::Fresh;
     let mut cfg = EvalConfig::reduced();
     let mut celsius: Option<f64> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rates: Vec<(FaultKind, f64)> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
@@ -97,6 +117,21 @@ fn main() -> ExitCode {
                 Ok(c) => celsius = Some(c),
                 Err(_) => return usage(),
             },
+            ("--fault-seed", Some(v)) => match v.parse() {
+                Ok(n) => fault_seed = Some(n),
+                Err(_) => return usage(),
+            },
+            ("--fault-rate", Some(v)) => {
+                let Some((class, rate)) = v.split_once('=') else {
+                    return usage();
+                };
+                match (parse_fault_class(class), rate.parse::<f64>()) {
+                    (Some(kind), Ok(rate)) if (0.0..=1.0).contains(&rate) => {
+                        fault_rates.push((kind, rate));
+                    }
+                    _ => return usage(),
+                }
+            }
             ("--help", _) | ("-h", _) => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -106,17 +141,34 @@ fn main() -> ExitCode {
         i += 2;
     }
 
+    if fault_seed.is_some() && fault_rates.is_empty() {
+        // A seed alone injects nothing; require at least one rate.
+        return usage();
+    }
+    if !fault_rates.is_empty() {
+        let mut plan = FaultPlan::seeded(fault_seed.unwrap_or(cfg.seed));
+        for (kind, rate) in fault_rates {
+            plan = plan.with_rate(kind, rate);
+        }
+        cfg.faults = Some(plan);
+    }
+
     println!(
-        "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}\n",
+        "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}{}\n",
         cfg.blocks_per_chip,
         cfg.requests,
         cfg.seed,
-        celsius.map(|c| format!(", {c} °C")).unwrap_or_default()
+        celsius.map(|c| format!(", {c} °C")).unwrap_or_default(),
+        cfg.faults
+            .as_ref()
+            .map(|p| format!(", faults on (seed {})", p.seed))
+            .unwrap_or_default()
     );
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
         "FTL", "IOPS", "p50 rd (ms)", "p99 rd (ms)", "p90 wr (ms)", "GC runs", "retries", "WA"
     );
+    let faults_on = cfg.faults.is_some();
     if let Some(c) = celsius {
         cfg.ambient_celsius = c;
     }
@@ -135,6 +187,18 @@ fn main() -> ExitCode {
                 .map(|w| format!("{w:.2}"))
                 .unwrap_or_else(|| "-".to_owned()),
         );
+        if faults_on {
+            println!(
+                "{:<10} recoveries: {} safety re-programs, {} demotions, {} aborts, \
+                 {} stuck retries, {} uncorrectable",
+                "", // aligned under the FTL column
+                r.ftl.safety_reprograms,
+                r.ftl.safety_demotions,
+                r.ftl.program_aborts,
+                r.ftl.stuck_retry_recoveries,
+                r.ftl.uncorrectable_recoveries,
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -7,12 +7,12 @@
 //! physical capacity shrinks).
 
 use ftl::{Ftl, FtlConfig, FtlKind};
-use nand3d::AgingState;
+use nand3d::{AgingState, FaultPlan};
 use ssdsim::{SimReport, SsdConfig, SsdSim};
 use workloads::StandardWorkload;
 
 /// Scale and length of one evaluation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalConfig {
     /// Blocks per chip (428 reproduces the paper's 32-GB SSD; smaller
     /// values shrink capacity for faster runs).
@@ -30,6 +30,9 @@ pub struct EvalConfig {
     pub seed: u64,
     /// Host platform parameters.
     pub ssd: SsdConfig,
+    /// Optional fault-injection plan, installed after prefill so the
+    /// measured run (not the setup phase) sees the injected faults.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EvalConfig {
@@ -43,6 +46,7 @@ impl EvalConfig {
             ambient_celsius: 30.0,
             seed: 42,
             ssd: SsdConfig::paper(),
+            faults: None,
         }
     }
 
@@ -66,6 +70,7 @@ impl EvalConfig {
             ambient_celsius: 30.0,
             seed: 42,
             ssd: SsdConfig::paper(),
+            faults: None,
         }
     }
 
@@ -121,6 +126,9 @@ pub fn run_eval_custom(
     let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
     sim.prefill(&mut ftl, 0..prefill);
     ftl.set_disturbance_prob(cfg.disturbance_prob);
+    if let Some(plan) = &cfg.faults {
+        ftl.set_fault_plan(plan);
+    }
     ftl.reset_stats();
 
     let stream = workload.build(prefill.max(1024), cfg.seed);
@@ -148,7 +156,12 @@ mod tests {
     #[test]
     fn smoke_eval_completes_all_requests() {
         let cfg = EvalConfig::smoke();
-        let r = run_eval(FtlKind::Page, StandardWorkload::Mail, AgingState::Fresh, &cfg);
+        let r = run_eval(
+            FtlKind::Page,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+        );
         assert_eq!(r.completed, cfg.requests);
         assert!(r.iops > 0.0);
         assert!(r.reads > 0 && r.writes > 0);
@@ -157,8 +170,18 @@ mod tests {
     #[test]
     fn eval_is_deterministic() {
         let cfg = EvalConfig::smoke();
-        let a = run_eval(FtlKind::Cube, StandardWorkload::Web, AgingState::MidLife, &cfg);
-        let b = run_eval(FtlKind::Cube, StandardWorkload::Web, AgingState::MidLife, &cfg);
+        let a = run_eval(
+            FtlKind::Cube,
+            StandardWorkload::Web,
+            AgingState::MidLife,
+            &cfg,
+        );
+        let b = run_eval(
+            FtlKind::Cube,
+            StandardWorkload::Web,
+            AgingState::MidLife,
+            &cfg,
+        );
         assert_eq!(a.iops, b.iops);
         assert_eq!(a.sim_time_us, b.sim_time_us);
     }
@@ -166,8 +189,18 @@ mod tests {
     #[test]
     fn cube_beats_page_on_a_write_heavy_workload() {
         let cfg = EvalConfig::smoke();
-        let page = run_eval(FtlKind::Page, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
-        let cube = run_eval(FtlKind::Cube, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
+        let page = run_eval(
+            FtlKind::Page,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+        );
+        let cube = run_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+        );
         assert!(
             cube.iops > page.iops,
             "cubeFTL {} IOPS vs pageFTL {} IOPS",

@@ -31,8 +31,8 @@
 
 pub use ftl::{Ftl, FtlConfig, FtlKind, Opm, ProgramOrder, Wam};
 pub use nand3d::{
-    AgingState, BlockId, FlashArray, Geometry, NandChip, NandConfig, ProgramParams, ReadParams,
-    WlAddr,
+    AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
+    NandConfig, ProgramParams, ReadParams, TargetedFault, WlAddr,
 };
 pub use ssdsim::{FtlDriver, HostRequest, SimReport, SsdConfig, SsdSim};
 pub use workloads::{StandardWorkload, Workload};

@@ -1,0 +1,148 @@
+//! Determinism guarantees: the simulator is a pure function of its
+//! configuration. Same seed + same plan ⇒ byte-identical reports, with
+//! and without fault injection.
+//!
+//! The golden-value test pins one full configuration to exact counter
+//! values. If an intentional model change shifts them, update the
+//! constants — the point is that *unintentional* drift (a stray RNG
+//! draw, an iteration-order dependence, a platform difference) fails
+//! loudly.
+
+use cubeftl::harness::{run_eval, EvalConfig};
+use cubeftl::{AgingState, FaultKind, FaultPlan, FtlKind, StandardWorkload};
+
+/// A smoke-scale config with every fault class enabled at a rate high
+/// enough to fire many times in 2k requests.
+fn faulty_cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.faults = Some(
+        FaultPlan::seeded(0xDEC0DE)
+            .with_rate(FaultKind::IsppLoopOutlier, 0.01)
+            .with_rate(FaultKind::BerSpike, 0.01)
+            .with_rate(FaultKind::ProgramAbort, 0.005)
+            .with_rate(FaultKind::StuckRetry, 0.02)
+            .with_rate(FaultKind::UncorrectableRead, 0.01),
+    );
+    cfg
+}
+
+#[test]
+fn double_run_is_byte_identical_without_faults() {
+    let cfg = EvalConfig::smoke();
+    for kind in [FtlKind::Page, FtlKind::Cube] {
+        let a = run_eval(kind, StandardWorkload::Oltp, AgingState::MidLife, &cfg);
+        let b = run_eval(kind, StandardWorkload::Oltp, AgingState::MidLife, &cfg);
+        // Debug formatting covers every field, including every latency
+        // sample, bit-exactly.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{} diverged between identical runs",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn double_run_is_byte_identical_with_faults() {
+    let cfg = faulty_cfg();
+    let a = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::MidLife,
+        &cfg,
+    );
+    let b = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::MidLife,
+        &cfg,
+    );
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(
+        a.ftl.recovery_actions() > 0,
+        "the faulty config must actually exercise recovery paths"
+    );
+}
+
+#[test]
+fn fault_seed_changes_the_fault_stream_but_not_correctness() {
+    let cfg_a = faulty_cfg();
+    let mut cfg_b = faulty_cfg();
+    if let Some(plan) = &mut cfg_b.faults {
+        plan.seed = 0x5EED;
+    }
+    let a = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::MidLife,
+        &cfg_a,
+    );
+    let b = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::MidLife,
+        &cfg_b,
+    );
+    assert_ne!(
+        format!("{:?}", a.ftl),
+        format!("{:?}", b.ftl),
+        "different fault seeds should draw different fault streams"
+    );
+    // Both runs stay correct regardless of the stream.
+    assert_eq!(a.completed, cfg_a.requests);
+    assert_eq!(b.completed, cfg_b.requests);
+}
+
+#[test]
+fn golden_smoke_report_is_stable() {
+    let cfg = EvalConfig::smoke();
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+    );
+    // Integer-exact golden values for the default smoke configuration
+    // (seed 42). These pin the whole pipeline: workload generation,
+    // buffering, WL allocation, GC and NAND timing.
+    assert_eq!(r.completed, 2_000);
+    assert_eq!(
+        (r.reads, r.writes, r.trims),
+        (GOLDEN_READS, GOLDEN_WRITES, GOLDEN_TRIMS)
+    );
+    assert_eq!(r.ftl.host_wl_programs, GOLDEN_HOST_WLS);
+    assert_eq!(r.ftl.gc_page_moves, GOLDEN_GC_MOVES);
+    assert_eq!(r.ftl.read_retries, GOLDEN_RETRIES);
+    assert_eq!(r.ftl.safety_reprograms, GOLDEN_SAFETY);
+}
+
+const GOLDEN_READS: u64 = 999;
+const GOLDEN_WRITES: u64 = 939;
+const GOLDEN_TRIMS: u64 = 62;
+const GOLDEN_HOST_WLS: u64 = 312;
+const GOLDEN_GC_MOVES: u64 = 0;
+const GOLDEN_RETRIES: u64 = 0;
+const GOLDEN_SAFETY: u64 = 0;
+
+#[test]
+fn golden_faulty_report_is_stable() {
+    let cfg = faulty_cfg();
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+    );
+    assert_eq!(
+        (
+            r.ftl.program_aborts,
+            r.ftl.safety_reprograms,
+            r.ftl.stuck_retry_recoveries,
+            r.ftl.uncorrectable_recoveries,
+        ),
+        GOLDEN_FAULTY
+    );
+}
+
+const GOLDEN_FAULTY: (u64, u64, u64, u64) = (2, 2, 10, 8);

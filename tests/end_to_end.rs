@@ -38,8 +38,18 @@ fn every_ftl_survives_end_of_life() {
 fn aged_reads_are_slower_for_the_ps_unaware_baseline() {
     // §6.2: read retries appear with aging and hurt pageFTL.
     let cfg = smoke();
-    let fresh = run_eval(FtlKind::Page, StandardWorkload::Web, AgingState::Fresh, &cfg);
-    let aged = run_eval(FtlKind::Page, StandardWorkload::Web, AgingState::EndOfLife, &cfg);
+    let fresh = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Web,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let aged = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Web,
+        AgingState::EndOfLife,
+        &cfg,
+    );
     assert_eq!(fresh.ftl.read_retries, 0, "fresh state must not retry");
     assert!(aged.ftl.read_retries > 0, "EOL must retry");
     assert!(aged.iops < fresh.iops, "retries must cost IOPS");
@@ -48,8 +58,18 @@ fn aged_reads_are_slower_for_the_ps_unaware_baseline() {
 #[test]
 fn cube_reduces_retries_against_page_at_end_of_life() {
     let cfg = smoke();
-    let page = run_eval(FtlKind::Page, StandardWorkload::Proxy, AgingState::EndOfLife, &cfg);
-    let cube = run_eval(FtlKind::Cube, StandardWorkload::Proxy, AgingState::EndOfLife, &cfg);
+    let page = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Proxy,
+        AgingState::EndOfLife,
+        &cfg,
+    );
+    let cube = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Proxy,
+        AgingState::EndOfLife,
+        &cfg,
+    );
     // Normalize per NAND read (the FTLs may issue different GC reads).
     let page_rate = page.ftl.read_retries as f64 / page.ftl.nand_reads.max(1) as f64;
     let cube_rate = cube.ftl.read_retries as f64 / cube.ftl.nand_reads.max(1) as f64;
@@ -62,7 +82,12 @@ fn cube_reduces_retries_against_page_at_end_of_life() {
 #[test]
 fn cube_uses_followers_page_does_not_optimize() {
     let cfg = smoke();
-    let cube = run_eval(FtlKind::Cube, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
+    let cube = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+    );
     assert!(
         cube.ftl.follower_wl_programs * 2 > cube.ftl.host_wl_programs,
         "cubeFTL should serve most OLTP writes from follower WLs"
@@ -73,17 +98,47 @@ fn cube_uses_followers_page_does_not_optimize() {
 fn vert_beats_page_cube_beats_vert_on_writes() {
     // Fig. 17(a) ordering for a write-heavy workload.
     let cfg = smoke();
-    let page = run_eval(FtlKind::Page, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
-    let vert = run_eval(FtlKind::Vert, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
-    let cube = run_eval(FtlKind::Cube, StandardWorkload::Oltp, AgingState::Fresh, &cfg);
-    assert!(vert.iops > page.iops, "vertFTL {} vs pageFTL {}", vert.iops, page.iops);
-    assert!(cube.iops > vert.iops, "cubeFTL {} vs vertFTL {}", cube.iops, vert.iops);
+    let page = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let vert = run_eval(
+        FtlKind::Vert,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let cube = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+    );
+    assert!(
+        vert.iops > page.iops,
+        "vertFTL {} vs pageFTL {}",
+        vert.iops,
+        page.iops
+    );
+    assert!(
+        cube.iops > vert.iops,
+        "cubeFTL {} vs vertFTL {}",
+        cube.iops,
+        vert.iops
+    );
 }
 
 #[test]
 fn reports_are_internally_consistent() {
     let cfg = smoke();
-    let r = run_eval(FtlKind::Cube, StandardWorkload::Mongo, AgingState::MidLife, &cfg);
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mongo,
+        AgingState::MidLife,
+        &cfg,
+    );
     assert_eq!(r.reads + r.writes, r.completed);
     assert_eq!(r.read_latency.len() as u64, r.reads);
     assert_eq!(r.write_latency.len() as u64, r.writes);
@@ -100,7 +155,12 @@ fn trims_flow_through_the_stack_and_reduce_gc_work() {
     let mut cfg = EvalConfig::reduced();
     cfg.requests = 20_000;
     cfg.prefill_fraction = 0.95;
-    let r = run_eval(FtlKind::Cube, StandardWorkload::Rocks, AgingState::Fresh, &cfg);
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Rocks,
+        AgingState::Fresh,
+        &cfg,
+    );
     assert!(r.trims > 0, "Rocks must issue TRIMs");
     assert!(r.ftl.host_trims > 0, "TRIMs must reach the FTL mapping");
     assert_eq!(r.completed, cfg.requests);
@@ -114,17 +174,30 @@ fn write_amplification_exceeds_one_under_gc() {
     // Mongo's random leaf updates scatter invalidations, so GC victims
     // carry valid pages to migrate (unlike pure log overwrites, which
     // invalidate whole blocks and make GC free).
-    let r = run_eval(FtlKind::Page, StandardWorkload::Mongo, AgingState::Fresh, &cfg);
+    let r = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Mongo,
+        AgingState::Fresh,
+        &cfg,
+    );
     let wa = r.write_amplification().expect("Mongo writes");
     assert!(r.ftl.gc_runs > 0);
     assert!(wa > 1.0, "GC migrations must amplify writes: {wa}");
-    assert!(wa < 4.0, "WA {wa} implausibly high for 12.5% OP at this utilization");
+    assert!(
+        wa < 4.0,
+        "WA {wa} implausibly high for 12.5% OP at this utilization"
+    );
 }
 
 #[test]
 fn mail_deletes_files_via_trim() {
     let cfg = smoke();
-    let r = run_eval(FtlKind::Page, StandardWorkload::Mail, AgingState::Fresh, &cfg);
+    let r = run_eval(
+        FtlKind::Page,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+    );
     assert!(r.trims > 0, "varmail constantly deletes mail files");
 }
 
@@ -134,7 +207,15 @@ fn larger_scale_run_is_stable() {
     let mut cfg = EvalConfig::reduced();
     cfg.requests = 25_000;
     cfg.prefill_fraction = 0.95;
-    let r = run_eval(FtlKind::Cube, StandardWorkload::Oltp, AgingState::MidLife, &cfg);
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::MidLife,
+        &cfg,
+    );
     assert_eq!(r.completed, cfg.requests);
-    assert!(r.ftl.gc_runs > 0, "reduced scale at 0.95 prefill must trigger GC");
+    assert!(
+        r.ftl.gc_runs > 0,
+        "reduced scale at 0.95 prefill must trigger GC"
+    );
 }

@@ -50,7 +50,10 @@ fn predictor_enables_deadline_scheduling_decisions() {
         opm.record_leader(0, leader, &report, chip.ispp());
         let follower = g.wl_addr(BlockId(0), h, 1);
         let forecast = predictor.follower_tprog(&opm, 0, follower);
-        let params = opm.follower_params(0, follower).unwrap().to_program_params();
+        let params = opm
+            .follower_params(0, follower)
+            .unwrap()
+            .to_program_params();
         let actual = chip.program_wl(follower, WlData::host(3), &params).unwrap();
         pairs.push((forecast.latency_us, actual.latency_us));
     }
@@ -72,7 +75,9 @@ fn ps_aware_ecc_never_loses_and_wins_when_aged() {
             let raw = rel.ber(chip.process(), g.wl_addr(BlockId(b), h, 2), 2000, 12.0);
             let predicted = rel.ber(chip.process(), g.wl_addr(BlockId(b), h, 0), 2000, 12.0);
             let unaware = ecc.decode_escalating_us(raw).expect("correctable");
-            let aware = ecc.decode_predicted_us(raw, predicted).expect("correctable");
+            let aware = ecc
+                .decode_predicted_us(raw, predicted)
+                .expect("correctable");
             // ΔH ≈ 1 means the leader's BER predicts the right mode, so
             // the PS-aware decode never pays *more* than escalation.
             assert!(aware <= unaware + 1e-9);
@@ -137,7 +142,8 @@ fn opm_is_shared_correctly_across_chips() {
     let g = cfg.nand.geometry;
     let chip1_params = (0..g.hlayers_per_block)
         .filter(|h| {
-            opm.follower_params(1, g.wl_addr(BlockId(0), *h, 1)).is_some()
+            opm.follower_params(1, g.wl_addr(BlockId(0), *h, 1))
+                .is_some()
         })
         .count();
     assert_eq!(chip1_params, 0, "chip 1 must have no monitored layers yet");

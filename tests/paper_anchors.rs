@@ -19,7 +19,10 @@ fn anchor_delta_h_is_virtually_one() {
         for b in (0..g.blocks_per_chip).step_by(37) {
             for h in (0..g.hlayers_per_block).step_by(5) {
                 let bers: Vec<f64> = (0..g.wls_per_hlayer)
-                    .map(|v| c.reliability().ber(c.process(), g.wl_addr(BlockId(b), h, v), pe, months))
+                    .map(|v| {
+                        c.reliability()
+                            .ber(c.process(), g.wl_addr(BlockId(b), h, v), pe, months)
+                    })
                     .collect();
                 assert!(delta_h(&bers) < 1.08);
             }
@@ -36,7 +39,10 @@ fn anchor_delta_v_1_6_fresh_2_3_aged() {
         (0..48u32)
             .map(|b| {
                 let bers: Vec<f64> = (0..g.hlayers_per_block)
-                    .map(|h| c.reliability().ber(c.process(), g.wl_addr(BlockId(b), h, 0), pe, months))
+                    .map(|h| {
+                        c.reliability()
+                            .ber(c.process(), g.wl_addr(BlockId(b), h, 0), pe, months)
+                    })
                     .collect();
                 delta_v(&bers)
             })
@@ -55,11 +61,21 @@ fn anchor_default_tprog_700us_tread_80us() {
     let mut c = chip();
     c.erase(BlockId(0)).unwrap();
     let wl = c.geometry().wl_addr(BlockId(0), 12, 0);
-    let report = c.program_wl(wl, WlData::host(0), &ProgramParams::default()).unwrap();
-    assert!((600.0..820.0).contains(&report.latency_us), "tPROG {}", report.latency_us);
+    let report = c
+        .program_wl(wl, WlData::host(0), &ProgramParams::default())
+        .unwrap();
+    assert!(
+        (600.0..820.0).contains(&report.latency_us),
+        "tPROG {}",
+        report.latency_us
+    );
     let page = c.geometry().page_addr(BlockId(0), 12, 0, 0);
     let read = c.read_page(page, ReadParams::default()).unwrap();
-    assert!((70.0..95.0).contains(&read.latency_us), "tREAD {}", read.latency_us);
+    assert!(
+        (70.0..95.0).contains(&read.latency_us),
+        "tREAD {}",
+        read.latency_us
+    );
 }
 
 #[test]
@@ -73,7 +89,9 @@ fn anchor_vfy_skip_saves_about_16_percent() {
         c.erase(BlockId(b)).unwrap();
         for h in (0..g.hlayers_per_block).step_by(6) {
             let leader = g.wl_addr(BlockId(b), h, 0);
-            let report = c.program_wl(leader, WlData::host(0), &ProgramParams::default()).unwrap();
+            let report = c
+                .program_wl(leader, WlData::host(0), &ProgramParams::default())
+                .unwrap();
             t_default += report.latency_us;
             let mut params = ProgramParams::default();
             for (s, iv) in report.loop_intervals.iter().enumerate() {
@@ -86,7 +104,10 @@ fn anchor_vfy_skip_saves_about_16_percent() {
         }
     }
     let reduction = 1.0 - t_skip / t_default;
-    assert!((0.12..0.20).contains(&reduction), "VFY-skip reduction {reduction:.3}");
+    assert!(
+        (0.12..0.20).contains(&reduction),
+        "VFY-skip reduction {reduction:.3}"
+    );
 }
 
 #[test]
@@ -109,7 +130,10 @@ fn anchor_320mv_removes_about_19_percent() {
         )
         .unwrap();
     let reduction = 1.0 - out.latency_us / default.latency_us;
-    assert!((0.15..0.24).contains(&reduction), "320 mV reduction {reduction:.3}");
+    assert!(
+        (0.15..0.24).contains(&reduction),
+        "320 mV reduction {reduction:.3}"
+    );
 }
 
 #[test]
@@ -121,7 +145,8 @@ fn anchor_retry_fractions_0_30_90() {
     for b in 0..6u32 {
         c.erase(BlockId(b)).unwrap();
         for wl in g.wls_of_block(BlockId(b)).collect::<Vec<_>>() {
-            c.program_wl(wl, WlData::host(0), &ProgramParams::default()).unwrap();
+            c.program_wl(wl, WlData::host(0), &ProgramParams::default())
+                .unwrap();
         }
     }
     for (state, expected) in [

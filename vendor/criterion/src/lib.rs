@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Hermetic builds have no crates.io access, so the real criterion is
+//! replaced by this vendored subset. It keeps the exact API the bench
+//! crates use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BatchSize`], [`Throughput`], [`criterion_group!`]/[`criterion_main!`]
+//! — but measures with a simple fixed-iteration wall-clock loop and
+//! prints one `name: <ns>/iter` line per benchmark. No statistics, no
+//! warm-up model, no HTML reports; good enough to keep benches compiling
+//! and to give coarse relative numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export so call sites may use `criterion::black_box` as well as
+/// `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched iterations size their batches (subset).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Run exactly this many iterations per setup invocation.
+    NumIterations(u64),
+    /// Small per-iteration state; stub treats it as 256 iterations.
+    SmallInput,
+    /// Large per-iteration state; stub treats it as 16 iterations.
+    LargeInput,
+}
+
+impl BatchSize {
+    fn iterations(self) -> u64 {
+        match self {
+            BatchSize::NumIterations(n) => n.max(1),
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput => 16,
+        }
+    }
+}
+
+/// Units the measured time is normalized against (printed only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` against a mutable state built by `setup`, in
+    /// batches of `size` iterations per setup invocation.
+    pub fn iter_batched_ref<S, O, FS, FR>(
+        &mut self,
+        mut setup: FS,
+        mut routine: FR,
+        size: BatchSize,
+    ) where
+        FS: FnMut() -> S,
+        FR: FnMut(&mut S) -> O,
+    {
+        let batch = size.iterations();
+        let mut remaining = self.iters;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            let mut state = setup();
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine(&mut state));
+            }
+            self.elapsed_ns += start.elapsed().as_nanos();
+            remaining -= n;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but consuming the state by value.
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        let batch = size.iterations();
+        let mut remaining = self.iters;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            for _ in 0..n {
+                let state = setup();
+                let start = Instant::now();
+                std_black_box(routine(state));
+                self.elapsed_ns += start.elapsed().as_nanos();
+            }
+            remaining -= n;
+        }
+    }
+}
+
+fn run_once(
+    name: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(samples.max(1));
+    f(&mut b);
+    let per_iter = b.elapsed_ns as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{name}: {per_iter:.0} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{name}: {per_iter:.0} ns/iter ({rate:.0} B/s)");
+        }
+        _ => println!("{name}: {per_iter:.0} ns/iter"),
+    }
+}
+
+/// Top-level benchmark registry (stub: runs benches immediately).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 32 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_once(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used for each benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Records the per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_once(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (stub: nothing buffered, so a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark entry point: `criterion_group!(benches, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("stub/group");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || 0u64,
+                |acc| {
+                    *acc += 1;
+                    *acc
+                },
+                BatchSize::NumIterations(8),
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_bencher_run_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn batch_sizes_are_positive() {
+        assert_eq!(BatchSize::NumIterations(0).iterations(), 1);
+        assert_eq!(BatchSize::SmallInput.iterations(), 256);
+        assert_eq!(BatchSize::LargeInput.iterations(), 16);
+    }
+}

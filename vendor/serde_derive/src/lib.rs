@@ -1,0 +1,18 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits carry blanket impls, so
+//! the derives have nothing to emit — they only need to exist so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace
+//! keep compiling in hermetic (registry-free) builds.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
