@@ -14,14 +14,15 @@
 use crate::config::FtlConfig;
 use crate::cube::opm::Opm;
 use crate::cube::wam::{Wam, WlChoice};
-use crate::gc::select_victim;
+use crate::gc::{select_victim, select_victim_wear_aware};
+use crate::maint::{MaintConfig, MaintState};
 use crate::mapping::{Mapping, Ppn};
 use crate::order::ProgramOrder;
 use nand3d::{
-    AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, PageAddr, ProgramParams,
-    ReadFaultKind, ReadParams, WlData,
+    AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, PageAddr, PageState,
+    ProgramParams, ReadFaultKind, ReadParams, WlData,
 };
-use ssdsim::{FtlDriver, FtlStats, HostContext, PageRead, WlWrite};
+use ssdsim::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
 use std::collections::VecDeque;
 
 /// Which FTL variant an [`Ftl`] instance behaves as.
@@ -91,6 +92,11 @@ pub struct Ftl {
     stats: FtlStats,
     /// Re-entrancy guard: GC's own writes must not trigger GC.
     in_gc: bool,
+    /// Background maintenance services (when enabled).
+    maint: Option<MaintState>,
+    /// Whether the current write originates from a maintenance migration
+    /// (excluded from host counters, like GC's own writes).
+    in_maint: bool,
 }
 
 impl Ftl {
@@ -122,6 +128,8 @@ impl Ftl {
             opm: kind.ps_aware().then(|| Opm::new(&g, config.chips)),
             stats: FtlStats::default(),
             in_gc: false,
+            maint: None,
+            in_maint: false,
             config,
         }
     }
@@ -208,13 +216,60 @@ impl Ftl {
         &self.array
     }
 
+    /// Enables (or disables) the background maintenance subsystem:
+    /// retention scrubbing, wear leveling and periodic OPM re-monitoring,
+    /// performed one bounded unit at a time via
+    /// [`FtlDriver::maintenance_step`] during chip idle windows. Enabling
+    /// also turns on per-block retention tracking so scrubbed blocks
+    /// actually rejuvenate (an erase resets the block's retention clock).
+    pub fn enable_maintenance(&mut self, config: MaintConfig) {
+        if config.enabled {
+            self.maint = Some(MaintState::new(config, self.config.chips));
+            self.array.set_block_retention_tracking(true);
+        } else {
+            self.maint = None;
+            self.array.set_block_retention_tracking(false);
+        }
+    }
+
+    /// The active maintenance configuration, if the subsystem is enabled.
+    pub fn maint_config(&self) -> Option<MaintConfig> {
+        self.maint.as_ref().map(|m| m.config)
+    }
+
+    /// Whether the wear-leveling service steers victim selection and
+    /// free-block allocation.
+    fn wear_leveling_on(&self) -> bool {
+        self.maint.as_ref().is_some_and(|m| m.config.wear_leveling)
+    }
+
+    /// Live erase counts of every block on `chip`.
+    fn erase_counts(&self, chip: usize) -> Vec<u32> {
+        let env = self.array.chip(chip).expect("valid chip").env();
+        (0..self.geometry().blocks_per_chip as usize)
+            .map(|b| env.erase_count(b))
+            .collect()
+    }
+
     fn geometry(&self) -> Geometry {
         self.config.nand.geometry
     }
 
-    /// Pops a free block on `chip`, updating the free-pool bitmap.
+    /// Pops a free block on `chip`, updating the free-pool bitmap. With
+    /// wear leveling active, the least-worn free block is allocated first
+    /// (cold blocks absorb new writes); otherwise FIFO order.
     fn pop_free_block(&mut self, chip: usize) -> Option<BlockId> {
-        let b = self.free_blocks[chip].pop_front()?;
+        let b = if self.wear_leveling_on() {
+            let wear = self.erase_counts(chip);
+            let i = self.free_blocks[chip]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| (wear[b.0 as usize], b.0))?
+                .0;
+            self.free_blocks[chip].remove(i)?
+        } else {
+            self.free_blocks[chip].pop_front()?
+        };
         self.is_free[chip][b.0 as usize] = false;
         Some(b)
     }
@@ -222,13 +277,24 @@ impl Ftl {
     /// Selects the next WL to program on `chip` according to the
     /// variant's allocation policy.
     fn select_wl(&mut self, chip: usize, mu: f64) -> WlChoice {
+        // Split borrows: the WAM needs an allocator closure over the free
+        // pool, so the wear snapshot is taken before self.wam is borrowed.
+        let wear = (self.wam.is_some() && self.wear_leveling_on()).then(|| self.erase_counts(chip));
         if let Some(wam) = &mut self.wam {
-            // Split borrows: the WAM needs an allocator closure over the
-            // free pool.
             let free = &mut self.free_blocks[chip];
             let is_free = &mut self.is_free[chip];
             return wam.select(chip, mu, || {
-                let b = free.pop_front()?;
+                let b = match &wear {
+                    Some(w) => {
+                        let i = free
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, b)| (w[b.0 as usize], b.0))?
+                            .0;
+                        free.remove(i)?
+                    }
+                    None => free.pop_front()?,
+                };
                 is_free[b.0 as usize] = false;
                 Some(b)
             });
@@ -361,7 +427,7 @@ impl Ftl {
             if !choice.is_leader() {
                 self.stats.follower_wl_programs += 1;
             }
-            self.stats.host_wl_programs += u64::from(!self.in_gc);
+            self.stats.host_wl_programs += u64::from(!self.in_gc && !self.in_maint);
             return (latency, leader);
         }
     }
@@ -378,12 +444,28 @@ impl Ftl {
         while self.free_blocks[chip].len() <= self.config.gc_free_block_threshold && rounds < 16 {
             rounds += 1;
             let victim = {
+                let wear_limit = self
+                    .maint
+                    .as_ref()
+                    .filter(|m| m.config.wear_leveling)
+                    .map(|m| m.config.wear_spread_limit);
+                let wear = wear_limit.map(|_| self.erase_counts(chip));
                 let active: Vec<BlockId> = self.active_blocks(chip);
                 let is_free = &self.is_free[chip];
                 let candidates = (0..g.blocks_per_chip)
                     .map(BlockId)
                     .filter(|b| !is_free[b.0 as usize] && !active.contains(b));
-                select_victim(&self.mapping, chip, candidates, per_block)
+                match (wear_limit, &wear) {
+                    (Some(limit), Some(w)) => select_victim_wear_aware(
+                        &self.mapping,
+                        chip,
+                        candidates,
+                        per_block,
+                        |b| w[b.0 as usize],
+                        limit,
+                    ),
+                    _ => select_victim(&self.mapping, chip, candidates, per_block),
+                }
             };
             let Some(victim) = victim else {
                 // No block holds any garbage (e.g. right after a unique
@@ -409,7 +491,11 @@ impl Ftl {
                 .valid_pages_of_block(chip, victim.0)
                 .map(|(lpn, _)| lpn)
                 .collect();
-            self.stats.gc_page_moves += valid.len() as u64;
+            if self.in_maint {
+                self.stats.maint_gc_page_moves += valid.len() as u64;
+            } else {
+                self.stats.gc_page_moves += valid.len() as u64;
+            }
             for lpn in &valid {
                 // Read the page (through the variant's read policy: the
                 // ORT benefits GC reads too).
@@ -469,16 +555,21 @@ impl Ftl {
             .read_page(page, params)
             .expect("mapped page is readable");
         debug_assert_eq!(report.data, lpn, "mapping returned wrong data");
-        self.stats.nand_reads += 1;
-        self.stats.read_retries += u64::from(report.retries);
-        match report.fault {
-            // Stale cached ΔV_Ref: the extra retry found a working offset,
-            // and the ORT update below refreshes the cached entry.
-            Some(ReadFaultKind::StuckRetry) => self.stats.stuck_retry_recoveries += 1,
-            // First attempt uncorrectable: recovered via a full offset
-            // scan (charged as MAX_OFFSET_INDEX + 1 retries).
-            Some(ReadFaultKind::Uncorrectable) => self.stats.uncorrectable_recoveries += 1,
-            None => {}
+        // Maintenance migration reads are background work: they must not
+        // distort the host-visible read statistics.
+        if !self.in_maint {
+            self.stats.nand_reads += 1;
+            self.stats.read_retries += u64::from(report.retries);
+            match report.fault {
+                // Stale cached ΔV_Ref: the extra retry found a working
+                // offset, and the ORT update below refreshes the cached
+                // entry.
+                Some(ReadFaultKind::StuckRetry) => self.stats.stuck_retry_recoveries += 1,
+                // First attempt uncorrectable: recovered via a full offset
+                // scan (charged as MAX_OFFSET_INDEX + 1 retries).
+                Some(ReadFaultKind::Uncorrectable) => self.stats.uncorrectable_recoveries += 1,
+                None => {}
+            }
         }
         if let Some(opm) = &mut self.opm {
             opm.update_read_offset(chip, page.wl, report.final_offset);
@@ -495,6 +586,376 @@ impl Ftl {
     pub fn opm(&self) -> Option<&Opm> {
         self.opm.as_ref()
     }
+
+    /// Performs one bounded unit of background maintenance on `chip`,
+    /// rotating among the three services so a hungry one cannot starve
+    /// the others of idle windows. Returns the NAND time spent, or
+    /// `None` when nothing is due.
+    /// Most stale h-layers one re-monitor dispatch handles (each costs a
+    /// leader sample read, so this bounds the dispatch's chip time).
+    const REMONITOR_LAYER_BATCH: usize = 8;
+
+    fn maintenance_unit(&mut self, chip: usize, mu: f64) -> Option<f64> {
+        const SERVICES: u8 = 3;
+        let start = self.maint.as_ref()?.next_service[chip];
+        for i in 0..SERVICES {
+            let svc = (start + i) % SERVICES;
+            let work = match svc {
+                0 => self.maint_scrub_step(chip, mu),
+                1 => self.maint_remonitor_step(chip),
+                _ => self.maint_wear_step(chip, mu),
+            };
+            if let Some(t) = work {
+                self.maint
+                    .as_mut()
+                    .expect("maintenance enabled")
+                    .next_service[chip] = (svc + 1) % SERVICES;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Retention scrubbing: walks blocks from the per-chip cursor to the
+    /// first one holding aged data, samples its BER via a leader-WL read
+    /// (which refreshes the h-layer's ORT `ΔV_Ref` entry in place) and
+    /// refreshes the whole block when its retention age or sampled BER
+    /// crosses the configured thresholds.
+    fn maint_scrub_step(&mut self, chip: usize, mu: f64) -> Option<f64> {
+        let cfg = self.maint.as_ref()?.config;
+        let g = self.geometry();
+        let blocks = g.blocks_per_chip;
+        let active = self.active_blocks(chip);
+        let st = self.maint.as_mut().expect("maintenance enabled");
+        let cursor = st.scrub_cursor[chip];
+        // Taking the flag clears it; it is re-armed below only while the
+        // cursor block is still mid-refresh, so a block recycled out from
+        // under the scrubber (e.g. by GC) cannot inherit a stale resume.
+        let resuming = std::mem::take(&mut st.scrub_resume[chip]);
+        for i in 0..blocks {
+            let b = BlockId((cursor + i) % blocks);
+            if self.is_free[chip][b.0 as usize] || active.contains(&b) {
+                continue;
+            }
+            let mut latency = 0.0;
+            let refresh = if resuming && i == 0 {
+                // Mid-refresh block: the decision was already made (and
+                // its BER sampled) when the refresh started.
+                true
+            } else {
+                let chip_ref = self.array.chip(chip).expect("valid chip");
+                let retention = chip_ref.block_retention_months(b);
+                if retention <= 0.0 {
+                    continue;
+                }
+                let sample_wl = (0..g.hlayers_per_block)
+                    .map(|h| g.wl_addr(b, h, 0))
+                    .find(|wl| chip_ref.wl_state(*wl) == PageState::Written);
+                let sampled_ber = sample_wl
+                    .and_then(|wl| chip_ref.wl_current_ber(wl))
+                    .unwrap_or(0.0);
+                if let Some(wl) = sample_wl {
+                    latency += self.maint_sample_read(chip, wl);
+                    self.stats.scrub_sample_reads += 1;
+                }
+                retention >= cfg.scrub_retention_min_months || sampled_ber > cfg.scrub_ber_threshold
+            };
+            // The cursor parks on a partially-migrated block so the next
+            // scrub window resumes it; otherwise it moves on.
+            let mut next_cursor = (b.0 + 1) % blocks;
+            let mut in_progress = false;
+            if refresh {
+                let (t, outcome) = self.refresh_block(chip, b, mu, cfg.scrub_batch_pages);
+                latency += t;
+                match outcome {
+                    RefreshOutcome::Erased { pages_moved } => {
+                        self.stats.scrub_blocks += 1;
+                        self.stats.scrub_page_moves += pages_moved;
+                    }
+                    RefreshOutcome::Partial { pages_moved } => {
+                        self.stats.scrub_page_moves += pages_moved;
+                        next_cursor = b.0;
+                        in_progress = true;
+                    }
+                    RefreshOutcome::Stalled => {}
+                }
+            }
+            let st = self.maint.as_mut().expect("maintenance enabled");
+            st.scrub_cursor[chip] = next_cursor;
+            st.scrub_resume[chip] = in_progress;
+            if latency > 0.0 {
+                return Some(latency);
+            }
+        }
+        None
+    }
+
+    /// Periodic OPM re-monitoring: finds the next block holding h-layers
+    /// whose monitored parameters are older than the configured P/E-count
+    /// or retention-time budget, drops them (the next program on the
+    /// layer re-monitors leader-style instead of reusing drifted skips
+    /// and windows) and refreshes each layer's ORT entry with a leader
+    /// sample read. At most [`Self::REMONITOR_LAYER_BATCH`] layers are
+    /// handled per dispatch so the chip op stays short; a block with more
+    /// stale layers is resumed on the next window (re-monitored layers
+    /// lose their `recorded_pe` stamp, so they are skipped naturally).
+    fn maint_remonitor_step(&mut self, chip: usize) -> Option<f64> {
+        let cfg = self.maint.as_ref()?.config;
+        self.opm.as_ref()?;
+        let g = self.geometry();
+        let blocks = g.blocks_per_chip;
+        let cursor = self
+            .maint
+            .as_ref()
+            .expect("maintenance enabled")
+            .remonitor_cursor[chip];
+        for i in 0..blocks {
+            let b = BlockId((cursor + i) % blocks);
+            if self.is_free[chip][b.0 as usize] {
+                continue;
+            }
+            let (pe_now, retention) = {
+                let c = self.array.chip(chip).expect("valid chip");
+                (c.env().pe(b.0 as usize), c.block_retention_months(b))
+            };
+            let mut latency = 0.0;
+            let mut handled = 0usize;
+            let mut remaining = false;
+            for h in 0..g.hlayers_per_block {
+                let wl = g.wl_addr(b, h, 0);
+                let Some(recorded) = self
+                    .opm
+                    .as_ref()
+                    .expect("checked above")
+                    .recorded_pe(chip, wl)
+                else {
+                    continue;
+                };
+                let stale = pe_now.saturating_sub(recorded) > cfg.remonitor_pe_budget
+                    || retention > cfg.remonitor_retention_budget_months;
+                if !stale {
+                    continue;
+                }
+                if handled == Self::REMONITOR_LAYER_BATCH {
+                    remaining = true;
+                    break;
+                }
+                let written =
+                    self.array.chip(chip).expect("valid chip").wl_state(wl) == PageState::Written;
+                self.opm
+                    .as_mut()
+                    .expect("checked above")
+                    .invalidate_layer(chip, wl);
+                if written {
+                    latency += self.maint_sample_read(chip, wl);
+                }
+                self.stats.remonitored_layers += 1;
+                handled += 1;
+            }
+            if handled > 0 {
+                let next = if remaining { b.0 } else { (b.0 + 1) % blocks };
+                self.maint
+                    .as_mut()
+                    .expect("maintenance enabled")
+                    .remonitor_cursor[chip] = next;
+                return Some(latency);
+            }
+        }
+        None
+    }
+
+    /// Wear leveling: when the chip's erase-count spread exceeds the
+    /// configured bound, recycle the coldest closed block — its cold data
+    /// migrates to (hotter) free blocks and the least-worn block joins
+    /// the allocation pool, narrowing the spread from both ends.
+    fn maint_wear_step(&mut self, chip: usize, mu: f64) -> Option<f64> {
+        let cfg = self.maint.as_ref()?.config;
+        if !cfg.wear_leveling {
+            return None;
+        }
+        let wear = self.erase_counts(chip);
+        let hottest = *wear.iter().max()?;
+        let active = self.active_blocks(chip);
+        let (coldest_block, coldest) = wear
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| !self.is_free[chip][*b] && !active.contains(&BlockId(*b as u32)))
+            .map(|(b, e)| (BlockId(b as u32), *e))
+            .min_by_key(|(b, e)| (*e, b.0))?;
+        if hottest.saturating_sub(coldest) <= cfg.wear_spread_limit {
+            return None;
+        }
+        // A partial migration leaves the block as the coldest closed one,
+        // so the next wear window resumes it automatically.
+        let batch = cfg.scrub_batch_pages;
+        let (latency, outcome) = self.refresh_block(chip, coldest_block, mu, batch);
+        match outcome {
+            RefreshOutcome::Erased { pages_moved } | RefreshOutcome::Partial { pages_moved } => {
+                self.stats.wear_level_moves += pages_moved;
+            }
+            RefreshOutcome::Stalled => {}
+        }
+        (latency > 0.0).then_some(latency)
+    }
+
+    /// Refreshes `block` incrementally: migrates up to `batch` of its
+    /// valid pages to fresh WLs per call and, once none remain, erases
+    /// it, returning it to the free pool young (per-block retention
+    /// tracking resets its age on erase). Bounding the batch keeps each
+    /// maintenance dispatch short, so host requests never queue behind a
+    /// whole-block migration; callers resume a
+    /// [`RefreshOutcome::Partial`] block on their next idle window.
+    ///
+    /// When the free pool is at the GC threshold, this dispatch instead
+    /// spends its batch draining the chip's best reclaim victim (often
+    /// `block` itself — a half-drained block is the emptiest around), so
+    /// maintenance never issues the multi-block GC pass the host write
+    /// path is allowed. With no reclaimable garbage at all it gives up
+    /// ([`RefreshOutcome::Stalled`]) and a later pass retries once
+    /// overwrites have created some.
+    fn refresh_block(
+        &mut self,
+        chip: usize,
+        block: BlockId,
+        mu: f64,
+        batch: u32,
+    ) -> (f64, RefreshOutcome) {
+        if self.free_blocks[chip].len() <= self.config.gc_free_block_threshold {
+            if self.free_blocks[chip].is_empty() {
+                // Migration itself consumes free WLs; without any free
+                // block the batch below could strand the allocator.
+                return (0.0, RefreshOutcome::Stalled);
+            }
+            let g = self.geometry();
+            let per_block = g.pages_per_block();
+            let victim = {
+                let wear_limit = self
+                    .maint
+                    .as_ref()
+                    .filter(|m| m.config.wear_leveling)
+                    .map(|m| m.config.wear_spread_limit);
+                let wear = wear_limit.map(|_| self.erase_counts(chip));
+                let active: Vec<BlockId> = self.active_blocks(chip);
+                let is_free = &self.is_free[chip];
+                let candidates = (0..g.blocks_per_chip)
+                    .map(BlockId)
+                    .filter(|b| !is_free[b.0 as usize] && !active.contains(b));
+                match (wear_limit, &wear) {
+                    (Some(limit), Some(w)) => select_victim_wear_aware(
+                        &self.mapping,
+                        chip,
+                        candidates,
+                        per_block,
+                        |b| w[b.0 as usize],
+                        limit,
+                    ),
+                    _ => select_victim(&self.mapping, chip, candidates, per_block),
+                }
+            };
+            let Some(victim) = victim else {
+                return (0.0, RefreshOutcome::Stalled);
+            };
+            if victim != block {
+                let (latency, outcome) = self.migrate_block_batch(chip, victim, mu, batch);
+                let moved = match outcome {
+                    RefreshOutcome::Erased { pages_moved }
+                    | RefreshOutcome::Partial { pages_moved } => pages_moved,
+                    RefreshOutcome::Stalled => 0,
+                };
+                self.stats.maint_gc_page_moves += moved;
+                // `block` itself made no progress; report Partial so the
+                // caller parks on it and retries next window.
+                return (latency, RefreshOutcome::Partial { pages_moved: 0 });
+            }
+        }
+        self.migrate_block_batch(chip, block, mu, batch)
+    }
+
+    /// The migration core of [`Self::refresh_block`]: moves up to `batch`
+    /// valid pages of `block` and erases it once clean. Assumes the free
+    /// pool can absorb one batch.
+    fn migrate_block_batch(
+        &mut self,
+        chip: usize,
+        block: BlockId,
+        mu: f64,
+        batch: u32,
+    ) -> (f64, RefreshOutcome) {
+        let mut latency = 0.0;
+        let mut valid: Vec<u64> = self
+            .mapping
+            .valid_pages_of_block(chip, block.0)
+            .map(|(lpn, _)| lpn)
+            .collect();
+        let erase_after = valid.len() <= batch.max(1) as usize;
+        valid.truncate(batch.max(1) as usize);
+        for lpn in &valid {
+            latency += self
+                .read_mapped(*lpn)
+                .expect("valid page must be mapped")
+                .nand_us;
+        }
+        for group in valid.chunks(3) {
+            let mut lpns = [WlData::PAD; 3];
+            lpns[..group.len()].copy_from_slice(group);
+            let (t, _) = self.program_and_map(chip, lpns, mu);
+            latency += t;
+        }
+        let pages_moved = valid.len() as u64;
+        if !erase_after {
+            return (latency, RefreshOutcome::Partial { pages_moved });
+        }
+        self.mapping.assert_block_clean(chip, block.0);
+        latency += self
+            .array
+            .chip_mut(chip)
+            .expect("valid chip")
+            .erase(block)
+            .expect("block in range");
+        if let Some(opm) = &mut self.opm {
+            opm.invalidate_block(chip, block.0);
+        }
+        self.free_blocks[chip].push_back(block);
+        self.is_free[chip][block.0 as usize] = true;
+        self.stats.erases += 1;
+        (latency, RefreshOutcome::Erased { pages_moved })
+    }
+
+    /// Reads one page of a leader WL during maintenance (BER sampling and
+    /// ORT refresh). Charged to the maintenance time budget, not to the
+    /// host read statistics.
+    fn maint_sample_read(&mut self, chip: usize, wl: nand3d::WlAddr) -> f64 {
+        let page = PageAddr {
+            wl,
+            page: nand3d::PageIndex(0),
+        };
+        let params = match &self.opm {
+            Some(opm) => ReadParams::from_offset(opm.read_offset(chip, wl)),
+            None => ReadParams::default(),
+        };
+        let report = self
+            .array
+            .chip_mut(chip)
+            .expect("valid chip")
+            .read_page(page, params)
+            .expect("sampled WL is written");
+        if let Some(opm) = &mut self.opm {
+            opm.update_read_offset(chip, wl, report.final_offset);
+        }
+        report.latency_us
+    }
+}
+
+/// Result of one bounded [`Ftl::refresh_block`] dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefreshOutcome {
+    /// No free-pool headroom and GC could not make any; retry later.
+    Stalled,
+    /// Some valid pages migrated but the block still holds more; the
+    /// caller should resume it on its next idle window.
+    Partial { pages_moved: u64 },
+    /// The block is fully migrated, erased and back in the free pool.
+    Erased { pages_moved: u64 },
 }
 
 impl FtlDriver for Ftl {
@@ -524,6 +985,14 @@ impl FtlDriver for Ftl {
         if self.mapping.unmap(lpn).is_some() {
             self.stats.host_trims += 1;
         }
+    }
+
+    fn maintenance_step(&mut self, chip: usize, ctx: &HostContext) -> Option<MaintWork> {
+        self.maint.as_ref()?;
+        self.in_maint = true;
+        let work = self.maintenance_unit(chip, ctx.buffer_utilization);
+        self.in_maint = false;
+        work.map(|nand_us| MaintWork { nand_us })
     }
 
     fn stats(&self) -> FtlStats {
@@ -873,5 +1342,137 @@ mod tests {
         assert!(ftl.read_page(0, &ctx(0.0)).is_some());
         ftl.trim(0);
         assert!(ftl.read_page(0, &ctx(0.0)).is_none());
+    }
+
+    #[test]
+    fn maintenance_step_is_noop_until_enabled() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        ftl.set_aging(AgingState::EndOfLife);
+        assert!(ftl.maintenance_step(0, &ctx(0.0)).is_none());
+        assert_eq!(ftl.maint_config(), None);
+        let stats = ftl.stats();
+        assert_eq!(stats.scrub_blocks + stats.scrub_sample_reads, 0);
+    }
+
+    #[test]
+    fn scrubber_refreshes_aged_blocks_and_counts_work() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        ftl.set_aging(AgingState::EndOfLife); // 12 months > 6-month bar
+        ftl.enable_maintenance(MaintConfig::default_on());
+        ftl.reset_stats();
+
+        let host_writes_before = ftl.stats().host_wl_programs;
+        let mut steps = 0;
+        while ftl.maintenance_step(0, &ctx(0.0)).is_some() && steps < 10_000 {
+            steps += 1;
+        }
+        let stats = ftl.stats();
+        assert!(stats.scrub_blocks > 0, "no blocks were refreshed");
+        assert!(stats.scrub_sample_reads > 0, "no BER sampling happened");
+        assert!(stats.scrub_page_moves > 0, "no pages migrated");
+        assert_eq!(
+            stats.host_wl_programs, host_writes_before,
+            "maintenance writes must not count as host writes"
+        );
+        assert_eq!(
+            stats.nand_reads, 0,
+            "maintenance reads must not count as host reads"
+        );
+        // Scrubbed data remains readable.
+        for lpn in 0..300 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some(), "lost lpn {lpn}");
+        }
+        // Refreshed blocks read young: retries drop versus an unscrubbed
+        // EndOfLife FTL reading the same data.
+        let retries_scrubbed = {
+            let mut r = 0;
+            ftl.reset_stats();
+            for lpn in 0..300 {
+                r += ftl.read_page(lpn, &ctx(0.0)).unwrap().retries;
+            }
+            r
+        };
+        let mut unscrubbed = Ftl::cube(cfg);
+        write_all(&mut unscrubbed, 0..300, cfg.chips, 0.5);
+        unscrubbed.set_aging(AgingState::EndOfLife);
+        let retries_unscrubbed = {
+            let mut r = 0;
+            for lpn in 0..300 {
+                r += unscrubbed.read_page(lpn, &ctx(0.0)).unwrap().retries;
+            }
+            r
+        };
+        assert!(
+            retries_scrubbed < retries_unscrubbed,
+            "scrubbing should reduce retries: {retries_scrubbed} vs {retries_unscrubbed}"
+        );
+    }
+
+    #[test]
+    fn scrubber_idles_on_fresh_data() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        // Fresh aging: retention 0 — nothing qualifies, not even for
+        // sampling.
+        ftl.enable_maintenance(MaintConfig::default_on());
+        assert!(ftl.maintenance_step(0, &ctx(0.0)).is_none());
+        assert_eq!(ftl.stats().scrub_sample_reads, 0);
+    }
+
+    #[test]
+    fn remonitor_drops_stale_layer_params() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube_minus(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        assert!(ftl.opm().unwrap().pending_layers() > 0);
+        ftl.set_aging(AgingState::EndOfLife); // 12 months > 6-month budget
+        let mut maint = MaintConfig::default_on();
+        // Isolate the re-monitor service.
+        maint.scrub_retention_min_months = f64::INFINITY;
+        maint.scrub_ber_threshold = f64::INFINITY;
+        maint.wear_leveling = false;
+        ftl.enable_maintenance(maint);
+
+        let pending_before = ftl.opm().unwrap().pending_layers();
+        let mut steps = 0;
+        while ftl.maintenance_step(0, &ctx(0.0)).is_some() && steps < 10_000 {
+            steps += 1;
+        }
+        let stats = ftl.stats();
+        assert!(stats.remonitored_layers > 0, "no layers re-monitored");
+        assert!(
+            ftl.opm().unwrap().pending_layers() < pending_before,
+            "stale monitored parameters should have been dropped"
+        );
+        assert_eq!(stats.scrub_blocks, 0, "scrubber was disabled");
+    }
+
+    #[test]
+    fn maintenance_preserves_determinism() {
+        let run = || {
+            let cfg = FtlConfig::small();
+            let mut ftl = Ftl::cube(cfg);
+            write_all(&mut ftl, 0..400, cfg.chips, 0.5);
+            ftl.set_aging(AgingState::EndOfLife);
+            ftl.enable_maintenance(MaintConfig::default_on());
+            for chip in 0..cfg.chips {
+                for _ in 0..50 {
+                    if ftl.maintenance_step(chip, &ctx(0.0)).is_none() {
+                        break;
+                    }
+                }
+            }
+            write_all(&mut ftl, (0..600).map(|i| i % 400), cfg.chips, 0.7);
+            for lpn in 0..400 {
+                ftl.read_page(lpn, &ctx(0.0)).unwrap();
+            }
+            ftl.stats()
+        };
+        assert_eq!(run(), run(), "maintenance must be fully deterministic");
     }
 }

@@ -62,6 +62,10 @@ pub struct Opm {
     /// Post-program BER of the last WL programmed on each h-layer
     /// (safety-check reference).
     last_post_ber: HashMap<LayerKey, f64>,
+    /// P/E cycle count of the block when each h-layer's parameters were
+    /// monitored — the maintenance subsystem's staleness reference for
+    /// periodic re-monitoring.
+    recorded_pe: HashMap<LayerKey, u32>,
     /// The ORT: last known good read offset per h-layer of every block.
     /// Dense per chip: `block * hlayers + h`.
     ort: Vec<Vec<u8>>,
@@ -84,6 +88,7 @@ impl Opm {
         Opm {
             leader_params: HashMap::new(),
             last_post_ber: HashMap::new(),
+            recorded_pe: HashMap::new(),
             ort: vec![vec![0; entries]; chips],
             demoted: HashSet::new(),
             hlayers: geometry.hlayers_per_block,
@@ -129,6 +134,7 @@ impl Opm {
             },
         );
         self.last_post_ber.insert(key, report.post_ber);
+        self.recorded_pe.insert(key, report.pe_cycles);
         // A fresh monitor re-promotes a demoted layer (§4.1.4: the
         // re-programmed WL runs with default parameters and its report
         // becomes the new reference).
@@ -164,6 +170,15 @@ impl Opm {
         let key = Self::key(chip, wl);
         self.leader_params.remove(&key);
         self.last_post_ber.remove(&key);
+        self.recorded_pe.remove(&key);
+    }
+
+    /// The block P/E count at the time `wl`'s h-layer parameters were
+    /// monitored, if the layer currently holds monitored parameters. The
+    /// maintenance subsystem compares this against the block's current
+    /// P/E count to decide when re-monitoring is due.
+    pub fn recorded_pe(&self, chip: usize, wl: WlAddr) -> Option<u32> {
+        self.recorded_pe.get(&Self::key(chip, wl)).copied()
     }
 
     /// §4.1.4 demotion: drops the h-layer's monitored VFY-skip/window
@@ -193,6 +208,8 @@ impl Opm {
         self.leader_params
             .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
         self.last_post_ber
+            .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
+        self.recorded_pe
             .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
         self.demoted
             .retain(|k| !(k.0 == chip as u32 && k.1 == block));
@@ -390,6 +407,28 @@ mod tests {
         assert!(opm
             .follower_params(0, g.wl_addr(nand3d::BlockId(0), 0, 1))
             .is_none());
+    }
+
+    #[test]
+    fn record_leader_stamps_monitoring_pe() {
+        let (mut opm, mut chip) = setup();
+        chip.erase(nand3d::BlockId(0)).unwrap();
+        let g = *chip.geometry();
+        let leader = g.wl_addr(nand3d::BlockId(0), 2, 0);
+        let report = chip
+            .program_wl(leader, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        opm.record_leader(0, leader, &report, chip.ispp());
+        let follower = g.wl_addr(nand3d::BlockId(0), 2, 2);
+        assert_eq!(opm.recorded_pe(0, follower), Some(report.pe_cycles));
+        assert_eq!(
+            opm.recorded_pe(0, g.wl_addr(nand3d::BlockId(0), 3, 0)),
+            None,
+            "unmonitored layer has no stamp"
+        );
+        // Invalidation (safety check or erase) clears the stamp.
+        opm.invalidate_layer(0, follower);
+        assert_eq!(opm.recorded_pe(0, follower), None);
     }
 
     #[test]

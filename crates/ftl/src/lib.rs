@@ -40,6 +40,7 @@ pub mod base;
 pub mod config;
 pub mod cube;
 pub mod gc;
+pub mod maint;
 pub mod mapping;
 pub mod order;
 pub mod predictor;
@@ -48,6 +49,7 @@ pub use base::{Ftl, FtlKind};
 pub use config::FtlConfig;
 pub use cube::opm::{LeaderParams, Opm};
 pub use cube::wam::{Wam, WlChoice};
+pub use maint::MaintConfig;
 pub use mapping::{Mapping, Ppn};
 pub use order::ProgramOrder;
 pub use predictor::{Forecast, LatencyPredictor};

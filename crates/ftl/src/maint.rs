@@ -1,0 +1,146 @@
+//! Background maintenance services: retention scrubbing, wear leveling
+//! and periodic OPM re-monitoring.
+//!
+//! The paper's monitored parameters are only valid while the leader-WL
+//! measurements stay representative — `ΔV` grows from 1.6 fresh to 2.3
+//! at 2K P/E + 1-year retention (§3), and §4.1.4 prescribes re-monitoring
+//! after anomalies. This module supplies the *time-driven* counterpart to
+//! that event-driven safety net: during chip idle windows (offered by the
+//! simulator's [`MaintSchedule`](ssdsim::MaintSchedule)) the FTL
+//!
+//! 1. **scrubs** blocks by retention age — samples BER via a leader-WL
+//!    read (refreshing the ORT `ΔV_Ref` entry in place) and migrates the
+//!    block's pages to fresh WLs before they drift uncorrectable,
+//! 2. **wear-levels** — steers GC victim selection and free-block
+//!    allocation toward cold blocks and recycles the coldest closed block
+//!    when the erase-count spread exceeds a bound, and
+//! 3. **re-monitors** h-layers whose OPM parameters are older than a
+//!    P/E-count or retention-time budget, so VFY-skip/`MaxLoop` margins
+//!    track aging instead of drifting optimistic.
+//!
+//! All services are deterministic: cursors walk blocks in address order
+//! and every decision derives from simulated state, never wall-clock.
+
+/// Tuning knobs of the background maintenance services.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintConfig {
+    /// Master switch; [`MaintConfig::off`] disables every service.
+    pub enabled: bool,
+    /// Retention age (months, temperature-unadjusted) at which a block
+    /// qualifies for a scrub refresh regardless of its sampled BER.
+    pub scrub_retention_min_months: f64,
+    /// Sampled leader-WL BER above which a block is refreshed even
+    /// before it reaches the retention-age bar.
+    pub scrub_ber_threshold: f64,
+    /// Re-monitor an h-layer once the block has seen this many P/E
+    /// cycles since its parameters were recorded.
+    pub remonitor_pe_budget: u32,
+    /// Re-monitor an h-layer once its block's data is older than this
+    /// many months.
+    pub remonitor_retention_budget_months: f64,
+    /// Whether wear-aware GC victim selection, wear-aware free-block
+    /// allocation and cold-block recycling are active.
+    pub wear_leveling: bool,
+    /// Target bound on the hot/cold erase-count spread; the wear-level
+    /// service recycles cold blocks while the spread exceeds it.
+    pub wear_spread_limit: u32,
+    /// Most valid pages a single maintenance dispatch migrates. A block
+    /// refresh larger than this spreads over several idle windows, so a
+    /// host request never queues behind a whole-block migration.
+    pub scrub_batch_pages: u32,
+}
+
+impl MaintConfig {
+    /// Maintenance disabled (the seed behaviour).
+    pub fn off() -> Self {
+        MaintConfig {
+            enabled: false,
+            scrub_retention_min_months: f64::INFINITY,
+            scrub_ber_threshold: f64::INFINITY,
+            remonitor_pe_budget: u32::MAX,
+            remonitor_retention_budget_months: f64::INFINITY,
+            wear_leveling: false,
+            wear_spread_limit: u32::MAX,
+            scrub_batch_pages: u32::MAX,
+        }
+    }
+
+    /// All three services on, with defaults sized for the paper's aging
+    /// states: a 6-month scrub bar (EndOfLife data at 12 months
+    /// qualifies, MidLife at 1 month does not), a BER escape hatch one
+    /// decade under typical ECC limits, and re-monitoring budgets of
+    /// 50 P/E cycles or 6 months.
+    pub fn default_on() -> Self {
+        MaintConfig {
+            enabled: true,
+            scrub_retention_min_months: 6.0,
+            scrub_ber_threshold: 1e-3,
+            remonitor_pe_budget: 50,
+            remonitor_retention_budget_months: 6.0,
+            wear_leveling: true,
+            wear_spread_limit: 8,
+            scrub_batch_pages: 12,
+        }
+    }
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        MaintConfig::off()
+    }
+}
+
+/// Per-chip progress of the maintenance services (owned by
+/// [`Ftl`](crate::Ftl) when maintenance is enabled).
+#[derive(Debug, Clone)]
+pub(crate) struct MaintState {
+    pub(crate) config: MaintConfig,
+    /// Next block each chip's scrubber examines.
+    pub(crate) scrub_cursor: Vec<u32>,
+    /// Whether the block under `scrub_cursor` is mid-refresh (a bounded
+    /// migration batch ran out before the block was clean); the next
+    /// scrub window resumes it without re-sampling its BER.
+    pub(crate) scrub_resume: Vec<bool>,
+    /// Next block each chip's OPM re-monitor examines.
+    pub(crate) remonitor_cursor: Vec<u32>,
+    /// Round-robin position over the three services per chip, so one
+    /// hungry service cannot starve the others of idle windows.
+    pub(crate) next_service: Vec<u8>,
+}
+
+impl MaintState {
+    pub(crate) fn new(config: MaintConfig, chips: usize) -> Self {
+        MaintState {
+            config,
+            scrub_cursor: vec![0; chips],
+            scrub_resume: vec![false; chips],
+            remonitor_cursor: vec![0; chips],
+            next_service: vec![0; chips],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_disables_everything() {
+        let c = MaintConfig::off();
+        assert!(!c.enabled);
+        assert!(!c.wear_leveling);
+        assert_eq!(MaintConfig::default(), c);
+    }
+
+    #[test]
+    fn default_on_orders_thresholds_sanely() {
+        let c = MaintConfig::default_on();
+        assert!(c.enabled && c.wear_leveling);
+        // MidLife (1 month) must not qualify for scrubbing; EndOfLife
+        // (12 months) must.
+        assert!(c.scrub_retention_min_months > 1.0);
+        assert!(c.scrub_retention_min_months < 12.0);
+        assert!(c.scrub_ber_threshold.is_finite());
+        assert!(c.wear_spread_limit >= 1);
+    }
+}

@@ -362,12 +362,20 @@ impl NandChip {
             return Err(NandError::ReadUnwritten(page));
         }
 
-        let fault = self.faults.as_mut().and_then(|f| f.on_read(page.wl));
+        let block = page.wl.block.0 as usize;
+        let mut fault = self.faults.as_mut().and_then(|f| f.on_read(page.wl));
+        if matches!(fault, Some(ReadFaultKind::Uncorrectable)) && self.env.block_is_refreshed(block)
+        {
+            // Retention-driven charge loss is what pushes a page past the
+            // ECC limit; data rewritten since the retention clock was
+            // refreshed is still comfortably correctable.
+            fault = None;
+        }
         let needs_retry = self
             .retry
             .needs_retry_at_default(&self.process, page.wl, &mut self.env);
         let disturbed = self.env.sample_disturbance();
-        let jitter = self.retry.sample_thermal_jitter(&mut self.env);
+        let jitter = self.retry.sample_thermal_jitter(&mut self.env, block);
         let outcome = self.retry.read_faulted(
             &self.process,
             page.wl,
@@ -399,6 +407,53 @@ impl NandChip {
     /// Program state of a WL.
     pub fn wl_state(&self, wl: WlAddr) -> PageState {
         self.wl_state[self.config.geometry.wl_flat(wl)]
+    }
+
+    /// Get-Features: the *current* raw BER a read of `wl` would see under
+    /// the chip's present wear and retention age — what a background
+    /// scrubber samples via a leader-WL read to decide whether the block
+    /// needs refreshing. Pure query: no state change, no RNG draw.
+    /// Returns `None` for unwritten WLs.
+    pub fn wl_current_ber(&self, wl: WlAddr) -> Option<f64> {
+        let idx = self.config.geometry.wl_flat(wl);
+        (self.wl_state[idx] == PageState::Written).then(|| {
+            let block = wl.block.0 as usize;
+            self.reliability.ber(
+                &self.process,
+                wl,
+                self.env.pe(block),
+                self.env.effective_retention_months_of(block),
+            )
+        })
+    }
+
+    /// Retention age of `block`'s data in months (per-block when tracking
+    /// is enabled, otherwise the global override).
+    pub fn block_retention_months(&self, block: BlockId) -> f64 {
+        self.env.retention_months_of(block.0 as usize)
+    }
+
+    /// Enables (or disables) per-block retention tracking. Blocks that
+    /// hold no written WL at enable time are marked refreshed: they carry
+    /// no pre-enable data, so whatever is written into them afterwards is
+    /// young — only data present when tracking starts inherits the global
+    /// retention age.
+    pub fn set_block_retention_tracking(&mut self, on: bool) {
+        self.env.set_block_retention_tracking(on);
+        if !on {
+            return;
+        }
+        let g = self.config.geometry;
+        for b in 0..g.blocks_per_chip {
+            let block = BlockId(b);
+            let any_written = (0..g.hlayers_per_block).any(|h| {
+                (0..g.wls_per_hlayer)
+                    .any(|v| self.wl_state(g.wl_addr(block, h, v)) == PageState::Written)
+            });
+            if !any_written {
+                self.env.mark_refreshed(b as usize);
+            }
+        }
     }
 }
 
@@ -479,6 +534,15 @@ impl FlashArray {
     pub fn set_ambient_celsius(&mut self, celsius: f64) {
         for c in &mut self.chips {
             c.env_mut().set_ambient_celsius(celsius);
+        }
+    }
+
+    /// Enables per-block retention tracking on every chip: erases reset a
+    /// block's retention age, so background scrubbing actually rejuvenates
+    /// data (see [`Environment::set_block_retention_tracking`]).
+    pub fn set_block_retention_tracking(&mut self, on: bool) {
+        for c in &mut self.chips {
+            c.set_block_retention_tracking(on);
         }
     }
 

@@ -106,6 +106,13 @@ pub struct Environment {
     /// Ambient temperature, °C. Retention loss accelerates above the
     /// 30 °C reference following an Arrhenius law.
     ambient_celsius: f64,
+    /// When true, erases reset the block's retention clock: a refreshed
+    /// block holds new data and no longer carries the override's baked-in
+    /// retention age. Off by default so characterization experiments keep
+    /// the paper's uniform aging states.
+    track_block_retention: bool,
+    /// Per-block "erased since retention tracking was enabled" marks.
+    refreshed: Vec<bool>,
     rng: StdRng,
 }
 
@@ -118,7 +125,43 @@ impl Environment {
             pe_override: None,
             disturbance_prob: 0.0,
             ambient_celsius: REFERENCE_CELSIUS,
+            track_block_retention: false,
+            refreshed: vec![false; blocks],
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Enables (or disables) per-block retention tracking: while enabled,
+    /// erasing a block resets its retention age to zero until the next
+    /// global aging override. Background scrubbing relies on this — moving
+    /// data to a freshly erased block is what buys the reliability back.
+    pub fn set_block_retention_tracking(&mut self, on: bool) {
+        self.track_block_retention = on;
+        if !on {
+            self.refreshed.fill(false);
+        }
+    }
+
+    /// Whether per-block retention tracking is enabled.
+    #[inline]
+    pub fn block_retention_tracking(&self) -> bool {
+        self.track_block_retention
+    }
+
+    /// Whether `block` was erased (and thus retention-refreshed) since
+    /// tracking was enabled.
+    #[inline]
+    pub fn block_is_refreshed(&self, block: usize) -> bool {
+        self.track_block_retention && self.refreshed[block]
+    }
+
+    /// Marks `block` as retention-refreshed without an erase. Used when
+    /// tracking is enabled on a chip with empty blocks: blocks holding no
+    /// data cannot carry the global (pre-enable) retention age, so data
+    /// written into them afterwards is young.
+    pub fn mark_refreshed(&mut self, block: usize) {
+        if self.track_block_retention {
+            self.refreshed[block] = true;
         }
     }
 
@@ -126,12 +169,14 @@ impl Environment {
     pub fn set_aging(&mut self, state: AgingState) {
         self.pe_override = Some(state.pe_cycles());
         self.retention_override_months = Some(state.retention_months());
+        self.refreshed.fill(false);
     }
 
     /// Pins raw P/E cycles and retention months (for sweeps).
     pub fn set_aging_raw(&mut self, pe: u32, retention_months: f64) {
         self.pe_override = Some(pe);
         self.retention_override_months = Some(retention_months);
+        self.refreshed.fill(false);
     }
 
     /// Removes any aging override, returning to live accounting.
@@ -162,6 +207,18 @@ impl Environment {
     #[inline]
     pub fn retention_months(&self) -> f64 {
         self.retention_override_months.unwrap_or(0.0)
+    }
+
+    /// Retention time of `block`'s data in months: the global override,
+    /// unless per-block tracking is on and the block was erased since —
+    /// refreshed data is young regardless of how long the device sat.
+    #[inline]
+    pub fn retention_months_of(&self, block: usize) -> f64 {
+        if self.block_is_refreshed(block) {
+            0.0
+        } else {
+            self.retention_months()
+        }
     }
 
     /// Sets the ambient temperature in °C (default: the paper's 30 °C).
@@ -199,10 +256,20 @@ impl Environment {
         self.retention_months() * self.retention_acceleration()
     }
 
+    /// Temperature-adjusted retention of `block`'s data (see
+    /// [`Environment::retention_months_of`]).
+    #[inline]
+    pub fn effective_retention_months_of(&self, block: usize) -> f64 {
+        self.retention_months_of(block) * self.retention_acceleration()
+    }
+
     /// Records one erase of `block`.
     #[inline]
     pub fn record_erase(&mut self, block: usize) {
         self.pe_cycles[block] = self.pe_cycles[block].saturating_add(1);
+        if self.track_block_retention {
+            self.refreshed[block] = true;
+        }
     }
 
     /// Live (non-overridden) erase count of `block`.
@@ -254,6 +321,35 @@ mod tests {
         assert_eq!(env.retention_months(), 12.0);
         env.clear_aging();
         assert_eq!(env.retention_months(), 0.0);
+    }
+
+    #[test]
+    fn block_retention_tracking_resets_age_on_erase() {
+        let mut env = Environment::new(2, 1);
+        env.set_aging(AgingState::EndOfLife);
+        assert_eq!(env.retention_months_of(0), 12.0);
+
+        // Without tracking, erases do not touch the retention clock.
+        env.record_erase(0);
+        assert_eq!(env.retention_months_of(0), 12.0);
+
+        env.set_block_retention_tracking(true);
+        env.record_erase(0);
+        assert_eq!(env.retention_months_of(0), 0.0, "refreshed block is young");
+        assert_eq!(env.effective_retention_months_of(0), 0.0);
+        assert_eq!(env.retention_months_of(1), 12.0, "other block unaffected");
+        assert!(env.block_is_refreshed(0));
+        assert!(!env.block_is_refreshed(1));
+
+        // A new global override re-bakes every block's age.
+        env.set_aging(AgingState::EndOfLife);
+        assert_eq!(env.retention_months_of(0), 12.0);
+
+        // Disabling tracking clears the marks.
+        env.record_erase(0);
+        assert!(env.block_is_refreshed(0));
+        env.set_block_retention_tracking(false);
+        assert!(!env.block_is_refreshed(0));
     }
 
     #[test]

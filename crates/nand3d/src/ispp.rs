@@ -206,7 +206,7 @@ impl IsppEngine {
         disturbance_shift: i8,
     ) -> WlCharacteristics {
         let pe = env.pe(wl.block.0 as usize);
-        let retention = env.effective_retention_months();
+        let retention = env.effective_retention_months_of(wl.block.0 as usize);
         let ispp = &self.model.ispp;
 
         // Program-speed shifts: degraded (wide-hole / rugged) layers need

@@ -77,7 +77,7 @@ impl RetryEngine {
     /// different D"), while WLs of one h-layer share one.
     pub fn optimal_offset(&self, process: &ProcessModel, wl: WlAddr, env: &Environment) -> u8 {
         let pe = env.pe(wl.block.0 as usize);
-        let months = env.effective_retention_months();
+        let months = env.effective_retention_months_of(wl.block.0 as usize);
         let sens = process.aging_sensitivity(wl.block, wl.h.0);
         let factor = process.layer_factor(wl.block, wl.h.0);
         let x = f64::from(pe) / 2000.0;
@@ -92,9 +92,10 @@ impl RetryEngine {
     /// Samples the ambient thermal jitter for one read: a ±1 step shift
     /// of the effective optimum that occurs with
     /// [`RetryModel::thermal_jitter_prob`](crate::config::RetryModel::thermal_jitter_prob)
-    /// while data sits under retention. Returns 0 for fresh data.
-    pub fn sample_thermal_jitter(&self, env: &mut Environment) -> i8 {
-        if env.effective_retention_months() <= 0.0 {
+    /// while data sits under retention. Returns 0 for fresh data
+    /// (including blocks whose retention clock was reset by a scrub).
+    pub fn sample_thermal_jitter(&self, env: &mut Environment, block: usize) -> i8 {
+        if env.effective_retention_months_of(block) <= 0.0 {
             return 0;
         }
         let p = self.model.retry.thermal_jitter_prob;
@@ -133,7 +134,7 @@ impl RetryEngine {
     /// under the environment's aging condition (linear interpolation of
     /// the §6.2 anchors over retention time at 2K P/E).
     pub fn retry_need_probability(&self, env: &Environment, block: usize) -> f64 {
-        let months = env.effective_retention_months();
+        let months = env.effective_retention_months_of(block);
         let pe_frac = (f64::from(env.pe(block)) / 2000.0).min(1.0);
         let need = &self.model.retry.retry_need;
         let by_retention = if months <= 0.0 {

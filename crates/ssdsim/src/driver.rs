@@ -31,6 +31,17 @@ pub struct WlWrite {
     pub leader: bool,
 }
 
+/// Result of asking the FTL to perform one unit of background
+/// maintenance (retention scrub, wear-level migration, OPM re-monitor)
+/// on an idle chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintWork {
+    /// NAND time the chip is busy with the background operation, µs.
+    /// Maintenance data moves stay on-chip (copy-back style), so the
+    /// simulator charges no bus transfer for them.
+    pub nand_us: f64,
+}
+
 /// Result of asking the FTL to read one logical page.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PageRead {
@@ -75,6 +86,20 @@ pub struct FtlStats {
     pub uncorrectable_recoveries: u64,
     /// Host TRIMs applied (pages unmapped).
     pub host_trims: u64,
+    /// Blocks refreshed (migrated and erased) by the retention scrubber.
+    pub scrub_blocks: u64,
+    /// Valid pages migrated by the retention scrubber.
+    pub scrub_page_moves: u64,
+    /// Leader-WL sample reads issued by the scrubber to probe block BER.
+    pub scrub_sample_reads: u64,
+    /// H-layers re-monitored by the periodic OPM refresh service.
+    pub remonitored_layers: u64,
+    /// Valid pages migrated by the wear-leveling service.
+    pub wear_level_moves: u64,
+    /// Valid pages migrated by garbage collections that ran *inside*
+    /// maintenance (free-pool top-up before a scrub migration);
+    /// `gc_page_moves` then counts host-triggered GC only.
+    pub maint_gc_page_moves: u64,
 }
 
 impl FtlStats {
@@ -86,6 +111,18 @@ impl FtlStats {
             + self.program_aborts
             + self.stuck_retry_recoveries
             + self.uncorrectable_recoveries
+    }
+
+    /// NAND pages written by background maintenance (scrub and
+    /// wear-level migrations plus maintenance-triggered GC).
+    pub fn maint_page_moves(&self) -> u64 {
+        self.scrub_page_moves + self.wear_level_moves + self.maint_gc_page_moves
+    }
+
+    /// Total background maintenance actions (block scrubs, wear-level
+    /// migrations and OPM re-monitors) — the CLI's background-op count.
+    pub fn maint_actions(&self) -> u64 {
+        self.scrub_blocks + self.wear_level_moves + self.remonitored_layers
     }
 }
 
@@ -108,6 +145,17 @@ pub trait FtlDriver {
     /// Invalidate a logical page (TRIM). Default: ignored.
     fn trim(&mut self, lpn: u64) {
         let _ = lpn;
+    }
+
+    /// Performs one bounded unit of background maintenance on an idle
+    /// `chip` (scrub one block, migrate one cold block, re-monitor one
+    /// h-layer, …) and returns its NAND cost, or `None` when no
+    /// maintenance is due there. The simulator calls this only during
+    /// chip idle windows, subject to the configured host-priority gap.
+    /// Default: the FTL performs no background work.
+    fn maintenance_step(&mut self, chip: usize, ctx: &HostContext) -> Option<MaintWork> {
+        let _ = (chip, ctx);
+        None
     }
 
     /// FTL-internal counters.

@@ -27,7 +27,7 @@ pub mod ssd;
 pub mod stats;
 
 pub use buffer::WriteBuffer;
-pub use driver::{FtlDriver, FtlStats, HostContext, PageRead, WlWrite};
+pub use driver::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
 pub use request::{HostOp, HostRequest};
-pub use ssd::{SimReport, SsdConfig, SsdSim};
+pub use ssd::{ChipStats, MaintSchedule, SimReport, SsdConfig, SsdSim};
 pub use stats::LatencyRecorder;

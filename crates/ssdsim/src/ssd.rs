@@ -19,6 +19,48 @@ use crate::stats::LatencyRecorder;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Background-maintenance scheduling policy of the simulator.
+///
+/// When enabled, the simulator offers idle chips to the FTL's
+/// [`FtlDriver::maintenance_step`] hook. Host traffic keeps strict
+/// priority: a chip is only offered while its queue is empty, and after
+/// each background operation (or an idle poll that found nothing due)
+/// the chip stays reserved for host work for at least `min_gap_us` —
+/// the starvation bound that keeps maintenance from monopolizing a chip
+/// under sparse traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintSchedule {
+    /// Whether background maintenance dispatch is active.
+    pub enabled: bool,
+    /// Minimum host-priority window between background operations on one
+    /// chip, µs.
+    pub min_gap_us: f64,
+}
+
+impl MaintSchedule {
+    /// Maintenance disabled (the default — matches the seed simulator).
+    pub fn off() -> Self {
+        MaintSchedule {
+            enabled: false,
+            min_gap_us: 0.0,
+        }
+    }
+
+    /// Maintenance enabled with a 200 µs host-priority gap.
+    pub fn on() -> Self {
+        MaintSchedule {
+            enabled: true,
+            min_gap_us: 200.0,
+        }
+    }
+}
+
+impl Default for MaintSchedule {
+    fn default() -> Self {
+        MaintSchedule::off()
+    }
+}
+
 /// Static configuration of the simulated SSD platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsdConfig {
@@ -38,6 +80,8 @@ pub struct SsdConfig {
     pub t_xfer_page_us: f64,
     /// Maximum flush operations queued per chip at a time.
     pub max_pending_flush_per_chip: usize,
+    /// Background-maintenance scheduling policy.
+    pub maint: MaintSchedule,
 }
 
 impl SsdConfig {
@@ -52,6 +96,7 @@ impl SsdConfig {
             t_buffer_us: 5.0,
             t_xfer_page_us: 20.0,
             max_pending_flush_per_chip: 2,
+            maint: MaintSchedule::off(),
         }
     }
 
@@ -66,6 +111,7 @@ impl SsdConfig {
             t_buffer_us: 5.0,
             t_xfer_page_us: 20.0,
             max_pending_flush_per_chip: 2,
+            maint: MaintSchedule::off(),
         }
     }
 }
@@ -73,6 +119,30 @@ impl SsdConfig {
 impl Default for SsdConfig {
     fn default() -> Self {
         SsdConfig::paper()
+    }
+}
+
+/// Per-chip queueing and utilization statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChipStats {
+    /// Deepest the chip's op queue got, counting the in-flight op.
+    pub max_queue_depth: usize,
+    /// Total time the chip spent executing operations, µs.
+    pub busy_us: f64,
+    /// Background maintenance operations executed on this chip.
+    pub maint_ops: u64,
+    /// NAND time spent on background maintenance, µs.
+    pub maint_us: f64,
+}
+
+impl ChipStats {
+    /// Fraction of `sim_time_us` the chip was busy, in `[0, 1]`.
+    pub fn busy_fraction(&self, sim_time_us: f64) -> f64 {
+        if sim_time_us <= 0.0 {
+            0.0
+        } else {
+            (self.busy_us / sim_time_us).min(1.0)
+        }
     }
 }
 
@@ -99,13 +169,23 @@ pub struct SimReport {
     pub write_latency: LatencyRecorder,
     /// FTL-internal counters at the end of the run.
     pub ftl: crate::driver::FtlStats,
+    /// Per-chip queueing/utilization statistics.
+    pub chip_stats: Vec<ChipStats>,
 }
 
 impl SimReport {
-    /// Write amplification: NAND pages programmed (host WLs + GC
-    /// migrations + safety re-programs) per host page written. Returns
-    /// `None` when the run wrote nothing.
+    /// Write amplification as seen by the host: alias of
+    /// [`SimReport::wa_host`], kept for callers that predate the
+    /// host/total split.
     pub fn write_amplification(&self) -> Option<f64> {
+        self.wa_host()
+    }
+
+    /// Host-attributed write amplification: NAND pages programmed on
+    /// behalf of host traffic (host WLs + host-triggered GC migrations +
+    /// safety re-programs) per host page written. Returns `None` when
+    /// the run wrote nothing.
+    pub fn wa_host(&self) -> Option<f64> {
         let host_pages: u64 = self.ftl.host_wl_programs * 3;
         if host_pages == 0 {
             return None;
@@ -114,6 +194,48 @@ impl SimReport {
             (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
                 + self.ftl.gc_page_moves;
         Some(nand_pages as f64 / host_pages as f64)
+    }
+
+    /// Total write amplification including background maintenance
+    /// (scrub and wear-level migrations, maintenance-triggered GC) on
+    /// top of the host-attributed pages. `wa_total == wa_host` when
+    /// maintenance is off.
+    pub fn wa_total(&self) -> Option<f64> {
+        let host_pages: u64 = self.ftl.host_wl_programs * 3;
+        if host_pages == 0 {
+            return None;
+        }
+        let nand_pages =
+            (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
+                + self.ftl.gc_page_moves
+                + self.ftl.maint_page_moves();
+        Some(nand_pages as f64 / host_pages as f64)
+    }
+
+    /// Total background maintenance operations dispatched across chips.
+    pub fn background_ops(&self) -> u64 {
+        self.chip_stats.iter().map(|c| c.maint_ops).sum()
+    }
+
+    /// Deepest per-chip queue observed anywhere in the array.
+    pub fn max_queue_depth(&self) -> usize {
+        self.chip_stats
+            .iter()
+            .map(|c| c.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean per-chip busy-time fraction over the run.
+    pub fn mean_busy_fraction(&self) -> f64 {
+        if self.chip_stats.is_empty() {
+            return 0.0;
+        }
+        self.chip_stats
+            .iter()
+            .map(|c| c.busy_fraction(self.sim_time_us))
+            .sum::<f64>()
+            / self.chip_stats.len() as f64
     }
 }
 
@@ -157,8 +279,19 @@ impl Ord for Event {
 
 #[derive(Debug, Clone)]
 enum ChipOp {
-    Read { req: usize, nand_us: f64 },
-    Flush { lpns: [u64; 3], nand_us: f64 },
+    Read {
+        req: usize,
+        nand_us: f64,
+    },
+    Flush {
+        lpns: [u64; 3],
+        nand_us: f64,
+    },
+    /// A background maintenance operation. Data moves stay on-chip, so
+    /// no bus transfer is charged.
+    Maint {
+        nand_us: f64,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -167,6 +300,10 @@ struct ChipState {
     queue: VecDeque<ChipOp>,
     pending_flushes: usize,
     current: Option<ChipOp>,
+    /// Earliest time the maintenance scheduler may use this chip again
+    /// (the host-priority/starvation bound, and the idle-poll backoff).
+    maint_allowed_at: f64,
+    stats: ChipStats,
 }
 
 #[derive(Debug)]
@@ -276,6 +413,7 @@ impl SsdSim {
         let mut workload = workload.into_iter().take(max_requests as usize).peekable();
 
         self.fill_queue(&mut workload, ftl);
+        self.try_maint(ftl);
         let mut event_count: u64 = 0;
         while let Some(ev) = self.events.pop() {
             debug_assert!(ev.t >= self.now - 1e-9, "time went backwards");
@@ -304,6 +442,7 @@ impl SsdSim {
                 EventKind::ChipIdle { chip } => self.chip_op_done(chip, ftl),
             }
             self.fill_queue(&mut workload, ftl);
+            self.try_maint(ftl);
         }
 
         debug_assert_eq!(self.outstanding, 0, "drain left requests in flight");
@@ -319,6 +458,7 @@ impl SsdSim {
             read_latency: std::mem::take(&mut self.read_latency),
             write_latency: std::mem::take(&mut self.write_latency),
             ftl: ftl.stats(),
+            chip_stats: self.chips.iter().map(|c| c.stats).collect(),
         }
     }
 
@@ -477,6 +617,9 @@ impl SsdSim {
             self.chips[chip].pending_flushes += 1;
         }
         self.chips[chip].queue.push_back(op);
+        let depth = self.chips[chip].queue.len() + usize::from(self.chips[chip].busy);
+        let c = &mut self.chips[chip];
+        c.stats.max_queue_depth = c.stats.max_queue_depth.max(depth);
         if !self.chips[chip].busy {
             self.start_next_op(chip);
         }
@@ -490,15 +633,24 @@ impl SsdSim {
         let pages = match &op {
             ChipOp::Read { .. } => 1.0,
             ChipOp::Flush { lpns, .. } => lpns.iter().filter(|&&l| l != u64::MAX).count() as f64,
+            ChipOp::Maint { .. } => 0.0,
         };
-        let transfer = pages * self.config.t_xfer_page_us;
-        let start = self.now.max(self.bus_free_at[bus]);
-        self.bus_free_at[bus] = start + transfer;
         let nand_us = match &op {
-            ChipOp::Read { nand_us, .. } | ChipOp::Flush { nand_us, .. } => *nand_us,
+            ChipOp::Read { nand_us, .. }
+            | ChipOp::Flush { nand_us, .. }
+            | ChipOp::Maint { nand_us } => *nand_us,
         };
-        let done = start + transfer + nand_us;
+        let done = if pages > 0.0 {
+            let transfer = pages * self.config.t_xfer_page_us;
+            let start = self.now.max(self.bus_free_at[bus]);
+            self.bus_free_at[bus] = start + transfer;
+            start + transfer + nand_us
+        } else {
+            // Bus-less (on-chip) operation.
+            self.now + nand_us
+        };
         self.chips[chip].busy = true;
+        self.chips[chip].stats.busy_us += done - self.now;
         self.chips[chip].current = Some(op);
         self.push_event(done, EventKind::ChipIdle { chip });
     }
@@ -520,6 +672,11 @@ impl SsdSim {
                 self.chips[chip].pending_flushes -= 1;
                 self.buffer.complete_flush(lpns);
                 self.retry_stalled_writes();
+            }
+            ChipOp::Maint { .. } => {
+                // Starvation bound: the chip now belongs to host traffic
+                // for at least the configured gap.
+                self.chips[chip].maint_allowed_at = self.now + self.config.maint.min_gap_us;
             }
         }
         self.start_next_op(chip);
@@ -568,6 +725,40 @@ impl SsdSim {
         }
     }
 
+    /// Offers every idle chip to the FTL's maintenance hook. Runs only
+    /// while host requests are outstanding, so maintenance can never
+    /// keep the event loop alive past the workload — and an idle poll
+    /// that finds nothing due backs the chip off by the host-priority
+    /// gap rather than re-asking on every event.
+    fn try_maint<F: FtlDriver + ?Sized>(&mut self, ftl: &mut F) {
+        if !self.config.maint.enabled || self.outstanding == 0 {
+            return;
+        }
+        for chip in 0..self.chips.len() {
+            let c = &self.chips[chip];
+            if c.busy || !c.queue.is_empty() || self.now < c.maint_allowed_at {
+                continue;
+            }
+            let ctx = self.ctx();
+            match ftl.maintenance_step(chip, &ctx) {
+                Some(work) => {
+                    self.chips[chip].stats.maint_ops += 1;
+                    self.chips[chip].stats.maint_us += work.nand_us;
+                    self.enqueue_chip_op(
+                        chip,
+                        ChipOp::Maint {
+                            nand_us: work.nand_us,
+                        },
+                    );
+                }
+                None => {
+                    self.chips[chip].maint_allowed_at =
+                        self.now + self.config.maint.min_gap_us.max(1.0);
+                }
+            }
+        }
+    }
+
     fn pick_flush_chip(&self) -> Option<usize> {
         self.chips
             .iter()
@@ -592,6 +783,9 @@ mod tests {
         mapped: HashMap<u64, usize>,
         stats: FtlStats,
         utilizations: Vec<f64>,
+        /// Background-maintenance units this stub still wants to run
+        /// (0 = never asks for maintenance).
+        maint_budget: u64,
     }
 
     impl StubFtl {
@@ -603,6 +797,7 @@ mod tests {
                 mapped: HashMap::new(),
                 stats: FtlStats::default(),
                 utilizations: Vec::new(),
+                maint_budget: 0,
             }
         }
     }
@@ -637,6 +832,19 @@ mod tests {
             if self.mapped.remove(&lpn).is_some() {
                 self.stats.host_trims += 1;
             }
+        }
+
+        fn maintenance_step(
+            &mut self,
+            _chip: usize,
+            _ctx: &HostContext,
+        ) -> Option<crate::driver::MaintWork> {
+            if self.maint_budget == 0 {
+                return None;
+            }
+            self.maint_budget -= 1;
+            self.stats.scrub_blocks += 1;
+            Some(crate::driver::MaintWork { nand_us: 300.0 })
         }
 
         fn stats(&self) -> FtlStats {
@@ -819,6 +1027,7 @@ mod tests {
                 t_buffer_us: 5.0,
                 t_xfer_page_us: 150.0, // transfer-dominated: one bus saturates
                 max_pending_flush_per_chip: 2,
+                maint: MaintSchedule::off(),
             };
             let mut sim = SsdSim::new(cfg);
             let mut ftl = StubFtl::new(cfg.chips);
@@ -908,6 +1117,123 @@ mod tests {
         let mut fresh = StubFtl::new(cfg.chips);
         let empty = sim.run(&mut fresh, std::iter::empty(), 0);
         assert_eq!(empty.write_amplification(), None);
+    }
+
+    #[test]
+    fn queue_stats_are_collected() {
+        let cfg = SsdConfig::small();
+        let mut sim = SsdSim::new(cfg);
+        let mut ftl = StubFtl::new(cfg.chips);
+        let report = sim.run(&mut ftl, (0..200u64).map(HostRequest::write), 200);
+        assert_eq!(report.chip_stats.len(), cfg.chips);
+        assert!(report.max_queue_depth() >= 1);
+        let busy = report.mean_busy_fraction();
+        assert!(
+            busy > 0.0 && busy <= 1.0,
+            "busy fraction out of range: {busy}"
+        );
+        for c in &report.chip_stats {
+            assert!(c.busy_us <= report.sim_time_us + 1e-9);
+        }
+    }
+
+    #[test]
+    fn maintenance_runs_in_idle_windows_and_is_counted() {
+        let cfg = SsdConfig {
+            maint: MaintSchedule {
+                enabled: true,
+                min_gap_us: 50.0,
+            },
+            ..SsdConfig::small()
+        };
+        let mut sim = SsdSim::new(cfg);
+        let mut ftl = StubFtl::new(cfg.chips);
+        ftl.maint_budget = 40;
+        sim.prefill(&mut ftl, 0..512);
+        let report = sim.run(
+            &mut ftl,
+            (0..2000u64).map(|i| HostRequest::read(i % 512)),
+            2000,
+        );
+        assert_eq!(report.completed, 2000);
+        let bg = report.background_ops();
+        assert!(bg > 0, "idle windows should admit background work");
+        assert_eq!(bg, report.ftl.scrub_blocks, "counters must agree");
+        assert!(report.chip_stats.iter().any(|c| c.maint_us > 0.0));
+    }
+
+    #[test]
+    fn maintenance_disabled_never_dispatches() {
+        let cfg = SsdConfig::small(); // maint off
+        let mut sim = SsdSim::new(cfg);
+        let mut ftl = StubFtl::new(cfg.chips);
+        ftl.maint_budget = 40;
+        let report = sim.run(&mut ftl, (0..200u64).map(HostRequest::write), 200);
+        assert_eq!(report.background_ops(), 0);
+        assert_eq!(ftl.maint_budget, 40, "hook must never be polled");
+    }
+
+    #[test]
+    fn endless_maintenance_demand_cannot_stall_the_run() {
+        // An FTL that always has maintenance due must not keep the event
+        // loop alive after the host workload drains.
+        let cfg = SsdConfig {
+            maint: MaintSchedule {
+                enabled: true,
+                min_gap_us: 10.0,
+            },
+            ..SsdConfig::small()
+        };
+        let mut sim = SsdSim::new(cfg);
+        let mut ftl = StubFtl::new(cfg.chips);
+        ftl.maint_budget = u64::MAX;
+        let report = sim.run(&mut ftl, (0..120u64).map(HostRequest::write), 120);
+        assert_eq!(report.completed, 120);
+        assert!(report.background_ops() > 0);
+    }
+
+    #[test]
+    fn larger_host_priority_gap_throttles_maintenance() {
+        let run_with = |gap: f64| {
+            let cfg = SsdConfig {
+                maint: MaintSchedule {
+                    enabled: true,
+                    min_gap_us: gap,
+                },
+                ..SsdConfig::small()
+            };
+            let mut sim = SsdSim::new(cfg);
+            let mut ftl = StubFtl::new(cfg.chips);
+            ftl.maint_budget = u64::MAX;
+            // All three LPNs land on chip 0, so chip 1 sees host traffic
+            // never and is limited purely by the gap.
+            sim.prefill(&mut ftl, 0..3);
+            sim.run(
+                &mut ftl,
+                (0..1500u64).map(|i| HostRequest::read(i % 3)),
+                1500,
+            )
+            .background_ops()
+        };
+        let eager = run_with(10.0);
+        let throttled = run_with(5_000.0);
+        assert!(
+            throttled < eager,
+            "gap 5000 µs ({throttled} ops) should throttle vs 10 µs ({eager} ops)"
+        );
+    }
+
+    #[test]
+    fn wa_total_includes_maintenance_moves() {
+        let cfg = SsdConfig::small();
+        let mut sim = SsdSim::new(cfg);
+        let mut ftl = StubFtl::new(cfg.chips);
+        let mut report = sim.run(&mut ftl, (0..120u64).map(HostRequest::write), 120);
+        assert_eq!(report.wa_host(), report.wa_total());
+        // Maintenance moves inflate only the total.
+        report.ftl.scrub_page_moves = report.ftl.host_wl_programs * 3;
+        assert_eq!(report.wa_host(), Some(1.0));
+        assert_eq!(report.wa_total(), Some(2.0));
     }
 
     #[test]

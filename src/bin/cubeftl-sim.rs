@@ -4,10 +4,18 @@
 //! cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]
 //!             [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]
 //!             [--fault-seed N] [--fault-rate CLASS=RATE]...
+//!             [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]
+//!             [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]
 //! ```
 //!
 //! `--fault-rate` enables seeded fault injection (repeatable); CLASS is one
 //! of `ispp-outlier`, `ber-spike`, `stuck-retry`, `uncorrectable`, `abort`.
+//!
+//! `--maint` enables the background maintenance subsystem (retention
+//! scrubbing, wear leveling, OPM re-monitoring) with default thresholds;
+//! any `--maint-*` knob implies `--maint`. `--maint-gap-us` is the
+//! host-priority gap: a chip must have been idle that long before a
+//! background op may be dispatched on it.
 //!
 //! Examples:
 //!
@@ -15,10 +23,11 @@
 //! cargo run --release --bin cubeftl-sim -- --workload rocks --aging eol --ftl all
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --workload oltp --requests 100000
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --fault-rate ber-spike=0.01 --fault-rate abort=0.005
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --aging eol --maint --maint-gap-us 500
 //! ```
 
 use cubeftl::harness::{run_eval, EvalConfig};
-use cubeftl::{AgingState, FaultKind, FaultPlan, FtlKind, StandardWorkload};
+use cubeftl::{AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, StandardWorkload};
 use std::process::ExitCode;
 
 fn parse_ftl(s: &str) -> Option<Vec<FtlKind>> {
@@ -69,6 +78,8 @@ fn usage() -> ExitCode {
         "usage: cubeftl-sim [--ftl page|vert|cube|cube-|all] [--workload mail|web|proxy|oltp|rocks|mongo]\n\
          \x20                  [--aging fresh|midlife|eol] [--requests N] [--blocks N] [--seed N] [--temp C]\n\
          \x20                  [--fault-seed N] [--fault-rate CLASS=RATE]...\n\
+         \x20                  [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]\n\
+         \x20                  [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort"
     );
     ExitCode::FAILURE
@@ -83,10 +94,25 @@ fn main() -> ExitCode {
     let mut celsius: Option<f64> = None;
     let mut fault_seed: Option<u64> = None;
     let mut fault_rates: Vec<(FaultKind, f64)> = Vec::new();
+    let mut maint: Option<MaintConfig> = None;
+    let mut maint_gap_us: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        // Valueless flags advance by one; everything else consumes a value.
+        match flag {
+            "--maint" => {
+                maint.get_or_insert_with(MaintConfig::default_on);
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => {}
+        }
         let value = args.get(i + 1);
         match (flag, value) {
             ("--ftl", Some(v)) => match parse_ftl(v) {
@@ -132,10 +158,53 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            ("--help", _) | ("-h", _) => {
-                usage();
-                return ExitCode::SUCCESS;
-            }
+            ("--maint-gap-us", Some(v)) => match v.parse::<f64>() {
+                Ok(g) if g >= 0.0 => {
+                    maint.get_or_insert_with(MaintConfig::default_on);
+                    maint_gap_us = Some(g);
+                }
+                _ => return usage(),
+            },
+            ("--maint-scrub-months", Some(v)) => match v.parse::<f64>() {
+                Ok(m) if m > 0.0 => {
+                    maint
+                        .get_or_insert_with(MaintConfig::default_on)
+                        .scrub_retention_min_months = m;
+                }
+                _ => return usage(),
+            },
+            ("--maint-scrub-ber", Some(v)) => match v.parse::<f64>() {
+                Ok(b) if b > 0.0 => {
+                    maint
+                        .get_or_insert_with(MaintConfig::default_on)
+                        .scrub_ber_threshold = b;
+                }
+                _ => return usage(),
+            },
+            ("--maint-remonitor-pe", Some(v)) => match v.parse::<u32>() {
+                Ok(n) => {
+                    maint
+                        .get_or_insert_with(MaintConfig::default_on)
+                        .remonitor_pe_budget = n;
+                }
+                Err(_) => return usage(),
+            },
+            ("--maint-wear-limit", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n > 0 => {
+                    maint
+                        .get_or_insert_with(MaintConfig::default_on)
+                        .wear_spread_limit = n;
+                }
+                _ => return usage(),
+            },
+            ("--maint-scrub-batch", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n > 0 => {
+                    maint
+                        .get_or_insert_with(MaintConfig::default_on)
+                        .scrub_batch_pages = n;
+                }
+                _ => return usage(),
+            },
             _ => return usage(),
         }
         i += 2;
@@ -152,9 +221,16 @@ fn main() -> ExitCode {
         }
         cfg.faults = Some(plan);
     }
+    if let Some(m) = maint {
+        cfg.maint = Some(m);
+        cfg.ssd.maint = cubeftl::MaintSchedule::on();
+        if let Some(g) = maint_gap_us {
+            cfg.ssd.maint.min_gap_us = g;
+        }
+    }
 
     println!(
-        "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}{}\n",
+        "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}{}{}\n",
         cfg.blocks_per_chip,
         cfg.requests,
         cfg.seed,
@@ -162,20 +238,36 @@ fn main() -> ExitCode {
         cfg.faults
             .as_ref()
             .map(|p| format!(", faults on (seed {})", p.seed))
+            .unwrap_or_default(),
+        cfg.maint
+            .map(|_| format!(", maint on (gap {} µs)", cfg.ssd.maint.min_gap_us))
             .unwrap_or_default()
     );
     println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
-        "FTL", "IOPS", "p50 rd (ms)", "p99 rd (ms)", "p90 wr (ms)", "GC runs", "retries", "WA"
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6} {:>6}",
+        "FTL",
+        "IOPS",
+        "p50 rd (ms)",
+        "p99 rd (ms)",
+        "p90 wr (ms)",
+        "GC runs",
+        "retries",
+        "WA(h)",
+        "WA(t)"
     );
     let faults_on = cfg.faults.is_some();
+    let maint_on = cfg.maint.is_some();
     if let Some(c) = celsius {
         cfg.ambient_celsius = c;
     }
+    let fmt_wa = |w: Option<f64>| {
+        w.map(|w| format!("{w:.2}"))
+            .unwrap_or_else(|| "-".to_owned())
+    };
     for kind in kinds {
         let mut r = run_eval(kind, workload, aging, &cfg);
         println!(
-            "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6}",
+            "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6} {:>6}",
             r.ftl_name,
             r.iops,
             r.read_latency.percentile(50.0) / 1000.0,
@@ -183,9 +275,25 @@ fn main() -> ExitCode {
             r.write_latency.percentile(90.0) / 1000.0,
             r.ftl.gc_runs,
             r.ftl.read_retries,
-            r.write_amplification()
-                .map(|w| format!("{w:.2}"))
-                .unwrap_or_else(|| "-".to_owned()),
+            fmt_wa(r.wa_host()),
+            fmt_wa(r.wa_total()),
+        );
+        println!(
+            "{:<10} chips: max queue depth {}, mean busy {:.1}%{}",
+            "", // aligned under the FTL column
+            r.max_queue_depth(),
+            r.mean_busy_fraction() * 100.0,
+            if maint_on {
+                format!(
+                    ", {} background ops ({} scrubs, {} re-monitors, {} wear moves)",
+                    r.background_ops(),
+                    r.ftl.scrub_blocks,
+                    r.ftl.remonitored_layers,
+                    r.ftl.wear_level_moves,
+                )
+            } else {
+                String::new()
+            }
         );
         if faults_on {
             println!(

@@ -6,9 +6,9 @@
 //! block count for quick runs — the FTL behaviour is unchanged, only the
 //! physical capacity shrinks).
 
-use ftl::{Ftl, FtlConfig, FtlKind};
+use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig};
 use nand3d::{AgingState, FaultPlan};
-use ssdsim::{SimReport, SsdConfig, SsdSim};
+use ssdsim::{MaintSchedule, SimReport, SsdConfig, SsdSim};
 use workloads::StandardWorkload;
 
 /// Scale and length of one evaluation run.
@@ -33,6 +33,10 @@ pub struct EvalConfig {
     /// Optional fault-injection plan, installed after prefill so the
     /// measured run (not the setup phase) sees the injected faults.
     pub faults: Option<FaultPlan>,
+    /// Optional background maintenance subsystem (retention scrubbing,
+    /// wear leveling, OPM re-monitoring), enabled after prefill so the
+    /// measured run interleaves maintenance with host traffic.
+    pub maint: Option<MaintConfig>,
 }
 
 impl EvalConfig {
@@ -47,6 +51,7 @@ impl EvalConfig {
             seed: 42,
             ssd: SsdConfig::paper(),
             faults: None,
+            maint: None,
         }
     }
 
@@ -71,6 +76,7 @@ impl EvalConfig {
             seed: 42,
             ssd: SsdConfig::paper(),
             faults: None,
+            maint: None,
         }
     }
 
@@ -111,7 +117,13 @@ pub fn run_eval_custom(
     ftl_cfg: FtlConfig,
 ) -> SimReport {
     let mut ftl = Ftl::new(kind, ftl_cfg);
-    let mut sim = SsdSim::new(cfg.ssd);
+    let mut ssd_cfg = cfg.ssd;
+    // Maintenance needs the simulator to offer idle windows: derive the
+    // schedule from the FTL-side config unless one was set explicitly.
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
 
     // Pin the aging state first (the paper pre-cycles blocks and bakes
     // retention before the FTL ever runs, §6.2), then prefill to
@@ -128,6 +140,9 @@ pub fn run_eval_custom(
     ftl.set_disturbance_prob(cfg.disturbance_prob);
     if let Some(plan) = &cfg.faults {
         ftl.set_fault_plan(plan);
+    }
+    if let Some(maint) = cfg.maint {
+        ftl.enable_maintenance(maint);
     }
     ftl.reset_stats();
 

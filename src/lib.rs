@@ -29,12 +29,14 @@
 //! assert!(report.iops > 0.0);
 //! ```
 
-pub use ftl::{Ftl, FtlConfig, FtlKind, Opm, ProgramOrder, Wam};
+pub use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, Opm, ProgramOrder, Wam};
 pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
     NandConfig, ProgramParams, ReadParams, TargetedFault, WlAddr,
 };
-pub use ssdsim::{FtlDriver, HostRequest, SimReport, SsdConfig, SsdSim};
+pub use ssdsim::{
+    ChipStats, FtlDriver, HostRequest, MaintSchedule, MaintWork, SimReport, SsdConfig, SsdSim,
+};
 pub use workloads::{StandardWorkload, Workload};
 
 pub mod harness;

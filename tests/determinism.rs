@@ -146,3 +146,38 @@ fn golden_faulty_report_is_stable() {
 }
 
 const GOLDEN_FAULTY: (u64, u64, u64, u64) = (2, 2, 10, 8);
+
+#[test]
+fn double_run_is_byte_identical_with_maintenance() {
+    // EndOfLife over the faulty config so all three maintenance services
+    // have work (12-month retention crosses every default budget), at a
+    // request count long enough for background ops to actually dispatch.
+    let mut cfg = faulty_cfg();
+    cfg.requests = 6_000;
+    cfg.maint = Some(cubeftl::MaintConfig::default_on());
+    let a = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::EndOfLife,
+        &cfg,
+    );
+    let b = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::EndOfLife,
+        &cfg,
+    );
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "maintenance-enabled runs diverged"
+    );
+    assert!(
+        a.ftl.maint_actions() > 0,
+        "the config must actually exercise background maintenance"
+    );
+    assert!(
+        a.chip_stats.iter().any(|c| c.maint_ops > 0),
+        "background ops must be dispatched through the scheduler"
+    );
+}

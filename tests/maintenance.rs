@@ -1,0 +1,86 @@
+//! End-to-end background-maintenance guarantees: the retention scrubber
+//! must actually improve reliability under a retention-heavy fault plan,
+//! and disabling maintenance must leave the simulator bit-identical to
+//! the seed behaviour.
+
+use cubeftl::harness::{run_eval, EvalConfig};
+use cubeftl::{
+    AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, SimReport, StandardWorkload,
+};
+
+/// A retention-heavy scenario: a read-mostly workload over EndOfLife
+/// data (2K P/E + 1-year baked retention) with seeded uncorrectable and
+/// stuck-retry injection — the regime the scrubber exists for.
+fn retention_heavy_cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::reduced();
+    cfg.requests = 30_000;
+    cfg.faults = Some(
+        FaultPlan::seeded(cfg.seed)
+            .with_rate(FaultKind::UncorrectableRead, 0.03)
+            .with_rate(FaultKind::StuckRetry, 0.01),
+    );
+    cfg
+}
+
+fn run(cfg: &EvalConfig) -> SimReport {
+    run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::EndOfLife,
+        cfg,
+    )
+}
+
+fn mean_retries(r: &SimReport) -> f64 {
+    r.ftl.read_retries as f64 / r.ftl.nand_reads.max(1) as f64
+}
+
+#[test]
+fn scrubber_reduces_uncorrectables_and_retries_under_retention_faults() {
+    let mut cfg = retention_heavy_cfg();
+    let off = run(&cfg);
+
+    // Give maintenance generous bandwidth (small host-priority gap,
+    // large migration batch): this test asserts the reliability
+    // direction; the throughput price is the bench's concern.
+    let mut maint = MaintConfig::default_on();
+    maint.scrub_batch_pages = 96;
+    cfg.maint = Some(maint);
+    cfg.ssd.maint.enabled = true;
+    cfg.ssd.maint.min_gap_us = 50.0;
+    let on = run(&cfg);
+
+    assert_eq!(off.completed, on.completed, "both runs must finish");
+    assert!(
+        on.ftl.scrub_blocks > 0,
+        "the scrubber must have refreshed blocks ({} scrubs)",
+        on.ftl.scrub_blocks
+    );
+    assert!(
+        on.ftl.uncorrectable_recoveries < off.ftl.uncorrectable_recoveries,
+        "scrubbing must reduce uncorrectable recoveries (off {}, on {})",
+        off.ftl.uncorrectable_recoveries,
+        on.ftl.uncorrectable_recoveries,
+    );
+    assert!(
+        mean_retries(&on) < mean_retries(&off),
+        "scrubbing must reduce the mean read-retry count (off {:.3}, on {:.3})",
+        mean_retries(&off),
+        mean_retries(&on),
+    );
+}
+
+#[test]
+fn disabled_maintenance_is_bit_identical_to_seed_behavior() {
+    let cfg_none = retention_heavy_cfg();
+    let baseline = run(&cfg_none);
+
+    // `MaintConfig::off()` must be indistinguishable from never touching
+    // the maintenance API at all.
+    let mut cfg_off = retention_heavy_cfg();
+    cfg_off.maint = Some(MaintConfig::off());
+    let off = run(&cfg_off);
+
+    assert_eq!(format!("{baseline:?}"), format!("{off:?}"));
+    assert_eq!(baseline.ftl.maint_actions(), 0);
+}
