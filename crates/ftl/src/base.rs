@@ -18,9 +18,10 @@ use crate::gc::{select_victim, select_victim_wear_aware};
 use crate::maint::{MaintConfig, MaintState};
 use crate::mapping::{Mapping, Ppn};
 use crate::order::ProgramOrder;
+use crate::recovery::{Checkpoint, RecoveryReport, CKPT_PAGE_PROGRAM_US, OOB_READ_US};
 use nand3d::{
-    AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, PageAddr, PageState,
-    ProgramParams, ReadFaultKind, ReadParams, WlData,
+    AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, OobStatus, PageAddr,
+    PageState, ProgramParams, ReadFaultKind, ReadParams, WlAddr, WlData, WlOob,
 };
 use ssdsim::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
 use std::collections::VecDeque;
@@ -71,6 +72,24 @@ struct SeqAlloc {
     next: u32,
 }
 
+/// Page size used to charge checkpoint-flush latency (the paper's
+/// platform uses 16-KB pages).
+const CKPT_PAGE_BYTES: usize = 16 * 1024;
+
+/// Periodic L2P-checkpointing state (crash consistency; see
+/// [`crate::recovery`]).
+#[derive(Debug)]
+struct CkptState {
+    /// Host WLs between checkpoint flushes.
+    interval_host_wls: u64,
+    /// Host WLs programmed since the last flush.
+    host_wls_since: u64,
+    /// Last flushed blob (the content of the reserved metadata region).
+    blob: Option<Vec<u8>>,
+    /// Checkpoints flushed so far.
+    taken: u64,
+}
+
 /// A page-level FTL over a [`FlashArray`]. See the
 /// [crate docs](crate) for the four variants.
 #[derive(Debug)]
@@ -97,6 +116,14 @@ pub struct Ftl {
     /// Whether the current write originates from a maintenance migration
     /// (excluded from host counters, like GC's own writes).
     in_maint: bool,
+    /// Monotonic operation sequence number stamped on every OOB record
+    /// and tagged erase (the total order crash recovery replays in).
+    seq_counter: u64,
+    /// Per chip: the block GC erased most recently (what an SPO cutting
+    /// a GC-carrying flush interrupts mid-erase).
+    last_gc_erase: Vec<Option<BlockId>>,
+    /// Periodic L2P checkpointing, when enabled.
+    ckpt: Option<CkptState>,
 }
 
 impl Ftl {
@@ -130,6 +157,9 @@ impl Ftl {
             in_gc: false,
             maint: None,
             in_maint: false,
+            seq_counter: 0,
+            last_gc_erase: vec![None; config.chips],
+            ckpt: None,
             config,
         }
     }
@@ -251,7 +281,8 @@ impl Ftl {
             .collect()
     }
 
-    fn geometry(&self) -> Geometry {
+    /// The NAND geometry this FTL was configured with.
+    pub fn geometry(&self) -> Geometry {
         self.config.nand.geometry
     }
 
@@ -385,9 +416,14 @@ impl Ftl {
 
             if let Some(opm) = &mut self.opm {
                 let engine_report = &report;
-                if choice.is_leader() {
-                    // Record monitored parameters for this h-layer's
-                    // followers.
+                // Leaders are always monitored. A follower whose h-layer
+                // has no monitored parameters (and is not §4.1.4-demoted)
+                // also ran with full-verify defaults — after a crash this
+                // is the "re-monitor on first touch" path that rebuilds
+                // the cold OPM one layer at a time.
+                if choice.is_leader()
+                    || (opm.follower_params(chip, wl).is_none() && !opm.is_demoted(chip, wl))
+                {
                     let engine = self.array.chip(chip).expect("valid chip").ispp();
                     opm.record_leader(chip, wl, engine_report, engine);
                 }
@@ -407,7 +443,21 @@ impl Ftl {
                 }
             }
 
-            // Success: map the live pages.
+            // Success: map the live pages and deposit the OOB record
+            // recovery replays (LPNs + sequence number + status tag).
+            self.seq_counter += 1;
+            self.array
+                .chip_mut(chip)
+                .expect("valid chip")
+                .write_oob(
+                    wl,
+                    WlOob {
+                        lpns,
+                        seq: self.seq_counter,
+                        status: OobStatus::Complete,
+                    },
+                )
+                .expect("WL was just programmed");
             for (i, lpn) in lpns.iter().enumerate() {
                 if *lpn == WlData::PAD {
                     continue;
@@ -511,14 +561,18 @@ impl Ftl {
                 latency += t;
             }
 
-            // All pages moved: erase and return to the pool.
+            // All pages moved: erase (stamped with the operation sequence
+            // so recovery can tell the block changed hands) and return it
+            // to the pool.
             self.mapping.assert_block_clean(chip, victim.0);
+            self.seq_counter += 1;
             latency += self
                 .array
                 .chip_mut(chip)
                 .expect("valid chip")
-                .erase(victim)
+                .erase_tagged(victim, self.seq_counter)
                 .expect("victim in range");
+            self.last_gc_erase[chip] = Some(victim);
             if let Some(opm) = &mut self.opm {
                 opm.invalidate_block(chip, victim.0);
             }
@@ -585,6 +639,411 @@ impl Ftl {
     /// experiments.
     pub fn opm(&self) -> Option<&Opm> {
         self.opm.as_ref()
+    }
+
+    /// The page mapping (read-only; exposed for recovery verification).
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Whether `lpn` currently has a physical location.
+    pub fn is_mapped(&self, lpn: u64) -> bool {
+        self.mapping.lookup(lpn).is_some()
+    }
+
+    /// Enables periodic L2P checkpointing: every `interval_host_wls` host
+    /// WL programs, the full L2P map and per-block erase counters are
+    /// serialized into the reserved metadata region (latency charged to
+    /// the triggering write). An interval of 0 disables.
+    pub fn enable_checkpointing(&mut self, interval_host_wls: u64) {
+        self.ckpt = (interval_host_wls > 0).then_some(CkptState {
+            interval_host_wls,
+            host_wls_since: 0,
+            blob: None,
+            taken: 0,
+        });
+    }
+
+    /// Number of checkpoints flushed so far (0 if checkpointing is off).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.ckpt.as_ref().map_or(0, |c| c.taken)
+    }
+
+    /// The current operation sequence number (advanced by every program
+    /// and tagged erase).
+    pub fn seq_counter(&self) -> u64 {
+        self.seq_counter
+    }
+
+    /// Flushes a checkpoint of the L2P map + erase counters to the
+    /// reserved metadata region now, returning the NAND time charged
+    /// (metadata pages × full-verify program latency). Requires
+    /// checkpointing to be enabled; no-op returning 0.0 otherwise.
+    pub fn take_checkpoint(&mut self) -> f64 {
+        if self.ckpt.is_none() {
+            return 0.0;
+        }
+        let erase_counts = (0..self.config.chips)
+            .map(|c| self.erase_counts(c))
+            .collect();
+        let ckpt = Checkpoint {
+            seq: self.seq_counter,
+            l2p: self.mapping.l2p_snapshot(),
+            erase_counts,
+        };
+        let pages = ckpt.pages(CKPT_PAGE_BYTES);
+        let st = self.ckpt.as_mut().expect("checked above");
+        st.blob = Some(ckpt.encode());
+        st.taken += 1;
+        st.host_wls_since = 0;
+        pages as f64 * CKPT_PAGE_PROGRAM_US
+    }
+
+    /// Advances the checkpoint clock by one host WL and flushes when the
+    /// interval is reached. Returns the NAND time spent, if any.
+    fn checkpoint_tick(&mut self) -> Option<f64> {
+        let st = self.ckpt.as_mut()?;
+        st.host_wls_since += 1;
+        (st.host_wls_since >= st.interval_host_wls).then(|| self.take_checkpoint())
+    }
+
+    /// Models the physical consequences of a sudden power-off caught
+    /// while `chip` was flushing `lpns`: the WLs holding those pages are
+    /// left partially programmed ([`PageState::Partial`], elevated BER,
+    /// OOB re-tagged torn). If the flush had triggered GC
+    /// (`gc_in_flight`), the GC victim's erase pulse is interrupted too,
+    /// leaving that block unusable until re-erased. Returns the number of
+    /// WLs torn. Call once per in-flight flush before [`Ftl::power_cycle`].
+    pub fn power_cut(&mut self, chip: usize, lpns: [u64; 3], gc_in_flight: bool) -> u64 {
+        let g = self.geometry();
+        let mut wls: Vec<WlAddr> = Vec::new();
+        for lpn in lpns {
+            if lpn == WlData::PAD {
+                continue;
+            }
+            let Some(ppn) = self.mapping.lookup(lpn) else {
+                continue;
+            };
+            if ppn.chip as usize != chip {
+                continue;
+            }
+            let wl = g.page_unflat(ppn.page as usize).wl;
+            // Tear only the WL this flush actually programmed: a later
+            // enqueued flush's GC may already have relocated the data, in
+            // which case the mapping points at the (complete) relocation
+            // WL — whose OOB trio differs — and tearing it would destroy
+            // co-relocated victims' newest copies.
+            let programmed_here = self
+                .array
+                .chip(chip)
+                .expect("valid chip")
+                .wl_oob(wl)
+                .is_some_and(|oob| oob.lpns == lpns);
+            if programmed_here && !wls.contains(&wl) {
+                wls.push(wl);
+            }
+        }
+        let chip_ref = self.array.chip_mut(chip).expect("valid chip");
+        let mut torn = 0u64;
+        for wl in wls {
+            torn += u64::from(chip_ref.interrupt_program(wl));
+        }
+        if gc_in_flight {
+            if let Some(b) = self.last_gc_erase[chip] {
+                chip_ref.interrupt_erase(b);
+            }
+        }
+        torn
+    }
+
+    /// Boot-time recovery after a sudden power-off: consumes the dead
+    /// FTL (its RAM state is gone) and rebuilds a fresh one from flash
+    /// contents alone —
+    ///
+    /// 1. load the last checkpoint from the reserved metadata region,
+    /// 2. probe every block's metadata page; re-erase blocks whose erase
+    ///    pulse was interrupted; drop checkpoint entries pointing into
+    ///    blocks erased since the checkpoint,
+    /// 3. fully OOB-scan only the blocks programmed since the checkpoint,
+    ///    quarantining torn WLs via the §4.1.4 path (their h-layers boot
+    ///    demoted) and collecting complete records newer than the
+    ///    checkpoint,
+    /// 4. replay those records in sequence order on top of the restored
+    ///    checkpoint entries,
+    /// 5. re-write the host pages the power-loss-protection capacitor
+    ///    dumped from the write buffer (`plp_lpns`).
+    ///
+    /// The OPM/ORT are deliberately **not** restored: the recovered FTL
+    /// boots with cold monitored state and re-derives it on first touch
+    /// per h-layer (conservative full-verify programs, full read-retry).
+    pub fn power_cycle(self, plp_lpns: &[u64]) -> (Ftl, RecoveryReport) {
+        let Ftl {
+            kind,
+            config,
+            mut array,
+            ckpt,
+            ..
+        } = self;
+        let g = config.nand.geometry;
+        let chips = config.chips;
+        let blocks = g.blocks_per_chip;
+        let mut report = RecoveryReport::default();
+
+        // 1. Load the last checkpoint (reject dimension mismatches — a
+        // corrupt region must degrade to a full scan, not a panic).
+        let ckpt_interval = ckpt.as_ref().map(|c| c.interval_host_wls);
+        let ckpt_taken = ckpt.as_ref().map_or(0, |c| c.taken);
+        let blob = ckpt.and_then(|c| c.blob);
+        let checkpoint = blob
+            .as_deref()
+            .and_then(|b| Checkpoint::decode(b).ok())
+            .filter(|c| {
+                c.l2p.len() as u64 == config.logical_pages()
+                    && c.erase_counts.len() == chips
+                    && c.erase_counts.iter().all(|e| e.len() == blocks as usize)
+            });
+        report.checkpoint_loaded = checkpoint.is_some();
+        let ckpt_seq = checkpoint.as_ref().map_or(0, |c| c.seq);
+        report.checkpoint_seq = ckpt_seq;
+
+        // 2. Probe every block's metadata page: recover the sequence
+        // horizon, find interrupted erases, blocks erased since the
+        // checkpoint, and blocks needing a full OOB scan.
+        let mut seq_horizon = ckpt_seq;
+        let mut erased_since = vec![vec![false; blocks as usize]; chips];
+        let mut to_reerase: Vec<(usize, BlockId)> = Vec::new();
+        let mut to_scan: Vec<(usize, BlockId)> = Vec::new();
+        for (chip, erased) in erased_since.iter_mut().enumerate() {
+            let c = array.chip(chip).expect("valid chip");
+            for b in 0..blocks {
+                let block = BlockId(b);
+                report.blocks_probed += 1;
+                report.nand_us += OOB_READ_US;
+                seq_horizon = seq_horizon
+                    .max(c.block_prog_seq(block))
+                    .max(c.block_erase_seq(block));
+                if c.block_erase_interrupted(block) {
+                    to_reerase.push((chip, block));
+                    erased[b as usize] = true;
+                    continue;
+                }
+                if c.block_erase_seq(block) > ckpt_seq {
+                    erased[b as usize] = true;
+                }
+                if c.block_prog_seq(block) > ckpt_seq {
+                    to_scan.push((chip, block));
+                }
+            }
+        }
+        let mut seq_counter = seq_horizon;
+        for &(chip, block) in &to_reerase {
+            seq_counter += 1;
+            report.nand_us += array
+                .chip_mut(chip)
+                .expect("valid chip")
+                .erase_tagged(block, seq_counter)
+                .expect("probed block in range");
+            report.interrupted_erases_redone += 1;
+        }
+
+        // 3. Full OOB scan of the dirty blocks only.
+        let mut torn: Vec<(usize, WlAddr)> = Vec::new();
+        let mut replay: Vec<(u64, usize, WlAddr, [u64; 3])> = Vec::new();
+        for &(chip, block) in &to_scan {
+            report.blocks_scanned += 1;
+            let c = array.chip(chip).expect("valid chip");
+            for w in 0..g.wls_per_block() {
+                let wl = ProgramOrder::HorizontalFirst.wl_at(&g, block, w);
+                report.nand_us += OOB_READ_US;
+                match c.wl_state(wl) {
+                    PageState::Partial => torn.push((chip, wl)),
+                    PageState::Written => match c.wl_oob(wl) {
+                        Some(oob) if oob.status == OobStatus::Complete && oob.seq > ckpt_seq => {
+                            replay.push((oob.seq, chip, wl, oob.lpns));
+                        }
+                        // Records at or before the checkpoint are already
+                        // reflected in it; torn/missing OOB holds no
+                        // trustworthy mapping.
+                        _ => {}
+                    },
+                    PageState::Free => {}
+                }
+            }
+        }
+        report.torn_wls_quarantined = torn.len() as u64;
+
+        // 4. Rebuild the L2P map: checkpoint entries first (minus stale
+        // ones), then the post-checkpoint records in sequence order.
+        let mut mapping = Mapping::new(g, chips, config.logical_pages());
+        if let Some(c) = &checkpoint {
+            for (lpn, entry) in c.l2p.iter().enumerate() {
+                let Some(ppn) = entry else { continue };
+                let chip = ppn.chip as usize;
+                let in_range = chip < chips && u64::from(ppn.page) < g.pages_per_chip();
+                let stale = !in_range || {
+                    let wl = g.page_unflat(ppn.page as usize).wl;
+                    erased_since[chip][wl.block.0 as usize]
+                        || array.chip(chip).expect("valid chip").wl_state(wl) != PageState::Written
+                };
+                if stale {
+                    report.stale_ckpt_entries_dropped += 1;
+                    continue;
+                }
+                mapping.map(lpn as u64, *ppn);
+                report.ckpt_entries_restored += 1;
+            }
+        }
+        replay.sort_unstable_by_key(|&(seq, ..)| seq);
+        for (_, chip, wl, lpns) in &replay {
+            for (i, lpn) in lpns.iter().enumerate() {
+                if *lpn == WlData::PAD {
+                    continue;
+                }
+                let page = PageAddr {
+                    wl: *wl,
+                    page: nand3d::PageIndex(i as u8),
+                };
+                mapping.map(
+                    *lpn,
+                    Ppn {
+                        chip: *chip as u32,
+                        page: g.page_flat(page) as u32,
+                    },
+                );
+                report.oob_records_replayed += 1;
+            }
+        }
+
+        // Rebuild the free pools from physical state: a block is free iff
+        // every WL is erased. Torn and partially-written blocks stay
+        // closed; GC reclaims them once their garbage makes them
+        // profitable victims.
+        let mut free_blocks: Vec<VecDeque<BlockId>> = Vec::with_capacity(chips);
+        let mut is_free: Vec<Vec<bool>> = Vec::with_capacity(chips);
+        for chip in 0..chips {
+            let c = array.chip(chip).expect("valid chip");
+            let mut pool = VecDeque::new();
+            let mut flags = vec![false; blocks as usize];
+            for b in 0..blocks {
+                let block = BlockId(b);
+                let all_free = (0..g.wls_per_block()).all(|w| {
+                    c.wl_state(ProgramOrder::HorizontalFirst.wl_at(&g, block, w)) == PageState::Free
+                });
+                if all_free {
+                    pool.push_back(block);
+                    flags[b as usize] = true;
+                }
+            }
+            free_blocks.push(pool);
+            is_free.push(flags);
+        }
+
+        // 5. Fresh volatile state: the OPM/ORT boot cold (re-derived on
+        // first touch per h-layer), the WAM and write points reset.
+        // H-layers holding a torn WL boot demoted — the §4.1.4 quarantine.
+        let mut opm = kind.ps_aware().then(|| Opm::new(&g, chips));
+        if let Some(opm) = &mut opm {
+            for &(chip, wl) in &torn {
+                report.layers_demoted += u64::from(opm.demote_layer(chip, wl));
+            }
+        }
+        let mut ftl = Ftl {
+            kind,
+            array,
+            mapping,
+            free_blocks,
+            is_free,
+            seq: vec![None; chips],
+            wam: (kind == FtlKind::Cube).then(|| {
+                Wam::with_active_blocks(
+                    g,
+                    chips,
+                    config.mu_threshold,
+                    config.active_blocks_per_chip,
+                )
+            }),
+            opm,
+            stats: FtlStats::default(),
+            in_gc: false,
+            maint: None,
+            in_maint: false,
+            seq_counter,
+            last_gc_erase: vec![None; chips],
+            ckpt: ckpt_interval.map(|interval_host_wls| CkptState {
+                interval_host_wls,
+                host_wls_since: 0,
+                blob,
+                taken: ckpt_taken,
+            }),
+            config,
+        };
+
+        // Resume the write points that were open at the power cut: the
+        // partially-filled blocks (most recent program sequence first)
+        // are re-opened rather than abandoned. Their remaining follower
+        // WLs sit under pre-crash leaders whose monitored parameters
+        // died with the RAM, so the next program on each such h-layer
+        // runs conservative full-verify defaults and re-monitors — the
+        // post-boot tPROG warm-up.
+        for chip in 0..chips {
+            let mut partial: Vec<(u64, BlockId)> = (0..blocks)
+                .map(BlockId)
+                .filter(|&b| {
+                    let c = ftl.array.chip(chip).expect("valid chip");
+                    !ftl.is_free[chip][b.0 as usize]
+                        && (0..g.wls_per_block()).any(|w| {
+                            c.wl_state(ProgramOrder::HorizontalFirst.wl_at(&g, b, w))
+                                == PageState::Free
+                        })
+                })
+                .map(|b| {
+                    let c = ftl.array.chip(chip).expect("valid chip");
+                    (c.block_prog_seq(b), b)
+                })
+                .collect();
+            partial.sort_unstable_by_key(|&(seq, b)| (std::cmp::Reverse(seq), b.0));
+            if let Some(wam) = &mut ftl.wam {
+                for &(_, b) in partial.iter().take(config.active_blocks_per_chip) {
+                    let c = ftl.array.chip(chip).expect("valid chip");
+                    wam.resume_block(chip, b, |wl| c.wl_state(wl) == PageState::Free);
+                }
+            } else if let Some(&(_, b)) = partial.first() {
+                // Sequential write point: continue one past the last
+                // used WL in program order (abort holes stay skipped).
+                let next = (0..g.wls_per_block())
+                    .rev()
+                    .find(|&w| {
+                        ftl.array
+                            .chip(chip)
+                            .expect("valid chip")
+                            .wl_state(ProgramOrder::HorizontalFirst.wl_at(&g, b, w))
+                            != PageState::Free
+                    })
+                    .map_or(0, |w| w + 1);
+                ftl.seq[chip] = Some(SeqAlloc { block: b, next });
+            }
+        }
+
+        // 6. Replay the PLP buffer dump: host-acknowledged pages that were
+        // still buffer-resident (including those on torn WLs) are
+        // re-written through the normal allocation path.
+        ftl.in_maint = true;
+        for (i, group) in plp_lpns.chunks(3).enumerate() {
+            let chip = i % chips;
+            if ftl.free_blocks[chip].len() <= ftl.config.gc_free_block_threshold {
+                ftl.in_gc = true;
+                report.nand_us += ftl.run_gc(chip, 0.0);
+                ftl.in_gc = false;
+            }
+            let mut lpns = [WlData::PAD; 3];
+            lpns[..group.len()].copy_from_slice(group);
+            let (t, _) = ftl.program_and_map(chip, lpns, 0.0);
+            report.nand_us += t;
+            report.plp_pages_replayed += group.len() as u64;
+        }
+        ftl.in_maint = false;
+        ftl.stats = FtlStats::default();
+        (ftl, report)
     }
 
     /// Performs one bounded unit of background maintenance on `chip`,
@@ -906,11 +1365,12 @@ impl Ftl {
             return (latency, RefreshOutcome::Partial { pages_moved });
         }
         self.mapping.assert_block_clean(chip, block.0);
+        self.seq_counter += 1;
         latency += self
             .array
             .chip_mut(chip)
             .expect("valid chip")
-            .erase(block)
+            .erase_tagged(block, self.seq_counter)
             .expect("block in range");
         if let Some(opm) = &mut self.opm {
             opm.invalidate_block(chip, block.0);
@@ -970,6 +1430,9 @@ impl FtlDriver for Ftl {
         }
         let (t, leader) = self.program_and_map(chip, lpns, ctx.buffer_utilization);
         nand_us += t;
+        if let Some(t) = self.checkpoint_tick() {
+            nand_us += t;
+        }
         WlWrite {
             nand_us,
             did_gc,
@@ -1474,5 +1937,107 @@ mod tests {
             ftl.stats()
         };
         assert_eq!(run(), run(), "maintenance must be fully deterministic");
+    }
+
+    #[test]
+    fn power_cycle_rebuilds_mapping_from_oob_alone() {
+        // No checkpoint ever taken: the whole map must come back from
+        // the per-WL OOB records, in sequence order.
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        write_all(&mut ftl, 0..100, cfg.chips, 0.5); // overwrites: replay order matters
+        let (mut ftl, report) = ftl.power_cycle(&[]);
+        assert!(!report.checkpoint_loaded);
+        assert_eq!(report.ckpt_entries_restored, 0);
+        assert!(report.oob_records_replayed >= 300);
+        for lpn in 0..300 {
+            assert!(
+                ftl.read_page(lpn, &ctx(0.0)).is_some(),
+                "lpn {lpn} lost across the power cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn power_cycle_restores_checkpoint_and_scans_only_the_tail() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        ftl.enable_checkpointing(u64::MAX); // manual flushes only
+        write_all(&mut ftl, 0..200, cfg.chips, 0.5);
+        assert!(ftl.take_checkpoint() > 0.0, "flush charges NAND time");
+        assert_eq!(ftl.checkpoints_taken(), 1);
+        write_all(&mut ftl, 200..260, cfg.chips, 0.5);
+        let (mut ftl, report) = ftl.power_cycle(&[]);
+        assert!(report.checkpoint_loaded);
+        assert!(report.ckpt_entries_restored >= 150);
+        assert!(
+            report.blocks_scanned < report.blocks_probed,
+            "only post-checkpoint blocks get the full OOB scan \
+             ({} of {} probed)",
+            report.blocks_scanned,
+            report.blocks_probed
+        );
+        for lpn in 0..260 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some());
+        }
+    }
+
+    #[test]
+    fn power_cut_tears_wls_and_recovery_replays_the_plp_dump() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..120, cfg.chips, 0.5);
+        // LPNs 0..3 were mid-flush on chip 0 when the power died.
+        let torn = ftl.power_cut(0, [0, 1, 2], false);
+        assert!(torn > 0, "mapped LPNs must tear their WL");
+        let (mut ftl, report) = ftl.power_cycle(&[0, 1, 2]);
+        assert_eq!(report.torn_wls_quarantined, torn);
+        assert!(
+            report.layers_demoted > 0,
+            "cubeFTL boots the torn WL's h-layer demoted (§4.1.4)"
+        );
+        assert_eq!(report.plp_pages_replayed, 3);
+        // The torn copies are gone but the PLP replay re-wrote the data.
+        for lpn in 0..120 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some());
+        }
+    }
+
+    #[test]
+    fn power_cycle_boots_the_opm_cold() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        write_all(&mut ftl, 0..200, cfg.chips, 0.5);
+        assert!(
+            ftl.opm().unwrap().pending_layers() > 0,
+            "the warm run must have monitored some layers"
+        );
+        let seq_before = ftl.seq_counter();
+        let (ftl, _) = ftl.power_cycle(&[]);
+        assert_eq!(
+            ftl.opm().unwrap().pending_layers(),
+            0,
+            "monitored parameters must NOT survive the power cycle"
+        );
+        assert!(
+            ftl.seq_counter() >= seq_before,
+            "the sequence horizon is recovered from flash, never rewound"
+        );
+    }
+
+    #[test]
+    fn interrupted_gc_erase_is_redone_on_boot() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        // Overwrite heavily so GC has certainly erased a victim.
+        write_all(&mut ftl, (0..1200).map(|i| i % 200), cfg.chips, 0.9);
+        assert!(ftl.stats().gc_runs > 0, "workload must trigger GC");
+        ftl.power_cut(0, [WlData::PAD; 3], true);
+        let (mut ftl, report) = ftl.power_cycle(&[]);
+        assert_eq!(report.interrupted_erases_redone, 1);
+        for lpn in 0..200 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some());
+        }
     }
 }

@@ -188,6 +188,54 @@ impl Wam {
         unreachable!("an active block always has a leader or a follower free")
     }
 
+    /// Re-opens `block` as an active write point on `chip`, deriving its
+    /// mixed-order cursors from the physical WL states (`is_free` says
+    /// whether a WL is still erased and programmable). Crash recovery
+    /// uses this to resume the blocks that were active at the power cut:
+    /// their remaining follower WLs sit under pre-crash leaders whose
+    /// monitored parameters died with the RAM, so the next program on
+    /// each such h-layer runs conservative defaults and re-monitors.
+    ///
+    /// Returns `false` (leaving the block closed) if the block is
+    /// already full or the chip's active slots are all taken.
+    pub fn resume_block(
+        &mut self,
+        chip: usize,
+        block: BlockId,
+        is_free: impl Fn(WlAddr) -> bool,
+    ) -> bool {
+        let g = self.geometry;
+        // Cursors point one past the last used WL of each kind; torn
+        // (unprogrammable) WLs count as used, abort holes are skipped.
+        let next_leader_h = (0..g.hlayers_per_block)
+            .rev()
+            .find(|&h| !is_free(g.wl_addr(block, h, 0)))
+            .map_or(0, |h| h + 1);
+        let mut next_follower = (0, 1);
+        for h in 0..g.hlayers_per_block {
+            for v in 1..g.wls_per_hlayer {
+                if !is_free(g.wl_addr(block, h, v)) {
+                    next_follower = if v + 1 < g.wls_per_hlayer {
+                        (h, v + 1)
+                    } else {
+                        (h + 1, 1)
+                    };
+                }
+            }
+        }
+        let resumed = ActiveBlock {
+            block,
+            next_leader_h,
+            next_follower,
+        };
+        let state = &mut self.per_chip[chip];
+        if resumed.is_full(&g) || state.active.len() >= self.active_per_chip {
+            return false;
+        }
+        state.active.push(resumed);
+        true
+    }
+
     /// Blocks currently open for writing on `chip` (these must not be
     /// selected as GC victims).
     pub fn active_blocks(&self, chip: usize) -> impl Iterator<Item = BlockId> + '_ {

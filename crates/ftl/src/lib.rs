@@ -44,6 +44,7 @@ pub mod maint;
 pub mod mapping;
 pub mod order;
 pub mod predictor;
+pub mod recovery;
 
 pub use base::{Ftl, FtlKind};
 pub use config::FtlConfig;
@@ -53,3 +54,4 @@ pub use maint::MaintConfig;
 pub use mapping::{Mapping, Ppn};
 pub use order::ProgramOrder;
 pub use predictor::{Forecast, LatencyPredictor};
+pub use recovery::{Checkpoint, CheckpointError, RecoveryReport};

@@ -138,6 +138,12 @@ impl Mapping {
         }
     }
 
+    /// A snapshot of the full L2P table (index = LPN), the payload a
+    /// periodic checkpoint serializes.
+    pub fn l2p_snapshot(&self) -> Vec<Option<Ppn>> {
+        self.l2p.clone()
+    }
+
     /// Total valid pages across all chips (live data).
     pub fn total_valid(&self) -> u64 {
         self.valid

@@ -1,0 +1,260 @@
+//! Crash consistency: L2P checkpoints and the boot-time recovery report.
+//!
+//! A real SSD cannot keep its FTL state across a sudden power-off (SPO);
+//! everything the controller needs must be rebuilt from flash. This
+//! module provides the two durable artifacts the rebuild consumes:
+//!
+//! * a **checkpoint** — a periodic serialization of the L2P map plus the
+//!   per-block erase counters into a reserved metadata region (encoded
+//!   here as a deterministic little-endian byte blob, see
+//!   [`Checkpoint::encode`]), and
+//! * the **per-WL OOB records** ([`nand3d::WlOob`]) deposited on every
+//!   program, which recovery replays in sequence order for the blocks
+//!   programmed after the last checkpoint.
+//!
+//! What is deliberately *not* persisted: the OPM's monitored loop
+//! windows/`BER_EP1` margins and the ORT's ΔV_Ref offsets (§4.1, §4.2).
+//! Those are re-derived on first touch per h-layer after boot — programs
+//! fall back to conservative full-verify parameters and reads to the
+//! full retry search until each h-layer's leader WL is re-monitored —
+//! which is exactly the post-boot warm-up curve the `spo` bench plots.
+
+use crate::mapping::Ppn;
+
+/// Magic prefix of the checkpoint blob ("CKP1").
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CKP1";
+
+/// Sentinel chip index marking an unmapped LPN in the encoded L2P table.
+const UNMAPPED_CHIP: u32 = u32::MAX;
+
+/// Nominal program latency charged per metadata page when a checkpoint
+/// is flushed to the reserved region (full-verify TLC page program; the
+/// metadata region is not parameter-optimized).
+pub const CKPT_PAGE_PROGRAM_US: f64 = 703.0;
+
+/// Nominal latency charged per OOB probe/scan read during recovery
+/// (spare-area read at default references, no retry search).
+pub const OOB_READ_US: f64 = 61.0;
+
+/// A decoded checkpoint: everything the FTL persists about its own state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// FTL sequence number at capture time: recovery scans only blocks
+    /// whose OOB program sequence exceeds this.
+    pub seq: u64,
+    /// Full L2P table, index = LPN.
+    pub l2p: Vec<Option<Ppn>>,
+    /// Per chip, per block erase counters (wear-leveling state).
+    pub erase_counts: Vec<Vec<u32>>,
+}
+
+/// Why a checkpoint blob failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Blob is shorter than the fixed header.
+    Truncated,
+    /// Magic prefix mismatch: not a checkpoint.
+    BadMagic,
+    /// Header-declared dimensions disagree with the blob length.
+    LengthMismatch,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint into its on-flash byte layout:
+    ///
+    /// ```text
+    /// magic "CKP1"                       4 bytes
+    /// seq                                u64 LE
+    /// logical_pages                      u64 LE
+    /// chips                              u32 LE
+    /// blocks_per_chip                    u32 LE
+    /// l2p[lpn] = (chip u32, page u32)    8 bytes each, chip=u32::MAX ⇒ unmapped
+    /// erase_counts[chip][block]          u32 LE each
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let chips = self.erase_counts.len() as u32;
+        let blocks = self.erase_counts.first().map_or(0, Vec::len) as u32;
+        let mut out = Vec::with_capacity(
+            4 + 8 + 8 + 4 + 4 + self.l2p.len() * 8 + (chips * blocks) as usize * 4,
+        );
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.l2p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&chips.to_le_bytes());
+        out.extend_from_slice(&blocks.to_le_bytes());
+        for entry in &self.l2p {
+            match entry {
+                Some(ppn) => {
+                    out.extend_from_slice(&ppn.chip.to_le_bytes());
+                    out.extend_from_slice(&ppn.page.to_le_bytes());
+                }
+                None => {
+                    out.extend_from_slice(&UNMAPPED_CHIP.to_le_bytes());
+                    out.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+        for per_chip in &self.erase_counts {
+            for &count in per_chip {
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a blob produced by [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] for truncated input, a bad magic
+    /// prefix, or a length that disagrees with the declared dimensions.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 28 {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[0..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let seq = u64_at(4);
+        let logical_pages = u64_at(12) as usize;
+        let chips = u32_at(20) as usize;
+        let blocks = u32_at(24) as usize;
+        let expected = 28 + logical_pages * 8 + chips * blocks * 4;
+        if bytes.len() != expected {
+            return Err(CheckpointError::LengthMismatch);
+        }
+        let mut l2p = Vec::with_capacity(logical_pages);
+        let mut at = 28;
+        for _ in 0..logical_pages {
+            let chip = u32_at(at);
+            let page = u32_at(at + 4);
+            l2p.push((chip != UNMAPPED_CHIP).then_some(Ppn { chip, page }));
+            at += 8;
+        }
+        let mut erase_counts = Vec::with_capacity(chips);
+        for _ in 0..chips {
+            let mut per_chip = Vec::with_capacity(blocks);
+            for _ in 0..blocks {
+                per_chip.push(u32_at(at));
+                at += 4;
+            }
+            erase_counts.push(per_chip);
+        }
+        Ok(Checkpoint {
+            seq,
+            l2p,
+            erase_counts,
+        })
+    }
+
+    /// Number of metadata pages a blob of this checkpoint occupies, given
+    /// the page size in bytes (what the periodic flush charges latency
+    /// for).
+    pub fn pages(&self, page_bytes: usize) -> u64 {
+        let len = self.encode_len();
+        (len as u64).div_ceil(page_bytes.max(1) as u64)
+    }
+
+    fn encode_len(&self) -> usize {
+        let chips = self.erase_counts.len();
+        let blocks = self.erase_counts.first().map_or(0, Vec::len);
+        28 + self.l2p.len() * 8 + chips * blocks * 4
+    }
+}
+
+/// What boot-time recovery did and what it cost, returned by
+/// `Ftl::power_cycle`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Whether a checkpoint blob was found and decoded.
+    pub checkpoint_loaded: bool,
+    /// Sequence number of the loaded checkpoint (0 if none).
+    pub checkpoint_seq: u64,
+    /// Checkpoint L2P entries restored as-is.
+    pub ckpt_entries_restored: u64,
+    /// Checkpoint L2P entries dropped because their block was erased (or
+    /// torn) after the checkpoint was taken.
+    pub stale_ckpt_entries_dropped: u64,
+    /// Blocks whose metadata page was probed (one OOB read each).
+    pub blocks_probed: u64,
+    /// Blocks fully OOB-scanned because they were programmed since the
+    /// checkpoint.
+    pub blocks_scanned: u64,
+    /// OOB records replayed into the L2P map, in sequence order.
+    pub oob_records_replayed: u64,
+    /// Torn (partially programmed) WLs quarantined via the §4.1.4 path.
+    pub torn_wls_quarantined: u64,
+    /// H-layers demoted to conservative parameters because they held a
+    /// torn WL.
+    pub layers_demoted: u64,
+    /// Blocks whose in-flight erase was interrupted and that were
+    /// re-erased during recovery.
+    pub interrupted_erases_redone: u64,
+    /// Buffered host pages re-written from the power-loss-protection
+    /// dump during recovery.
+    pub plp_pages_replayed: u64,
+    /// Total NAND time the recovery consumed (probe + scan reads,
+    /// re-erases, PLP re-programs), µs.
+    pub nand_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            seq: 0xDEAD_BEEF,
+            l2p: vec![
+                Some(Ppn { chip: 0, page: 12 }),
+                None,
+                Some(Ppn { chip: 3, page: 0 }),
+            ],
+            erase_counts: vec![vec![1, 2, 3], vec![0, 9, 4]],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = sample();
+        let blob = ckpt.encode();
+        assert_eq!(blob.len(), 28 + 3 * 8 + 6 * 4);
+        assert_eq!(Checkpoint::decode(&blob), Ok(ckpt));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let blob = sample().encode();
+        assert_eq!(
+            Checkpoint::decode(&blob[..10]),
+            Err(CheckpointError::Truncated)
+        );
+        assert_eq!(
+            Checkpoint::decode(&blob[..blob.len() - 1]),
+            Err(CheckpointError::LengthMismatch)
+        );
+        let mut bad = blob;
+        bad[0] = b'X';
+        assert_eq!(Checkpoint::decode(&bad), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrip() {
+        let ckpt = Checkpoint {
+            seq: 0,
+            l2p: Vec::new(),
+            erase_counts: Vec::new(),
+        };
+        assert_eq!(Checkpoint::decode(&ckpt.encode()), Ok(ckpt));
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let ckpt = sample();
+        assert_eq!(ckpt.pages(16), 5); // 76 bytes / 16 = 4.75 → 5
+        assert_eq!(ckpt.pages(76), 1);
+        assert_eq!(ckpt.pages(75), 2);
+    }
+}

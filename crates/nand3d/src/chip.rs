@@ -30,6 +30,75 @@ pub enum PageState {
     Free,
     /// Programmed with live data.
     Written,
+    /// Torn by a sudden power-off: the ISPP sequence (or the enclosing
+    /// block erase) was interrupted, leaving the cells partially
+    /// programmed with elevated BER. The WL is neither readable nor
+    /// programmable until its block is erased again.
+    Partial,
+}
+
+/// Program-status tag carried in a WL's OOB spare area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OobStatus {
+    /// The program command ran to completion; the LPN tags are valid.
+    Complete,
+    /// The program was interrupted by a power cut; the data is suspect
+    /// and recovery must quarantine the WL (§4.1.4 safety-check path).
+    Torn,
+}
+
+/// Out-of-band (spare-area) metadata one WL program deposits alongside
+/// its three pages: the logical page numbers, a monotonically increasing
+/// FTL sequence number, and a program-status tag. Boot-time recovery
+/// rebuilds the L2P map from these records alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WlOob {
+    /// Logical tags of the three pages (`u64::MAX` = padding).
+    pub lpns: [u64; 3],
+    /// FTL-assigned sequence number of the program operation.
+    pub seq: u64,
+    /// Program-status tag.
+    pub status: OobStatus,
+}
+
+impl WlOob {
+    /// Size of the on-flash encoding in bytes.
+    pub const ENCODED_LEN: usize = 33;
+
+    /// Serializes the record into its on-flash byte layout: three
+    /// little-endian u64 LPNs, a little-endian u64 sequence number, and
+    /// one status byte (0 = complete, 1 = torn).
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        for (i, lpn) in self.lpns.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&lpn.to_le_bytes());
+        }
+        out[24..32].copy_from_slice(&self.seq.to_le_bytes());
+        out[32] = match self.status {
+            OobStatus::Complete => 0,
+            OobStatus::Torn => 1,
+        };
+        out
+    }
+
+    /// Deserializes a record encoded by [`WlOob::encode`]. Returns `None`
+    /// for a wrong-length slice or an unknown status byte.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let status = match bytes[32] {
+            0 => OobStatus::Complete,
+            1 => OobStatus::Torn,
+            _ => return None,
+        };
+        Some(WlOob {
+            lpns: [word(0), word(8), word(16)],
+            seq: word(24),
+            status,
+        })
+    }
 }
 
 /// The payload tag a WL program carries. The simulator does not move real
@@ -138,6 +207,16 @@ pub struct NandChip {
     wl_data: Vec<WlData>,
     /// Per-WL post-program BER (set by the last program).
     wl_post_ber: Vec<f64>,
+    /// Per-WL OOB spare-area metadata (set by [`NandChip::write_oob`]).
+    wl_oob: Vec<Option<WlOob>>,
+    /// Highest OOB sequence number deposited into each block since its
+    /// last erase (conceptually the block's summary/metadata page).
+    block_prog_seq: Vec<u64>,
+    /// FTL sequence number stamped on each block's last tagged erase.
+    block_erase_seq: Vec<u64>,
+    /// Blocks whose erase pulse was cut short by a power loss: unusable
+    /// until re-erased.
+    erase_interrupted: Vec<bool>,
     erases: u64,
     programs: u64,
     reads: u64,
@@ -164,6 +243,10 @@ impl NandChip {
                 wls
             ],
             wl_post_ber: vec![0.0; wls],
+            wl_oob: vec![None; wls],
+            block_prog_seq: vec![0; config.geometry.blocks_per_chip as usize],
+            block_erase_seq: vec![0; config.geometry.blocks_per_chip as usize],
+            erase_interrupted: vec![false; config.geometry.blocks_per_chip as usize],
             erases: 0,
             programs: 0,
             reads: 0,
@@ -266,10 +349,28 @@ impl NandChip {
                 pages: [WlData::PAD; 3],
             };
             self.wl_post_ber[i] = 0.0;
+            self.wl_oob[i] = None;
         }
-        self.env.record_erase(block.0 as usize);
+        let b = block.0 as usize;
+        self.block_prog_seq[b] = 0;
+        self.erase_interrupted[b] = false;
+        self.env.record_erase(b);
         self.erases += 1;
         Ok(self.config.model.timing.t_erase_us)
+    }
+
+    /// Erases `block` and stamps the FTL sequence number `seq` on its
+    /// conceptual metadata page, so boot-time recovery can tell whether
+    /// the block was erased after the last checkpoint (and must therefore
+    /// drop the checkpoint's L2P entries pointing into it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BlockOutOfRange`] for an invalid block.
+    pub fn erase_tagged(&mut self, block: BlockId, seq: u64) -> Result<f64, NandError> {
+        let t = self.erase(block)?;
+        self.block_erase_seq[block.0 as usize] = seq;
+        Ok(t)
     }
 
     /// Programs one WL (all three TLC pages at once) with `params`.
@@ -402,6 +503,100 @@ impl NandChip {
     pub fn wl_post_ber(&self, wl: WlAddr) -> Option<f64> {
         let idx = self.config.geometry.wl_flat(wl);
         (self.wl_state[idx] == PageState::Written).then(|| self.wl_post_ber[idx])
+    }
+
+    /// Deposits OOB spare-area metadata on a written WL (the FTL calls
+    /// this immediately after every successful program). Also advances
+    /// the block's running max-program-sequence tracker.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::WlOutOfRange`] for an invalid address.
+    /// * [`NandError::ReadUnwritten`] if the WL holds no data (OOB rides
+    ///   the data pages; there is nothing to attach it to).
+    pub fn write_oob(&mut self, wl: WlAddr, oob: WlOob) -> Result<(), NandError> {
+        let idx = self.check_wl(wl)?;
+        if self.wl_state[idx] != PageState::Written {
+            return Err(NandError::ReadUnwritten(PageAddr {
+                wl,
+                page: crate::geometry::PageIndex(0),
+            }));
+        }
+        self.wl_oob[idx] = Some(oob);
+        let b = wl.block.0 as usize;
+        self.block_prog_seq[b] = self.block_prog_seq[b].max(oob.seq);
+        Ok(())
+    }
+
+    /// Reads back a WL's OOB spare-area metadata, if any was deposited
+    /// since the last erase. Torn WLs keep their (status-tagged) OOB.
+    pub fn wl_oob(&self, wl: WlAddr) -> Option<WlOob> {
+        self.wl_oob[self.config.geometry.wl_flat(wl)]
+    }
+
+    /// Highest OOB sequence number programmed into `block` since its
+    /// last erase (0 if none) — the single metadata-page probe recovery
+    /// uses to decide whether a block needs a full OOB scan.
+    pub fn block_prog_seq(&self, block: BlockId) -> u64 {
+        self.block_prog_seq[block.0 as usize]
+    }
+
+    /// FTL sequence number stamped on `block`'s last tagged erase (0 if
+    /// never erase-tagged).
+    pub fn block_erase_seq(&self, block: BlockId) -> u64 {
+        self.block_erase_seq[block.0 as usize]
+    }
+
+    /// Whether `block`'s last erase pulse was interrupted by a power cut
+    /// (the block must be re-erased before use).
+    pub fn block_erase_interrupted(&self, block: BlockId) -> bool {
+        self.erase_interrupted[block.0 as usize]
+    }
+
+    /// Models a sudden power-off cutting an in-flight ISPP sequence on
+    /// `wl`: a written WL degrades to [`PageState::Partial`] with a
+    /// sharply elevated BER, and its OOB record (if any) is re-tagged
+    /// [`OobStatus::Torn`]. Returns `true` if the WL was written and is
+    /// now torn; free WLs are untouched (nothing was in flight).
+    pub fn interrupt_program(&mut self, wl: WlAddr) -> bool {
+        let Ok(idx) = self.check_wl(wl) else {
+            return false;
+        };
+        if self.wl_state[idx] != PageState::Written {
+            return false;
+        }
+        self.wl_state[idx] = PageState::Partial;
+        // An interrupted ISPP staircase leaves cells mid-distribution:
+        // well past the 3x post-BER bar the §4.1.4 safety check applies.
+        self.wl_post_ber[idx] = (self.wl_post_ber[idx] * 8.0).max(1e-3);
+        if let Some(oob) = &mut self.wl_oob[idx] {
+            oob.status = OobStatus::Torn;
+        }
+        true
+    }
+
+    /// Models a sudden power-off cutting an in-flight erase pulse on
+    /// `block`: every WL is left in the partial state and the block is
+    /// flagged unusable until re-erased. Only applies when the block is
+    /// fully free (i.e. the erase had begun); returns whether it did.
+    pub fn interrupt_erase(&mut self, block: BlockId) -> bool {
+        if !self.config.geometry.contains_block(block) {
+            return false;
+        }
+        let g = &self.config.geometry;
+        let first = g.wl_flat(g.wl_addr(block, 0, 0));
+        let count = g.wls_per_block() as usize;
+        if self.wl_state[first..first + count]
+            .iter()
+            .any(|s| *s != PageState::Free)
+        {
+            return false;
+        }
+        for i in first..first + count {
+            self.wl_state[i] = PageState::Partial;
+        }
+        self.erase_interrupted[block.0 as usize] = true;
+        true
     }
 
     /// Program state of a WL.
@@ -696,6 +891,114 @@ mod tests {
         arr.chip_mut(0).unwrap().erase(BlockId(0)).unwrap();
         assert_eq!(arr.chip(0).unwrap().op_counts().0, 1);
         assert_eq!(arr.chip(1).unwrap().op_counts().0, 0);
+    }
+
+    #[test]
+    fn oob_roundtrip_and_block_seq_tracking() {
+        let mut c = chip();
+        let b = BlockId(1);
+        c.erase_tagged(b, 41).unwrap();
+        assert_eq!(c.block_erase_seq(b), 41);
+        assert_eq!(c.block_prog_seq(b), 0);
+        let wl = c.geometry().wl_addr(b, 0, 0);
+        // OOB on an unwritten WL is rejected.
+        let oob = WlOob {
+            lpns: [10, 11, WlData::PAD],
+            seq: 42,
+            status: OobStatus::Complete,
+        };
+        assert!(c.write_oob(wl, oob).is_err());
+        c.program_wl(wl, WlData::host(10), &ProgramParams::default())
+            .unwrap();
+        c.write_oob(wl, oob).unwrap();
+        assert_eq!(c.wl_oob(wl), Some(oob));
+        assert_eq!(c.block_prog_seq(b), 42);
+        // Erase clears OOB and the program-seq tracker.
+        c.erase_tagged(b, 50).unwrap();
+        assert_eq!(c.wl_oob(wl), None);
+        assert_eq!(c.block_prog_seq(b), 0);
+        assert_eq!(c.block_erase_seq(b), 50);
+    }
+
+    #[test]
+    fn oob_encode_decode_roundtrip() {
+        let oob = WlOob {
+            lpns: [3, u64::MAX, 7_000_000_000],
+            seq: 0x0123_4567_89ab_cdef,
+            status: OobStatus::Torn,
+        };
+        let bytes = oob.encode();
+        assert_eq!(WlOob::decode(&bytes), Some(oob));
+        assert_eq!(WlOob::decode(&bytes[..32]), None);
+        let mut bad = bytes;
+        bad[32] = 9;
+        assert_eq!(WlOob::decode(&bad), None);
+    }
+
+    #[test]
+    fn interrupted_program_leaves_torn_unreadable_wl() {
+        let mut c = chip();
+        let b = BlockId(2);
+        c.erase(b).unwrap();
+        let wl = c.geometry().wl_addr(b, 1, 0);
+        let report = c
+            .program_wl(wl, WlData::host(30), &ProgramParams::default())
+            .unwrap();
+        c.write_oob(
+            wl,
+            WlOob {
+                lpns: [30, 31, 32],
+                seq: 7,
+                status: OobStatus::Complete,
+            },
+        )
+        .unwrap();
+        assert!(c.interrupt_program(wl));
+        assert_eq!(c.wl_state(wl), PageState::Partial);
+        assert_eq!(c.wl_oob(wl).unwrap().status, OobStatus::Torn);
+        // Partial WLs reject both reads and re-programs until erase.
+        let p = c.geometry().page_addr(b, 1, 0, 0);
+        assert!(matches!(
+            c.read_page(p, ReadParams::default()),
+            Err(NandError::ReadUnwritten(_))
+        ));
+        assert!(matches!(
+            c.program_wl(wl, WlData::host(60), &ProgramParams::default()),
+            Err(NandError::ProgramOnDirtyWl(_))
+        ));
+        // BER elevated well past the 3x safety-check bar.
+        assert!(c.wl_post_ber(wl).is_none());
+        // A free WL has nothing in flight to tear.
+        let free_wl = c.geometry().wl_addr(b, 2, 0);
+        assert!(!c.interrupt_program(free_wl));
+        let _ = report;
+        c.erase(b).unwrap();
+        assert_eq!(c.wl_state(wl), PageState::Free);
+        c.program_wl(wl, WlData::host(60), &ProgramParams::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn interrupted_erase_blocks_use_until_reerase() {
+        let mut c = chip();
+        let b = BlockId(4);
+        c.erase(b).unwrap();
+        let wl = c.geometry().wl_addr(b, 0, 0);
+        // A block with live data is not mid-erase; the guard refuses.
+        c.program_wl(wl, WlData::host(0), &ProgramParams::default())
+            .unwrap();
+        assert!(!c.interrupt_erase(b));
+        c.erase(b).unwrap();
+        assert!(c.interrupt_erase(b));
+        assert!(c.block_erase_interrupted(b));
+        assert!(matches!(
+            c.program_wl(wl, WlData::host(0), &ProgramParams::default()),
+            Err(NandError::ProgramOnDirtyWl(_))
+        ));
+        c.erase(b).unwrap();
+        assert!(!c.block_erase_interrupted(b));
+        c.program_wl(wl, WlData::host(0), &ProgramParams::default())
+            .unwrap();
     }
 
     #[test]

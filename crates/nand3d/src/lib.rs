@@ -60,7 +60,9 @@ pub mod read;
 pub mod reliability;
 pub mod vth;
 
-pub use chip::{FlashArray, NandChip, PageState, ProgramReport, ReadReport, WlData};
+pub use chip::{
+    FlashArray, NandChip, OobStatus, PageState, ProgramReport, ReadReport, WlData, WlOob,
+};
 pub use config::{CalibratedModel, NandConfig, NandTiming};
 pub use ecc::{DecodeMode, EccModel};
 pub use environment::{AgingState, Environment, ACTIVATION_ENERGY_EV, REFERENCE_CELSIUS};

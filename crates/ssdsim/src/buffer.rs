@@ -116,6 +116,14 @@ impl WriteBuffer {
         Some(out)
     }
 
+    /// Queued (not yet in-flight) pages in FIFO order — together with
+    /// the in-flight flush batches held by the chips, this is what the
+    /// power-loss-protection capacitor dumps on a sudden power-off.
+    /// Deterministic: iterates the FIFO, never a hash map.
+    pub fn queued_lpns(&self) -> impl Iterator<Item = u64> + '_ {
+        self.queue.iter().copied()
+    }
+
     /// Completes a flush of `lpns` (as returned by
     /// [`WriteBuffer::take_for_flush`]), freeing the slots.
     pub fn complete_flush(&mut self, lpns: [u64; 3]) {

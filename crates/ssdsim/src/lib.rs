@@ -29,5 +29,7 @@ pub mod stats;
 pub use buffer::WriteBuffer;
 pub use driver::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
 pub use request::{HostOp, HostRequest};
-pub use ssd::{ChipStats, MaintSchedule, SimReport, SsdConfig, SsdSim};
+pub use ssd::{
+    ChipStats, InFlightFlush, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim,
+};
 pub use stats::LatencyRecorder;

@@ -16,8 +16,10 @@ use crate::buffer::WriteBuffer;
 use crate::driver::{FtlDriver, HostContext};
 use crate::request::{HostOp, HostRequest};
 use crate::stats::LatencyRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Background-maintenance scheduling policy of the simulator.
 ///
@@ -59,6 +61,63 @@ impl Default for MaintSchedule {
     fn default() -> Self {
         MaintSchedule::off()
     }
+}
+
+/// When the simulated power supply dies mid-run (see
+/// [`SsdSim::run_with_spo`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpoTrigger {
+    /// Cut power as soon as `n` host requests have completed.
+    AtOps(u64),
+    /// Cut power at a fixed simulated time, µs.
+    AtTimeUs(f64),
+    /// Seeded random cut: one Bernoulli draw per completed host request
+    /// from a dedicated RNG stream (the engine's event order is
+    /// untouched when this never fires).
+    Seeded {
+        /// Seed of the dedicated SPO RNG stream.
+        seed: u64,
+        /// Per-completed-request cut probability.
+        rate: f64,
+    },
+}
+
+/// A flush batch that a sudden power-off caught between
+/// [`FtlDriver::write_wl`] and its chip-completion event: the WL program
+/// (and, when `did_gc` is set, the preceding victim-block erase) was
+/// interrupted mid-operation on the NAND die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlightFlush {
+    /// Chip the flush was executing (or queued) on.
+    pub chip: usize,
+    /// The batch's LPNs (`u64::MAX` = pad).
+    pub lpns: [u64; 3],
+    /// Whether the FTL ran a garbage-collection erase for this flush.
+    pub did_gc: bool,
+}
+
+/// Everything the harness needs to model the physical consequences of a
+/// sudden power-off and to audit the recovery afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpoEvent {
+    /// Simulated time of the cut, µs.
+    pub at_us: f64,
+    /// Host requests issued (pulled from the workload) before the cut.
+    pub issued: u64,
+    /// Host requests completed (acknowledged) before the cut.
+    pub completed: u64,
+    /// Every LPN of every *acknowledged* write request — the data the
+    /// device must not lose.
+    pub acked_write_lpns: Vec<u64>,
+    /// Every LPN trimmed before the cut (a resurrected trimmed LPN is
+    /// acceptable; a lost acknowledged LPN is not).
+    pub trimmed_lpns: Vec<u64>,
+    /// The power-loss-protection dump: all buffer-resident LPNs in
+    /// deterministic order, oldest copy first (so a sequential replay
+    /// leaves the newest copy mapped).
+    pub buffered_lpns: Vec<u64>,
+    /// Flush batches interrupted mid-NAND-operation, in chip order.
+    pub interrupted_flushes: Vec<InFlightFlush>,
 }
 
 /// Static configuration of the simulated SSD platform.
@@ -286,6 +345,7 @@ enum ChipOp {
     Flush {
         lpns: [u64; 3],
         nand_us: f64,
+        did_gc: bool,
     },
     /// A background maintenance operation. Data moves stay on-chip, so
     /// no bus transfer is charged.
@@ -312,6 +372,10 @@ struct InFlightRequest {
     remaining_pages: u32,
     op: HostOp,
     done: bool,
+    /// First LPN of the request's span (for the SPO acked-write ledger).
+    lpn: u64,
+    /// Span length in pages.
+    pages: u32,
 }
 
 #[derive(Debug)]
@@ -341,6 +405,9 @@ pub struct SsdSim {
     trims_done: u64,
     read_latency: LatencyRecorder,
     write_latency: LatencyRecorder,
+    /// TRIMmed LPNs of the current run — recorded only while an SPO
+    /// trigger is armed (`None` otherwise, zero cost on normal runs).
+    spo_trims: Option<Vec<u64>>,
 }
 
 impl SsdSim {
@@ -365,6 +432,7 @@ impl SsdSim {
             trims_done: 0,
             read_latency: LatencyRecorder::new(),
             write_latency: LatencyRecorder::new(),
+            spo_trims: None,
             config,
         }
     }
@@ -409,13 +477,69 @@ impl SsdSim {
         F: FtlDriver + ?Sized,
         W: IntoIterator<Item = HostRequest>,
     {
+        self.run_inner(ftl, workload, max_requests, None).0
+    }
+
+    /// Like [`SsdSim::run`], but with a sudden-power-off trigger armed.
+    /// If the trigger fires before the workload drains, the run halts
+    /// mid-operation and the returned [`SpoEvent`] describes the exact
+    /// device state at the cut; the report then covers the truncated
+    /// run. Returns `None` for the event when the trigger never fired.
+    ///
+    /// Pass the workload by `&mut` iterator to keep the unissued
+    /// remainder for the post-recovery resume run.
+    pub fn run_with_spo<F, W>(
+        &mut self,
+        ftl: &mut F,
+        workload: W,
+        max_requests: u64,
+        trigger: SpoTrigger,
+    ) -> (SimReport, Option<SpoEvent>)
+    where
+        F: FtlDriver + ?Sized,
+        W: IntoIterator<Item = HostRequest>,
+    {
+        self.run_inner(ftl, workload, max_requests, Some(trigger))
+    }
+
+    fn run_inner<F, W>(
+        &mut self,
+        ftl: &mut F,
+        workload: W,
+        max_requests: u64,
+        spo: Option<SpoTrigger>,
+    ) -> (SimReport, Option<SpoEvent>)
+    where
+        F: FtlDriver + ?Sized,
+        W: IntoIterator<Item = HostRequest>,
+    {
         self.reset();
         let mut workload = workload.into_iter().take(max_requests as usize).peekable();
+        // The SPO machinery only exists while a trigger is armed: normal
+        // runs create no RNG, record no trims and take the exact same
+        // event path as before.
+        self.spo_trims = spo.map(|_| Vec::new());
+        let mut spo_rng = match spo {
+            Some(SpoTrigger::Seeded { seed, .. }) => {
+                Some(StdRng::seed_from_u64(seed ^ 0x5b0f_f00d))
+            }
+            _ => None,
+        };
+        let mut spo_event: Option<SpoEvent> = None;
 
         self.fill_queue(&mut workload, ftl);
         self.try_maint(ftl);
         let mut event_count: u64 = 0;
-        while let Some(ev) = self.events.pop() {
+        'sim: while let Some(&ev) = self.events.peek() {
+            if let Some(SpoTrigger::AtTimeUs(t_cut)) = spo {
+                if ev.t >= t_cut {
+                    // Power dies strictly before the next event executes.
+                    self.now = self.now.max(t_cut);
+                    spo_event = Some(self.spo_snapshot());
+                    break 'sim;
+                }
+            }
+            let ev = self.events.pop().expect("peeked event exists");
             debug_assert!(ev.t >= self.now - 1e-9, "time went backwards");
             event_count += 1;
             if event_count.is_multiple_of(1_000_000) && std::env::var("SSDSIM_DEBUG").is_ok() {
@@ -430,6 +554,7 @@ impl SsdSim {
                     self.buffer.capacity()
                 );
             }
+            let completed_before = self.completed;
             self.now = ev.t;
             match ev.kind {
                 EventKind::WriteAccepted { req } => self.finish_request(req),
@@ -443,11 +568,30 @@ impl SsdSim {
             }
             self.fill_queue(&mut workload, ftl);
             self.try_maint(ftl);
+            match spo {
+                Some(SpoTrigger::AtOps(n)) if self.completed >= n => {
+                    spo_event = Some(self.spo_snapshot());
+                    break 'sim;
+                }
+                Some(SpoTrigger::Seeded { rate, .. }) if rate > 0.0 => {
+                    let rng = spo_rng.as_mut().expect("seeded trigger has an RNG");
+                    for _ in completed_before..self.completed {
+                        if rng.gen_bool(rate) {
+                            spo_event = Some(self.spo_snapshot());
+                            break 'sim;
+                        }
+                    }
+                }
+                _ => {}
+            }
         }
 
-        debug_assert_eq!(self.outstanding, 0, "drain left requests in flight");
+        if spo_event.is_none() {
+            debug_assert_eq!(self.outstanding, 0, "drain left requests in flight");
+        }
+        self.spo_trims = None;
         let sim_time_us = self.now.max(1e-9);
-        SimReport {
+        let report = SimReport {
             ftl_name: ftl.name().to_owned(),
             iops: self.completed as f64 / (sim_time_us / 1e6),
             sim_time_us,
@@ -459,6 +603,64 @@ impl SsdSim {
             write_latency: std::mem::take(&mut self.write_latency),
             ftl: ftl.stats(),
             chip_stats: self.chips.iter().map(|c| c.stats).collect(),
+        };
+        (report, spo_event)
+    }
+
+    /// Captures the device state at the instant of the power cut: the
+    /// interrupted flush batches (current + queued per chip, in chip
+    /// order), the PLP buffer dump and the acknowledged-write ledger.
+    fn spo_snapshot(&mut self) -> SpoEvent {
+        let mut interrupted = Vec::new();
+        for (chip, c) in self.chips.iter().enumerate() {
+            if let Some(ChipOp::Flush { lpns, did_gc, .. }) = &c.current {
+                interrupted.push(InFlightFlush {
+                    chip,
+                    lpns: *lpns,
+                    did_gc: *did_gc,
+                });
+            }
+            for op in &c.queue {
+                if let ChipOp::Flush { lpns, did_gc, .. } = op {
+                    interrupted.push(InFlightFlush {
+                        chip,
+                        lpns: *lpns,
+                        did_gc: *did_gc,
+                    });
+                }
+            }
+        }
+        // PLP dump: in-flight batches first (older copies), then the
+        // FIFO queue (newer copies), keeping only the last occurrence of
+        // each LPN so a sequential replay maps the newest data.
+        let mut dump: Vec<u64> = interrupted
+            .iter()
+            .flat_map(|f| f.lpns)
+            .filter(|&l| l != u64::MAX)
+            .collect();
+        dump.extend(self.buffer.queued_lpns());
+        let mut seen = HashSet::new();
+        let mut buffered: Vec<u64> = dump
+            .iter()
+            .rev()
+            .filter(|&&l| seen.insert(l))
+            .copied()
+            .collect();
+        buffered.reverse();
+        let acked_write_lpns = self
+            .requests
+            .iter()
+            .filter(|r| r.done && r.op == HostOp::Write)
+            .flat_map(|r| r.lpn..r.lpn + u64::from(r.pages))
+            .collect();
+        SpoEvent {
+            at_us: self.now,
+            issued: self.requests.len() as u64,
+            completed: self.completed,
+            acked_write_lpns,
+            trimmed_lpns: self.spo_trims.take().unwrap_or_default(),
+            buffered_lpns: buffered,
+            interrupted_flushes: interrupted,
         }
     }
 
@@ -481,6 +683,7 @@ impl SsdSim {
         self.trims_done = 0;
         self.read_latency = LatencyRecorder::new();
         self.write_latency = LatencyRecorder::new();
+        self.spo_trims = None;
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
@@ -524,6 +727,8 @@ impl SsdSim {
             remaining_pages: req.n_pages,
             op: req.op,
             done: false,
+            lpn: req.lpn,
+            pages: req.n_pages,
         });
         self.outstanding += 1;
 
@@ -549,6 +754,9 @@ impl SsdSim {
             HostOp::Trim => {
                 // TRIM is a mapping-table operation: it completes at
                 // DRAM speed and leaves reclaimable garbage behind.
+                if let Some(trims) = &mut self.spo_trims {
+                    trims.extend(req.lpns());
+                }
                 for lpn in req.lpns() {
                     ftl.trim(lpn);
                 }
@@ -720,6 +928,7 @@ impl SsdSim {
                 ChipOp::Flush {
                     lpns,
                     nand_us: w.nand_us,
+                    did_gc: w.did_gc,
                 },
             );
         }

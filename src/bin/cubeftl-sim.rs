@@ -6,6 +6,7 @@
 //!             [--fault-seed N] [--fault-rate CLASS=RATE]...
 //!             [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]
 //!             [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]
+//!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
 //! ```
 //!
 //! `--fault-rate` enables seeded fault injection (repeatable); CLASS is one
@@ -17,6 +18,17 @@
 //! host-priority gap: a chip must have been idle that long before a
 //! background op may be dispatched on it.
 //!
+//! `--spo-at N` arms a sudden power-off after N completed host requests
+//! (`--spo-at-us` cuts at a simulated time instead, `--spo-rate` draws a
+//! seeded per-request Bernoulli cut). The run then becomes the double-run
+//! crash experiment: an uninterrupted golden run, the cut, the power-cut
+//! physics (torn WL programs, interrupted erases), a boot-time recovery
+//! that rebuilds the L2P map from the last checkpoint plus an OOB scan
+//! (the OPM/ORT boot cold and re-monitor on first touch), and a resumed
+//! run over the workload remainder. `--ckpt-interval` sets the periodic
+//! L2P checkpoint cadence in host WL programs (default 64; 0 disables,
+//! forcing a full-array OOB rebuild).
+//!
 //! Examples:
 //!
 //! ```sh
@@ -24,10 +36,13 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --workload oltp --requests 100000
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --fault-rate ber-spike=0.01 --fault-rate abort=0.005
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --aging eol --maint --maint-gap-us 500
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --spo-at 40000 --ckpt-interval 128
 //! ```
 
-use cubeftl::harness::{run_eval, EvalConfig};
-use cubeftl::{AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, StandardWorkload};
+use cubeftl::harness::{run_eval, run_spo_eval, EvalConfig, SpoConfig};
+use cubeftl::{
+    AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, SpoTrigger, StandardWorkload,
+};
 use std::process::ExitCode;
 
 fn parse_ftl(s: &str) -> Option<Vec<FtlKind>> {
@@ -80,6 +95,7 @@ fn usage() -> ExitCode {
          \x20                  [--fault-seed N] [--fault-rate CLASS=RATE]...\n\
          \x20                  [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]\n\
          \x20                  [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]\n\
+         \x20                  [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort"
     );
     ExitCode::FAILURE
@@ -96,6 +112,9 @@ fn main() -> ExitCode {
     let mut fault_rates: Vec<(FaultKind, f64)> = Vec::new();
     let mut maint: Option<MaintConfig> = None;
     let mut maint_gap_us: Option<f64> = None;
+    let mut spo_trigger: Option<SpoTrigger> = None;
+    let mut spo_seed: Option<u64> = None;
+    let mut ckpt_interval: u64 = 64;
 
     let mut i = 0;
     while i < args.len() {
@@ -205,6 +224,30 @@ fn main() -> ExitCode {
                 }
                 _ => return usage(),
             },
+            ("--spo-at", Some(v)) => match v.parse::<u64>() {
+                Ok(n) if n > 0 => spo_trigger = Some(SpoTrigger::AtOps(n)),
+                _ => return usage(),
+            },
+            ("--spo-at-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 => spo_trigger = Some(SpoTrigger::AtTimeUs(t)),
+                _ => return usage(),
+            },
+            ("--spo-rate", Some(v)) => match v.parse::<f64>() {
+                // Seed is patched in after the parse loop (the flag
+                // order must not matter).
+                Ok(p) if (0.0..=1.0).contains(&p) => {
+                    spo_trigger = Some(SpoTrigger::Seeded { seed: 0, rate: p });
+                }
+                _ => return usage(),
+            },
+            ("--spo-seed", Some(v)) => match v.parse::<u64>() {
+                Ok(n) => spo_seed = Some(n),
+                Err(_) => return usage(),
+            },
+            ("--ckpt-interval", Some(v)) => match v.parse::<u64>() {
+                Ok(n) => ckpt_interval = n,
+                Err(_) => return usage(),
+            },
             _ => return usage(),
         }
         i += 2;
@@ -228,6 +271,12 @@ fn main() -> ExitCode {
             cfg.ssd.maint.min_gap_us = g;
         }
     }
+    if let Some(SpoTrigger::Seeded { seed, .. }) = &mut spo_trigger {
+        *seed = spo_seed.unwrap_or(cfg.seed);
+    } else if spo_seed.is_some() {
+        // A seed alone arms nothing; it only parameterizes --spo-rate.
+        return usage();
+    }
 
     println!(
         "workload {workload}, {aging}, {} blocks/chip, {} requests, seed {}{}{}{}\n",
@@ -243,6 +292,12 @@ fn main() -> ExitCode {
             .map(|_| format!(", maint on (gap {} µs)", cfg.ssd.maint.min_gap_us))
             .unwrap_or_default()
     );
+    if let Some(c) = celsius {
+        cfg.ambient_celsius = c;
+    }
+    if let Some(trigger) = spo_trigger {
+        return run_spo(kinds, workload, aging, &cfg, trigger, ckpt_interval);
+    }
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6} {:>6}",
         "FTL",
@@ -257,9 +312,6 @@ fn main() -> ExitCode {
     );
     let faults_on = cfg.faults.is_some();
     let maint_on = cfg.maint.is_some();
-    if let Some(c) = celsius {
-        cfg.ambient_celsius = c;
-    }
     let fmt_wa = |w: Option<f64>| {
         w.map(|w| format!("{w:.2}"))
             .unwrap_or_else(|| "-".to_owned())
@@ -309,4 +361,102 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The double-run crash experiment: golden run, cut, recovery, resume.
+/// Exits non-zero if any host-acknowledged write is lost.
+fn run_spo(
+    kinds: Vec<FtlKind>,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    trigger: SpoTrigger,
+    ckpt_interval: u64,
+) -> ExitCode {
+    let spo = SpoConfig {
+        trigger,
+        ckpt_interval_host_wls: ckpt_interval,
+    };
+    println!(
+        "sudden power-off armed: {trigger:?}, checkpoint every {} host WLs\n",
+        if ckpt_interval == 0 {
+            "∞ (disabled)".to_owned()
+        } else {
+            ckpt_interval.to_string()
+        }
+    );
+    let mut lost = false;
+    for kind in kinds {
+        let r = run_spo_eval(kind, workload, aging, cfg, &spo);
+        println!("{}:", r.golden.ftl_name);
+        let Some(event) = &r.spo else {
+            println!(
+                "  trigger never fired ({} requests completed in {:.1} ms); \
+                 run matches the golden run\n",
+                r.pre_cut.completed,
+                r.pre_cut.sim_time_us / 1000.0
+            );
+            continue;
+        };
+        let rec = r.recovery.as_ref().expect("recovery ran when SPO fired");
+        println!(
+            "  cut      at {:.1} ms: {} issued, {} acked ({} acked writes, {} in PLP buffer), \
+             {} checkpoints taken",
+            event.at_us / 1000.0,
+            event.issued,
+            event.completed,
+            event.acked_write_lpns.len(),
+            event.buffered_lpns.len(),
+            r.checkpoints_taken,
+        );
+        println!(
+            "  recovery in {:.3} ms: checkpoint {}, {}/{} blocks scanned ({} probed), \
+             {} OOB records replayed",
+            rec.nand_us / 1000.0,
+            if rec.checkpoint_loaded {
+                format!(
+                    "seq {} loaded ({} entries)",
+                    rec.checkpoint_seq, rec.ckpt_entries_restored
+                )
+            } else {
+                "none".to_owned()
+            },
+            rec.blocks_scanned,
+            r.total_blocks,
+            rec.blocks_probed,
+            rec.oob_records_replayed,
+        );
+        println!(
+            "  physics  {} torn WLs quarantined, {} h-layers demoted, \
+             {} interrupted erases redone, {} PLP pages replayed",
+            rec.torn_wls_quarantined,
+            rec.layers_demoted,
+            rec.interrupted_erases_redone,
+            rec.plp_pages_replayed,
+        );
+        if let Some(res) = &r.resumed {
+            println!(
+                "  resumed  {} remaining requests at {:.0} IOPS \
+                 (golden full run: {:.0} IOPS)",
+                res.completed, res.iops, r.golden.iops,
+            );
+        } else {
+            println!("  resumed  nothing left to replay (cut after the last request)");
+        }
+        if r.lost_lpns.is_empty() {
+            println!("  audit    zero host-acknowledged data loss\n");
+        } else {
+            lost = true;
+            println!(
+                "  audit    LOST {} host-acknowledged LPNs: {:?}\n",
+                r.lost_lpns.len(),
+                &r.lost_lpns[..r.lost_lpns.len().min(16)]
+            );
+        }
+    }
+    if lost {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

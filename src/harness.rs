@@ -6,9 +6,9 @@
 //! block count for quick runs — the FTL behaviour is unchanged, only the
 //! physical capacity shrinks).
 
-use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig};
+use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, RecoveryReport};
 use nand3d::{AgingState, FaultPlan};
-use ssdsim::{MaintSchedule, SimReport, SsdConfig, SsdSim};
+use ssdsim::{MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
 use workloads::StandardWorkload;
 
 /// Scale and length of one evaluation run.
@@ -148,6 +148,182 @@ pub fn run_eval_custom(
 
     let stream = workload.build(prefill.max(1024), cfg.seed);
     sim.run(&mut ftl, stream, cfg.requests)
+}
+
+/// Configuration of a sudden-power-off experiment on top of an
+/// [`EvalConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpoConfig {
+    /// When the power dies.
+    pub trigger: SpoTrigger,
+    /// Checkpoint interval in host WL programs (0 disables periodic
+    /// checkpoints; recovery then scans every block).
+    pub ckpt_interval_host_wls: u64,
+}
+
+impl SpoConfig {
+    /// Cut power after `ops` completed host requests, checkpointing
+    /// every 64 host WLs (the CLI default).
+    pub fn at_ops(ops: u64) -> Self {
+        SpoConfig {
+            trigger: SpoTrigger::AtOps(ops),
+            ckpt_interval_host_wls: 64,
+        }
+    }
+}
+
+/// Outcome of one [`run_spo_eval`] double-run experiment.
+#[derive(Debug, Clone)]
+pub struct SpoEvalReport {
+    /// The uninterrupted golden run (same seed, same workload, same
+    /// checkpoint cadence — the only difference is the power cut).
+    pub golden: SimReport,
+    /// The truncated run up to the cut (or the full run if the trigger
+    /// never fired).
+    pub pre_cut: SimReport,
+    /// Device state at the cut; `None` if the trigger never fired.
+    pub spo: Option<SpoEvent>,
+    /// What boot-time recovery did; `None` if the trigger never fired.
+    pub recovery: Option<RecoveryReport>,
+    /// The post-recovery resume run over the workload remainder.
+    pub resumed: Option<SimReport>,
+    /// Host-acknowledged LPNs that were mapped (or buffer-resident) at
+    /// the cut but unmapped after recovery. **Must be empty** — any
+    /// entry is host-visible data loss.
+    pub lost_lpns: Vec<u64>,
+    /// Checkpoints taken before the cut.
+    pub checkpoints_taken: u64,
+    /// Total blocks in the array (for bounding recovery scan cost).
+    pub total_blocks: u64,
+}
+
+impl SpoEvalReport {
+    /// Whether the armed trigger actually fired.
+    pub fn fired(&self) -> bool {
+        self.spo.is_some()
+    }
+}
+
+fn setup_ftl(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    ftl_cfg: FtlConfig,
+    sim: &mut SsdSim,
+) -> Ftl {
+    let mut ftl = Ftl::new(kind, ftl_cfg);
+    ftl.set_aging(aging);
+    ftl.set_ambient_celsius(cfg.ambient_celsius);
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    sim.prefill(&mut ftl, 0..prefill);
+    ftl.set_disturbance_prob(cfg.disturbance_prob);
+    if let Some(plan) = &cfg.faults {
+        ftl.set_fault_plan(plan);
+    }
+    if let Some(maint) = cfg.maint {
+        ftl.enable_maintenance(maint);
+    }
+    ftl
+}
+
+/// Runs the double-run SPO experiment: an uninterrupted golden run, then
+/// an identical run cut short by `spo.trigger`, the power-cut physics
+/// (torn WL programs, interrupted erases), a boot-time recovery
+/// ([`Ftl::power_cycle`]) and a resume over the workload remainder.
+///
+/// The returned report carries the zero-loss audit: every LPN that was
+/// host-acknowledged (mapped in the FTL or resident in the PLP-protected
+/// buffer) at the cut and is missing after recovery lands in
+/// `lost_lpns`.
+pub fn run_spo_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    spo: &SpoConfig,
+) -> SpoEvalReport {
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+
+    // Golden run: identical setup and checkpoint cadence, no cut.
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.enable_checkpointing(spo.ckpt_interval_host_wls);
+    ftl.reset_stats();
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    let stream = workload.build(prefill.max(1024), cfg.seed);
+    let golden = sim.run(&mut ftl, stream, cfg.requests);
+
+    // SPO run: same seed, same stream, trigger armed. The stream is
+    // held by `&mut` so the unissued remainder survives for the resume.
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.enable_checkpointing(spo.ckpt_interval_host_wls);
+    ftl.reset_stats();
+    let g = ftl.geometry();
+    let total_blocks = u64::from(g.blocks_per_chip) * ftl.mapping().chips() as u64;
+    let mut stream = workload.build(prefill.max(1024), cfg.seed);
+    let (pre_cut, event) = sim.run_with_spo(&mut ftl, &mut stream, cfg.requests, spo.trigger);
+    let checkpoints_taken = ftl.checkpoints_taken();
+
+    let Some(event) = event else {
+        return SpoEvalReport {
+            golden,
+            pre_cut,
+            spo: None,
+            recovery: None,
+            resumed: None,
+            lost_lpns: Vec::new(),
+            checkpoints_taken,
+            total_blocks,
+        };
+    };
+
+    // The durable-data ledger at the instant of the cut: everything the
+    // FTL has mapped plus everything the PLP capacitor preserves.
+    let mut durable: Vec<u64> = (0..logical).filter(|&l| ftl.is_mapped(l)).collect();
+    durable.extend(event.buffered_lpns.iter().copied());
+    durable.sort_unstable();
+    durable.dedup();
+
+    // Physics of the cut: every in-flight flush tears its WL program
+    // (and its in-flight GC erase, when one ran).
+    for f in &event.interrupted_flushes {
+        ftl.power_cut(f.chip, f.lpns, f.did_gc);
+    }
+
+    // Boot: rebuild the L2P from checkpoint + OOB scan, quarantine torn
+    // WLs, re-erase interrupted blocks, replay the PLP dump. OPM/ORT
+    // come back cold by design.
+    let (mut ftl, recovery) = ftl.power_cycle(&event.buffered_lpns);
+
+    let lost_lpns: Vec<u64> = durable
+        .iter()
+        .copied()
+        .filter(|&l| !ftl.is_mapped(l))
+        .collect();
+
+    // Resume the interrupted workload over the remainder of the stream.
+    if let Some(maint) = cfg.maint {
+        ftl.enable_maintenance(maint);
+    }
+    let remaining = cfg.requests.saturating_sub(event.issued);
+    let resumed = (remaining > 0).then(|| sim.run(&mut ftl, &mut stream, remaining));
+
+    SpoEvalReport {
+        golden,
+        pre_cut,
+        spo: Some(event),
+        recovery: Some(recovery),
+        resumed,
+        lost_lpns,
+        checkpoints_taken,
+        total_blocks,
+    }
 }
 
 /// Runs the three-FTL comparison of Fig. 17 for one workload and aging

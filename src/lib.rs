@@ -29,13 +29,17 @@
 //! assert!(report.iops > 0.0);
 //! ```
 
-pub use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, Opm, ProgramOrder, Wam};
+pub use ftl::{
+    Checkpoint, CheckpointError, Ftl, FtlConfig, FtlKind, MaintConfig, Opm, ProgramOrder,
+    RecoveryReport, Wam,
+};
 pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
-    NandConfig, ProgramParams, ReadParams, TargetedFault, WlAddr,
+    NandConfig, OobStatus, ProgramParams, ReadParams, TargetedFault, WlAddr, WlOob,
 };
 pub use ssdsim::{
-    ChipStats, FtlDriver, HostRequest, MaintSchedule, MaintWork, SimReport, SsdConfig, SsdSim,
+    ChipStats, FtlDriver, HostRequest, MaintSchedule, MaintWork, SimReport, SpoEvent, SpoTrigger,
+    SsdConfig, SsdSim,
 };
 pub use workloads::{StandardWorkload, Workload};
 

@@ -181,3 +181,38 @@ fn double_run_is_byte_identical_with_maintenance() {
         "background ops must be dispatched through the scheduler"
     );
 }
+
+#[test]
+fn spo_at_fixed_op_double_run_is_byte_identical() {
+    // Same seed + same SPO point ⇒ the cut snapshot, the recovery
+    // report, the recovered mapping and the resumed run must all be
+    // byte-identical — crash recovery may not introduce a single
+    // nondeterministic draw or iteration-order dependence.
+    use cubeftl::harness::{run_spo_eval, SpoConfig};
+    let cfg = EvalConfig::smoke();
+    let spo = SpoConfig::at_ops(1_100);
+    let run = || {
+        run_spo_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::MidLife,
+            &cfg,
+            &spo,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(a.fired(), "the armed trigger must fire");
+    assert_eq!(a.spo, b.spo, "cut snapshots diverged");
+    assert_eq!(
+        format!("{:?}", a.recovery),
+        format!("{:?}", b.recovery),
+        "recovery reports diverged"
+    );
+    assert_eq!(
+        format!("{:?}", a.resumed),
+        format!("{:?}", b.resumed),
+        "post-recovery resumed runs diverged"
+    );
+    assert_eq!(a.lost_lpns, b.lost_lpns);
+    assert!(a.lost_lpns.is_empty(), "no host-acknowledged loss");
+}

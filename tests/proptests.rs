@@ -1,8 +1,8 @@
 //! Property-based tests on the core data structures and invariants.
 
 use cubeftl::{FtlConfig, FtlDriver, Geometry, ProgramOrder};
-use ftl::{Ftl, FtlKind, Mapping, Ppn};
-use nand3d::{BlockId, FaultKind, FaultPlan};
+use ftl::{Checkpoint, Ftl, FtlKind, Mapping, Ppn};
+use nand3d::{BlockId, FaultKind, FaultPlan, OobStatus, WlOob};
 use proptest::prelude::*;
 use ssdsim::{HostContext, WriteBuffer};
 use std::collections::{HashMap, HashSet};
@@ -283,5 +283,62 @@ proptest! {
         for _ in 0..100 {
             prop_assert!(z.sample() < n);
         }
+    }
+
+    /// L2P checkpoints survive encode/decode byte-identically for
+    /// arbitrary maps, erase-count matrices and sequence numbers — the
+    /// crash-recovery path depends on this blob being self-describing.
+    #[test]
+    fn checkpoint_roundtrips(
+        seq in 0u64..u64::MAX,
+        entries in prop::collection::vec((0u64..3, 0u32..8, 0u32..10_000), 0..120),
+        chips in 1usize..4,
+        blocks in 0usize..24,
+        counts in prop::collection::vec(0u32..100_000, 0..96),
+    ) {
+        let l2p: Vec<Option<Ppn>> = entries
+            .iter()
+            .map(|&(tag, chip, page)| (tag != 0).then_some(Ppn { chip, page }))
+            .collect();
+        let erase_counts: Vec<Vec<u32>> = (0..chips)
+            .map(|c| {
+                (0..blocks)
+                    .map(|b| {
+                        if counts.is_empty() { 0 } else { counts[(c * blocks + b) % counts.len()] }
+                    })
+                    .collect()
+            })
+            .collect();
+        let ckpt = Checkpoint { seq, l2p, erase_counts };
+        let blob = ckpt.encode();
+        prop_assert_eq!(Checkpoint::decode(&blob).unwrap(), ckpt.clone());
+        // Encoding is canonical: re-encoding the decode is byte-identical.
+        prop_assert_eq!(Checkpoint::decode(&blob).unwrap().encode(), blob.clone());
+        // Truncation is always detected.
+        if !blob.is_empty() {
+            prop_assert!(Checkpoint::decode(&blob[..blob.len() - 1]).is_err());
+        }
+    }
+
+    /// Per-WL OOB records survive their fixed-width spare-area encoding
+    /// for arbitrary LPN tags, sequence numbers and status bits.
+    #[test]
+    fn wl_oob_roundtrips(
+        l0 in 0u64..u64::MAX,
+        l1 in 0u64..u64::MAX,
+        l2 in 0u64..u64::MAX,
+        seq in 0u64..u64::MAX,
+        torn in prop::bool::ANY,
+    ) {
+        let oob = WlOob {
+            lpns: [l0, l1, l2],
+            seq,
+            status: if torn { OobStatus::Torn } else { OobStatus::Complete },
+        };
+        let bytes = oob.encode();
+        prop_assert_eq!(bytes.len(), WlOob::ENCODED_LEN);
+        prop_assert_eq!(WlOob::decode(&bytes), Some(oob));
+        // A wrong-length slice never decodes.
+        prop_assert_eq!(WlOob::decode(&bytes[..WlOob::ENCODED_LEN - 1]), None);
     }
 }
