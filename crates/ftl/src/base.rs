@@ -126,6 +126,12 @@ pub struct Ftl {
     ckpt: Option<CkptState>,
 }
 
+// The array front-end runs one Ftl per shard on worker threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Ftl>();
+};
+
 impl Ftl {
     /// Creates an FTL of the given kind.
     pub fn new(kind: FtlKind, config: FtlConfig) -> Self {
@@ -152,7 +158,9 @@ impl Ftl {
                     config.active_blocks_per_chip,
                 )
             }),
-            opm: kind.ps_aware().then(|| Opm::new(&g, config.chips)),
+            opm: kind
+                .ps_aware()
+                .then(|| Opm::with_ort_capacity(&g, config.chips, config.ort_capacity)),
             stats: FtlStats::default(),
             in_gc: false,
             maint: None,
@@ -239,6 +247,9 @@ impl Ftl {
     /// measured run).
     pub fn reset_stats(&mut self) {
         self.stats = FtlStats::default();
+        if let Some(opm) = &mut self.opm {
+            opm.reset_ort_counters();
+        }
     }
 
     /// The underlying flash array (for characterization experiments).
@@ -598,7 +609,7 @@ impl Ftl {
         let g = self.geometry();
         let page = g.page_unflat(ppn.page as usize);
         let chip = ppn.chip as usize;
-        let params = match &self.opm {
+        let params = match &mut self.opm {
             Some(opm) => ReadParams::from_offset(opm.read_offset(chip, page.wl)),
             None => ReadParams::default(),
         };
@@ -941,7 +952,9 @@ impl Ftl {
         // 5. Fresh volatile state: the OPM/ORT boot cold (re-derived on
         // first touch per h-layer), the WAM and write points reset.
         // H-layers holding a torn WL boot demoted — the §4.1.4 quarantine.
-        let mut opm = kind.ps_aware().then(|| Opm::new(&g, chips));
+        let mut opm = kind
+            .ps_aware()
+            .then(|| Opm::with_ort_capacity(&g, chips, config.ort_capacity));
         if let Some(opm) = &mut opm {
             for &(chip, wl) in &torn {
                 report.layers_demoted += u64::from(opm.demote_layer(chip, wl));
@@ -1389,7 +1402,7 @@ impl Ftl {
             wl,
             page: nand3d::PageIndex(0),
         };
-        let params = match &self.opm {
+        let params = match &mut self.opm {
             Some(opm) => ReadParams::from_offset(opm.read_offset(chip, wl)),
             None => ReadParams::default(),
         };
@@ -1459,7 +1472,14 @@ impl FtlDriver for Ftl {
     }
 
     fn stats(&self) -> FtlStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(opm) = &self.opm {
+            let (hits, misses, evictions) = opm.ort_counters();
+            stats.ort_hits = hits;
+            stats.ort_misses = misses;
+            stats.ort_evictions = evictions;
+        }
+        stats
     }
 
     fn name(&self) -> &str {

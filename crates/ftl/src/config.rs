@@ -20,6 +20,10 @@ pub struct FtlConfig {
     pub mu_threshold: f64,
     /// Active blocks per chip for the WAM (§5.2: the paper uses two).
     pub active_blocks_per_chip: usize,
+    /// Per-chip capacity of the optimal read-reference table, in h-layer
+    /// entries; LRU eviction beyond that. `usize::MAX` models the
+    /// paper's full in-DRAM table (§5.1).
+    pub ort_capacity: usize,
     /// Seed for per-chip process variation.
     pub seed: u64,
 }
@@ -35,6 +39,7 @@ impl FtlConfig {
             gc_free_block_threshold: 4,
             mu_threshold: 0.9,
             active_blocks_per_chip: 2,
+            ort_capacity: usize::MAX,
             seed: 42,
         }
     }
@@ -49,6 +54,7 @@ impl FtlConfig {
             gc_free_block_threshold: 2,
             mu_threshold: 0.9,
             active_blocks_per_chip: 2,
+            ort_capacity: usize::MAX,
             seed: 42,
         }
     }
@@ -85,6 +91,7 @@ impl FtlConfig {
                 && self.active_blocks_per_chip <= self.gc_free_block_threshold.max(1),
             "active blocks must leave GC headroom"
         );
+        assert!(self.ort_capacity >= 1, "ORT needs at least one entry");
     }
 }
 

@@ -52,6 +52,90 @@ impl LeaderParams {
 /// Key of an h-layer within the SSD: (chip, block, h-layer).
 type LayerKey = (u32, u32, u16);
 
+/// Key of an ORT entry within one chip: (block, h-layer).
+type OrtKey = (u32, u16);
+
+/// One cached `ΔV_Ref` offset plus its LRU stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OrtEntry {
+    offset: u8,
+    stamp: u64,
+}
+
+/// A capacity-bounded per-chip ORT with LRU eviction.
+///
+/// The paper sizes the ORT at ~2 bytes per h-layer of the whole device
+/// (§5.1); a real controller holds it in scarce SRAM, so the table is
+/// modelled as a cache: at most `capacity` h-layers per chip keep a
+/// cached offset, and inserting into a full table evicts the least
+/// recently used entry. A lookup miss falls back to the default offset
+/// (0 — read-reference unshifted), exactly what the dense table returned
+/// for never-updated entries, so an unbounded capacity reproduces the
+/// previous behaviour bit for bit.
+#[derive(Debug, Clone)]
+struct OrtCache {
+    entries: HashMap<OrtKey, OrtEntry>,
+    capacity: usize,
+    /// Monotonic access counter; unique per entry, so LRU eviction is
+    /// deterministic (no iteration-order dependence).
+    tick: u64,
+}
+
+impl OrtCache {
+    fn new(capacity: usize) -> Self {
+        OrtCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Cached offset, bumping the entry's recency.
+    fn get(&mut self, key: OrtKey) -> Option<u8> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|e| {
+            e.stamp = tick;
+            e.offset
+        })
+    }
+
+    /// Cached offset without touching recency or counters.
+    fn peek(&self, key: OrtKey) -> Option<u8> {
+        self.entries.get(&key).map(|e| e.offset)
+    }
+
+    /// Inserts or refreshes an entry; returns `true` when a victim was
+    /// evicted to make room.
+    fn insert(&mut self, key: OrtKey, offset: u8) -> bool {
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(e) = self.entries.get_mut(&key) {
+            *e = OrtEntry { offset, stamp };
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            // Unique stamps make the minimum unambiguous regardless of
+            // HashMap iteration order.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("full cache has a victim");
+            self.entries.remove(&victim);
+            evicted = true;
+        }
+        self.entries.insert(key, OrtEntry { offset, stamp });
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The Optimal Parameter Manager.
 #[derive(Debug, Clone)]
 pub struct Opm {
@@ -66,15 +150,20 @@ pub struct Opm {
     /// monitored — the maintenance subsystem's staleness reference for
     /// periodic re-monitoring.
     recorded_pe: HashMap<LayerKey, u32>,
-    /// The ORT: last known good read offset per h-layer of every block.
-    /// Dense per chip: `block * hlayers + h`.
-    ort: Vec<Vec<u8>>,
+    /// The ORT: last known good read offset per h-layer of every block,
+    /// capacity-bounded per chip with LRU eviction.
+    ort: Vec<OrtCache>,
+    /// ORT lookups served from a cached entry.
+    ort_hits: u64,
+    /// ORT lookups that fell back to the default offset.
+    ort_misses: u64,
+    /// ORT entries evicted to make room.
+    ort_evictions: u64,
     /// H-layers demoted by the §4.1.4 safety check: their monitored
     /// parameters were discarded (followers fall back to conservative
     /// defaults — no VFY skips, full window) until a leader-style
     /// program re-monitors the layer.
     demoted: HashSet<LayerKey>,
-    hlayers: u16,
     /// Safety-check threshold: a follower whose post-program BER exceeds
     /// the previous WL's by this factor is considered improperly
     /// programmed (§4.1.4).
@@ -82,16 +171,28 @@ pub struct Opm {
 }
 
 impl Opm {
-    /// An OPM for `chips` chips of `geometry`.
+    /// An OPM for `chips` chips of `geometry`, with an unbounded ORT
+    /// (every h-layer of every block can hold a cached offset — the
+    /// paper's full-table configuration).
     pub fn new(geometry: &Geometry, chips: usize) -> Self {
+        Self::with_ort_capacity(geometry, chips, usize::MAX)
+    }
+
+    /// An OPM whose per-chip ORT holds at most `ort_capacity` h-layer
+    /// entries (LRU-evicted beyond that). `usize::MAX` means unbounded;
+    /// the capacity is clamped to at least 1.
+    pub fn with_ort_capacity(geometry: &Geometry, chips: usize, ort_capacity: usize) -> Self {
         let entries = geometry.blocks_per_chip as usize * usize::from(geometry.hlayers_per_block);
+        let capacity = ort_capacity.min(entries);
         Opm {
             leader_params: HashMap::new(),
             last_post_ber: HashMap::new(),
             recorded_pe: HashMap::new(),
-            ort: vec![vec![0; entries]; chips],
+            ort: (0..chips).map(|_| OrtCache::new(capacity)).collect(),
+            ort_hits: 0,
+            ort_misses: 0,
+            ort_evictions: 0,
             demoted: HashSet::new(),
-            hlayers: geometry.hlayers_per_block,
             safety_factor: 3.0,
         }
     }
@@ -100,8 +201,8 @@ impl Opm {
         (chip as u32, wl.block.0, wl.h.0)
     }
 
-    fn ort_index(&self, wl: WlAddr) -> usize {
-        wl.block.0 as usize * usize::from(self.hlayers) + usize::from(wl.h.0)
+    fn ort_key(wl: WlAddr) -> OrtKey {
+        (wl.block.0, wl.h.0)
     }
 
     /// Records a leader-WL program report and derives the follower
@@ -216,15 +317,57 @@ impl Opm {
     }
 
     /// The ORT entry for `wl`'s h-layer: the starting read offset for a
-    /// read of any WL on that h-layer (§4.2).
-    pub fn read_offset(&self, chip: usize, wl: WlAddr) -> u8 {
-        self.ort[chip][self.ort_index(wl)]
+    /// read of any WL on that h-layer (§4.2). Counts a hit or a miss and
+    /// refreshes the entry's LRU recency; a miss returns the default
+    /// offset 0 (read references unshifted).
+    pub fn read_offset(&mut self, chip: usize, wl: WlAddr) -> u8 {
+        match self.ort[chip].get(Self::ort_key(wl)) {
+            Some(offset) => {
+                self.ort_hits += 1;
+                offset
+            }
+            None => {
+                self.ort_misses += 1;
+                0
+            }
+        }
     }
 
-    /// Updates the ORT after a read decoded at `final_offset`.
+    /// The ORT entry for `wl`'s h-layer without touching the hit/miss
+    /// counters or the LRU recency — for latency *prediction*, which
+    /// inspects the table without performing a read.
+    pub fn peek_offset(&self, chip: usize, wl: WlAddr) -> u8 {
+        self.ort[chip].peek(Self::ort_key(wl)).unwrap_or(0)
+    }
+
+    /// Updates the ORT after a read decoded at `final_offset`, evicting
+    /// the least recently used entry of the chip's table when full.
     pub fn update_read_offset(&mut self, chip: usize, wl: WlAddr, final_offset: u8) {
-        let idx = self.ort_index(wl);
-        self.ort[chip][idx] = final_offset;
+        if self.ort[chip].insert(Self::ort_key(wl), final_offset) {
+            self.ort_evictions += 1;
+        }
+    }
+
+    /// `(hits, misses, evictions)` of the ORT since the last reset.
+    pub fn ort_counters(&self) -> (u64, u64, u64) {
+        (self.ort_hits, self.ort_misses, self.ort_evictions)
+    }
+
+    /// Resets the ORT hit/miss/eviction counters (entries are kept).
+    pub fn reset_ort_counters(&mut self) {
+        self.ort_hits = 0;
+        self.ort_misses = 0;
+        self.ort_evictions = 0;
+    }
+
+    /// Number of ORT entries currently cached on `chip`.
+    pub fn ort_entries(&self, chip: usize) -> usize {
+        self.ort[chip].len()
+    }
+
+    /// Per-chip ORT capacity (h-layer entries).
+    pub fn ort_capacity(&self) -> usize {
+        self.ort.first().map_or(0, |c| c.capacity)
     }
 
     /// Number of leader-parameter entries currently held (bounded by the
@@ -433,16 +576,67 @@ mod tests {
 
     #[test]
     fn ort_memory_matches_paper_overhead_estimate() {
-        // §5.1: ~2 bytes per h-layer → ~10 MB for a 1-TB SSD. Our dense
-        // table stores 1 byte per h-layer per block.
+        // §5.1: ~2 bytes per h-layer → ~10 MB for a 1-TB SSD. At full
+        // capacity the per-chip bound is one entry per h-layer per block.
         let config = NandConfig::paper();
         let opm = Opm::new(&config.geometry, 8);
-        let per_chip = opm.ort[0].len();
+        let per_chip = opm.ort_capacity();
         assert_eq!(per_chip, 428 * 48);
-        let bytes_total = per_chip * 8;
+        let bytes_total = per_chip * 2 * 8;
         let ssd_bytes = config.geometry.bytes_per_chip() * 8;
         let overhead = bytes_total as f64 / ssd_bytes as f64;
         assert!(overhead < 1e-4, "ORT overhead {overhead}");
+    }
+
+    #[test]
+    fn ort_counts_hits_and_misses() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        let wl = g.wl_addr(nand3d::BlockId(0), 2, 0);
+        assert_eq!(opm.read_offset(0, wl), 0, "cold table misses");
+        opm.update_read_offset(0, wl, 3);
+        assert_eq!(opm.read_offset(0, wl), 3, "cached entry hits");
+        assert_eq!(opm.peek_offset(0, wl), 3);
+        assert_eq!(opm.ort_counters(), (1, 1, 0), "peek does not count");
+        opm.reset_ort_counters();
+        assert_eq!(opm.ort_counters(), (0, 0, 0));
+        assert_eq!(opm.ort_entries(0), 1, "reset keeps entries");
+    }
+
+    #[test]
+    fn ort_capacity_evicts_least_recently_used() {
+        let config = NandConfig::small();
+        let g = config.geometry;
+        let mut opm = Opm::with_ort_capacity(&g, 1, 2);
+        let a = g.wl_addr(nand3d::BlockId(0), 0, 0);
+        let b = g.wl_addr(nand3d::BlockId(0), 1, 0);
+        let c = g.wl_addr(nand3d::BlockId(0), 2, 0);
+        opm.update_read_offset(0, a, 1);
+        opm.update_read_offset(0, b, 2);
+        // Touch `a` so `b` becomes the LRU victim.
+        assert_eq!(opm.read_offset(0, a), 1);
+        opm.update_read_offset(0, c, 3);
+        assert_eq!(opm.ort_counters().2, 1, "one eviction");
+        assert_eq!(opm.ort_entries(0), 2);
+        assert_eq!(opm.peek_offset(0, a), 1, "recently used survives");
+        assert_eq!(opm.peek_offset(0, c), 3, "new entry cached");
+        assert_eq!(opm.read_offset(0, b), 0, "LRU victim falls to default");
+    }
+
+    #[test]
+    fn unbounded_ort_never_evicts() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        for block in 0..g.blocks_per_chip {
+            for h in 0..g.hlayers_per_block {
+                opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(block), h, 0), 1);
+            }
+        }
+        assert_eq!(opm.ort_counters().2, 0, "full table fits at capacity");
+        assert_eq!(
+            opm.ort_entries(0),
+            g.blocks_per_chip as usize * usize::from(g.hlayers_per_block)
+        );
     }
 
     // Silence an unused-import lint when tests compile alone.

@@ -103,8 +103,9 @@ impl LatencyPredictor {
     /// (the residual ambient drift of §4.2).
     pub fn read_tread(&self, opm: &Opm, chip: usize, wl: WlAddr) -> Forecast {
         // The ORT stores the last working offset; reads starting there
-        // are first-try under process similarity.
-        let _ = opm.read_offset(chip, wl);
+        // are first-try under process similarity. Peek so a forecast
+        // neither perturbs LRU recency nor counts as a lookup.
+        let _ = opm.peek_offset(chip, wl);
         Forecast {
             latency_us: self.timing.t_read_us,
             monitored: true,

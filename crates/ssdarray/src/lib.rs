@@ -1,0 +1,361 @@
+//! # ssdarray — a sharded multi-device array front-end over `ssdsim`
+//!
+//! Scales the single-device simulator out to an array of `N`
+//! independent shards, the way a host-managed multi-device deployment
+//! (or a multi-core simulation campaign) would: each shard is a
+//! complete [`SsdSim`] device with its own FTL, chips, and workload
+//! substream, and the front-end fans host work out to the shards and
+//! folds the results back into one [`ArrayReport`].
+//!
+//! ## Determinism by construction
+//!
+//! The core invariant: **the same master seed produces a byte-identical
+//! merged report at any thread count**. Two properties make that hold
+//! without any cross-thread coordination:
+//!
+//! * **Fan-out is pre-computed.** Shard seeds, workload substreams and
+//!   per-shard request budgets are all derived before any thread
+//!   starts; shards never exchange state while running, so each shard's
+//!   result depends only on its own inputs.
+//! * **Fan-in is ordered.** Workers report `(shard index, result)`; the
+//!   collector stores results in index slots and merges them strictly
+//!   in shard order at a sequence point after every shard finished —
+//!   never in completion order ([`ArrayReport::merge`]).
+//!
+//! Thread scheduling then affects wall-clock time only. The engine runs
+//! shards in bounded event slices through [`SsdSim::run_step`], whose
+//! step boundaries are idempotent, so even the slice budget does not
+//! leak into the results.
+
+pub mod report;
+pub mod stripe;
+
+pub use report::ArrayReport;
+pub use stripe::StripeRouter;
+
+use ssdsim::{FtlDriver, HostRequest, SimReport, SpoEvent, SpoTrigger, SsdSim, StepOutcome};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Events simulated per [`SsdSim::run_step`] slice. Purely a scheduling
+/// granularity: results are identical for any positive value.
+const STEP_EVENTS: u64 = 4096;
+
+/// One shard: a complete simulated device plus its workload substream.
+pub struct ArrayShard<F, W> {
+    /// The shard's device simulator.
+    pub sim: SsdSim,
+    /// The shard's FTL.
+    pub ftl: F,
+    /// The shard's request substream.
+    pub workload: W,
+    /// Host requests this shard issues (at most).
+    pub requests: u64,
+    /// Optional sudden-power-off trigger armed on this shard.
+    pub spo: Option<SpoTrigger>,
+}
+
+/// Results of one array run, per shard and merged.
+#[derive(Debug, Clone)]
+pub struct ArrayRunOutcome {
+    /// The merged array-wide report.
+    pub report: ArrayReport,
+    /// Per-shard reports, indexed by shard.
+    pub shard_reports: Vec<SimReport>,
+    /// Per-shard SPO events (`None` where no trigger fired), indexed by
+    /// shard.
+    pub spo_events: Vec<Option<SpoEvent>>,
+}
+
+impl ArrayRunOutcome {
+    /// Whether any shard's power-off trigger fired.
+    pub fn any_fired(&self) -> bool {
+        self.spo_events.iter().any(Option::is_some)
+    }
+}
+
+/// The array front-end: owns the shards and the execution engine.
+pub struct SsdArray<F, W> {
+    shards: Vec<ArrayShard<F, W>>,
+    threads: usize,
+}
+
+impl<F, W> SsdArray<F, W>
+where
+    F: FtlDriver + Send,
+    W: Iterator<Item = HostRequest> + Send,
+{
+    /// An array over `shards`, executed on one worker thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shard list.
+    pub fn new(shards: Vec<ArrayShard<F, W>>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let threads = shards.len();
+        SsdArray { shards, threads }
+    }
+
+    /// Caps the worker-thread count (clamped to `1..=shards`). Purely a
+    /// resource knob: any count produces the same merged report.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, self.shards.len());
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads the engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shards (e.g. to inspect an FTL after a run).
+    pub fn shards(&self) -> &[ArrayShard<F, W>] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards (e.g. to re-arm triggers between
+    /// runs).
+    pub fn shards_mut(&mut self) -> &mut [ArrayShard<F, W>] {
+        &mut self.shards
+    }
+
+    /// Consumes the array, returning the shards — the harness uses this
+    /// to run per-shard crash recovery after an array-wide power cut.
+    pub fn into_shards(self) -> Vec<ArrayShard<F, W>> {
+        self.shards
+    }
+
+    /// Runs every shard to completion (drain or power cut) and merges
+    /// the results in shard order.
+    ///
+    /// Shards are dealt to `threads` workers through a job queue; each
+    /// worker simulates its shard in bounded event slices and sends the
+    /// finished shard home tagged with its index. The collector waits
+    /// for *all* shards (the fan-in barrier), restores them into index
+    /// order, and only then merges — so neither the thread count nor
+    /// the completion order can reach the report.
+    pub fn run(&mut self) -> ArrayRunOutcome {
+        let n = self.shards.len();
+        let threads = self.threads.clamp(1, n);
+
+        let (job_tx, job_rx) = mpsc::channel::<(usize, ArrayShard<F, W>)>();
+        for job in self.shards.drain(..).enumerate() {
+            job_tx.send(job).expect("queue is open");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+
+        let (done_tx, done_rx) = mpsc::channel::<Done<F, W>>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let job_rx = &job_rx;
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only for the pop, not the simulation.
+                    let job = job_rx.lock().expect("queue lock").try_recv();
+                    let Ok((idx, mut shard)) = job else { break };
+                    let (report, spo) = run_shard(&mut shard);
+                    done_tx.send((idx, shard, report, spo)).expect("collector");
+                });
+            }
+        });
+        drop(done_tx);
+
+        // Fan-in barrier: collect every shard into its index slot.
+        let mut slots: Vec<Option<Finished<F, W>>> = (0..n).map(|_| None).collect();
+        for (idx, shard, report, spo) in done_rx.iter() {
+            debug_assert!(slots[idx].is_none(), "shard {idx} finished twice");
+            slots[idx] = Some((shard, report, spo));
+        }
+
+        let mut shard_reports = Vec::with_capacity(n);
+        let mut spo_events = Vec::with_capacity(n);
+        for slot in slots {
+            let (shard, report, spo) = slot.expect("every shard completes");
+            self.shards.push(shard);
+            shard_reports.push(report);
+            spo_events.push(spo);
+        }
+
+        ArrayRunOutcome {
+            report: ArrayReport::merge(&shard_reports),
+            shard_reports,
+            spo_events,
+        }
+    }
+}
+
+/// A finished shard, its report, and its (possibly un-fired) SPO event.
+type Finished<F, W> = (ArrayShard<F, W>, SimReport, Option<SpoEvent>);
+/// What a worker sends home: a [`Finished`] tagged with its shard index.
+type Done<F, W> = (usize, ArrayShard<F, W>, SimReport, Option<SpoEvent>);
+
+/// Simulates one shard to completion in bounded event slices.
+fn run_shard<F, W>(shard: &mut ArrayShard<F, W>) -> (SimReport, Option<SpoEvent>)
+where
+    F: FtlDriver,
+    W: Iterator<Item = HostRequest>,
+{
+    shard.sim.run_begin(shard.requests, shard.spo);
+    while shard
+        .sim
+        .run_step(&mut shard.ftl, &mut shard.workload, STEP_EVENTS)
+        == StepOutcome::Running
+    {}
+    shard.sim.run_end(&shard.ftl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdsim::{HostOp, SsdConfig};
+
+    /// A trivial FTL: fixed-latency reads and writes, enough to exercise
+    /// the engine without the full `ftl` crate.
+    struct NullFtl {
+        stats: ssdsim::FtlStats,
+    }
+
+    impl NullFtl {
+        fn new() -> Self {
+            NullFtl {
+                stats: ssdsim::FtlStats::default(),
+            }
+        }
+    }
+
+    impl FtlDriver for NullFtl {
+        fn write_wl(
+            &mut self,
+            _chip: usize,
+            _lpns: [u64; 3],
+            _ctx: &ssdsim::HostContext,
+        ) -> ssdsim::WlWrite {
+            self.stats.host_wl_programs += 1;
+            ssdsim::WlWrite {
+                nand_us: 200.0,
+                did_gc: false,
+                leader: false,
+            }
+        }
+
+        fn read_page(&mut self, lpn: u64, _ctx: &ssdsim::HostContext) -> Option<ssdsim::PageRead> {
+            self.stats.nand_reads += 1;
+            Some(ssdsim::PageRead {
+                chip: (lpn % 2) as usize,
+                nand_us: 60.0,
+                retries: 0,
+            })
+        }
+
+        fn stats(&self) -> ssdsim::FtlStats {
+            self.stats
+        }
+
+        fn name(&self) -> &str {
+            "nullFTL"
+        }
+    }
+
+    fn mixed_stream(seed: u64) -> impl Iterator<Item = HostRequest> + Send {
+        (0..).map(move |i: u64| {
+            let x = i.wrapping_mul(6364136223846793005).wrapping_add(seed);
+            if x.is_multiple_of(3) {
+                HostRequest::read(x % 512)
+            } else {
+                HostRequest::write(x % 512)
+            }
+        })
+    }
+
+    fn build(
+        shards: usize,
+        requests: u64,
+    ) -> SsdArray<NullFtl, impl Iterator<Item = HostRequest> + Send> {
+        SsdArray::new(
+            (0..shards)
+                .map(|s| ArrayShard {
+                    sim: SsdSim::new(SsdConfig::small()),
+                    ftl: NullFtl::new(),
+                    workload: mixed_stream(s as u64 + 1),
+                    requests,
+                    spo: None,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn array_completes_every_shard_budget() {
+        let mut array = build(4, 300);
+        let out = array.run();
+        assert_eq!(out.report.shards, 4);
+        assert_eq!(out.report.completed, 4 * 300);
+        assert_eq!(out.shard_reports.len(), 4);
+        for r in &out.shard_reports {
+            assert_eq!(r.completed, 300);
+        }
+        assert!(!out.any_fired());
+        // Aggregate IOPS is the sum of shard throughputs.
+        let sum: f64 = out.report.per_shard_iops.iter().sum();
+        assert!((out.report.iops - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let run_at = |threads: usize| {
+            let mut array = build(4, 250).with_threads(threads);
+            format!("{:?}", array.run().report)
+        };
+        let one = run_at(1);
+        assert_eq!(one, run_at(2), "1 vs 2 threads");
+        assert_eq!(one, run_at(4), "1 vs 4 threads");
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let a = format!("{:?}", build(3, 200).run().report);
+        let b = format!("{:?}", build(3, 200).run().report);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn array_wide_spo_cuts_every_shard_at_one_instant() {
+        let cut_us = 40_000.0;
+        let mut array = build(3, 1_000_000);
+        for shard in array.shards_mut() {
+            shard.spo = Some(SpoTrigger::AtTimeUs(cut_us));
+        }
+        let out = array.run();
+        assert!(out.any_fired());
+        for (s, ev) in out.spo_events.iter().enumerate() {
+            let ev = ev.as_ref().expect("every shard cut");
+            assert!(ev.at_us >= cut_us, "shard {s} cut before the instant");
+            assert!(ev.completed < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn merged_counters_match_shard_sums() {
+        let mut array = build(2, 400);
+        let out = array.run();
+        let reads: u64 = out.shard_reports.iter().map(|r| r.reads).sum();
+        let writes: u64 = out.shard_reports.iter().map(|r| r.writes).sum();
+        assert_eq!(out.report.reads, reads);
+        assert_eq!(out.report.writes, writes);
+        assert_eq!(
+            out.report.read_latency.len(),
+            out.shard_reports
+                .iter()
+                .map(|r| r.read_latency.len())
+                .sum::<usize>()
+        );
+        let _ = HostOp::Read;
+    }
+}

@@ -1,0 +1,120 @@
+//! The fan-in: merging per-shard [`SimReport`]s into one array-wide
+//! report.
+//!
+//! Merging happens strictly in shard-index order at a sequence point
+//! after every shard has finished — never in completion order — so the
+//! merged report is byte-identical no matter how the shard threads were
+//! scheduled.
+
+use ssdsim::{ChipStats, FtlStats, LatencyRecorder, SimReport};
+
+/// Array-wide results: per-shard reports folded in shard order.
+#[derive(Debug, Clone)]
+pub struct ArrayReport {
+    /// FTL name (shared by every shard).
+    pub ftl_name: String,
+    /// Number of shards merged.
+    pub shards: usize,
+    /// Aggregate array throughput: the sum of per-shard IOPS — what the
+    /// host sees from `shards` devices serving in parallel.
+    pub iops: f64,
+    /// Array makespan: the slowest shard's simulated time, µs.
+    pub sim_time_us: f64,
+    /// Completed host requests across all shards.
+    pub completed: u64,
+    /// Completed reads across all shards.
+    pub reads: u64,
+    /// Completed writes across all shards.
+    pub writes: u64,
+    /// Completed TRIMs across all shards.
+    pub trims: u64,
+    /// Read latencies of every shard, concatenated in shard order.
+    pub read_latency: LatencyRecorder,
+    /// Write latencies of every shard, concatenated in shard order.
+    pub write_latency: LatencyRecorder,
+    /// FTL counters accumulated over all shards.
+    pub ftl: FtlStats,
+    /// Chip statistics of every shard, concatenated in shard order
+    /// (shard `s`, chip `c` lands at index `s * chips_per_shard + c`).
+    pub chip_stats: Vec<ChipStats>,
+    /// Per-shard throughput, indexed by shard.
+    pub per_shard_iops: Vec<f64>,
+    /// Per-shard completed requests, indexed by shard.
+    pub per_shard_completed: Vec<u64>,
+}
+
+impl ArrayReport {
+    /// Folds per-shard reports, in the order given (callers pass them in
+    /// shard-index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn merge(reports: &[SimReport]) -> Self {
+        assert!(!reports.is_empty(), "cannot merge zero shards");
+        let mut merged = ArrayReport {
+            ftl_name: reports[0].ftl_name.clone(),
+            shards: reports.len(),
+            iops: 0.0,
+            sim_time_us: 0.0,
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            trims: 0,
+            read_latency: LatencyRecorder::new(),
+            write_latency: LatencyRecorder::new(),
+            ftl: FtlStats::default(),
+            chip_stats: Vec::new(),
+            per_shard_iops: Vec::with_capacity(reports.len()),
+            per_shard_completed: Vec::with_capacity(reports.len()),
+        };
+        for r in reports {
+            merged.iops += r.iops;
+            merged.sim_time_us = merged.sim_time_us.max(r.sim_time_us);
+            merged.completed += r.completed;
+            merged.reads += r.reads;
+            merged.writes += r.writes;
+            merged.trims += r.trims;
+            merged.read_latency.absorb(&r.read_latency);
+            merged.write_latency.absorb(&r.write_latency);
+            merged.ftl.accumulate(&r.ftl);
+            merged.chip_stats.extend_from_slice(&r.chip_stats);
+            merged.per_shard_iops.push(r.iops);
+            merged.per_shard_completed.push(r.completed);
+        }
+        merged
+    }
+
+    /// Host-attributed write amplification over the whole array (same
+    /// definition as [`SimReport::wa_host`], on the accumulated
+    /// counters). `None` when nothing was written.
+    pub fn wa_host(&self) -> Option<f64> {
+        let host_pages = self.ftl.host_wl_programs * 3;
+        if host_pages == 0 {
+            return None;
+        }
+        let nand_pages =
+            (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
+                + self.ftl.gc_page_moves;
+        Some(nand_pages as f64 / host_pages as f64)
+    }
+
+    /// Total write amplification including background maintenance, over
+    /// the whole array.
+    pub fn wa_total(&self) -> Option<f64> {
+        let host_pages = self.ftl.host_wl_programs * 3;
+        if host_pages == 0 {
+            return None;
+        }
+        let nand_pages =
+            (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
+                + self.ftl.gc_page_moves
+                + self.ftl.maint_page_moves();
+        Some(nand_pages as f64 / host_pages as f64)
+    }
+
+    /// Total fault-recovery actions across all shards.
+    pub fn recovery_actions(&self) -> u64 {
+        self.ftl.recovery_actions()
+    }
+}

@@ -1,0 +1,207 @@
+//! LPN striping: the bijection between the array's global logical space
+//! and the per-shard local spaces.
+//!
+//! Global LPNs are dealt to shards in round-robin stripes of
+//! `stripe_pages` consecutive pages — stripe `k` of the global space
+//! lands on shard `k % shards`, at local stripe `k / shards`. With `S`
+//! shards and stripe size `P` the maps are
+//!
+//! ```text
+//! shard(g)  = (g / P) % S
+//! local(g)  = (g / (P·S))·P + g % P
+//! global(s, l) = (l / P)·P·S + s·P + l % P
+//! ```
+//!
+//! which is a bijection `u64 → (shard, u64)` on any prefix of the
+//! global space whose length is a multiple of `P·S` (and injective on
+//! every prefix) — the property the array relies on so no two host
+//! requests ever collide on a shard-local page.
+
+use ssdsim::HostRequest;
+
+/// The round-robin LPN striper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeRouter {
+    shards: usize,
+    stripe_pages: u64,
+}
+
+impl StripeRouter {
+    /// A router dealing stripes of `stripe_pages` pages over `shards`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either parameter is zero.
+    pub fn new(shards: usize, stripe_pages: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(stripe_pages >= 1, "stripe must be at least one page");
+        StripeRouter {
+            shards,
+            stripe_pages,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Stripe size in pages.
+    pub fn stripe_pages(&self) -> u64 {
+        self.stripe_pages
+    }
+
+    /// The shard a global LPN lives on.
+    pub fn shard_of(&self, global: u64) -> usize {
+        ((global / self.stripe_pages) % self.shards as u64) as usize
+    }
+
+    /// Translates a global LPN to `(shard, local LPN)`.
+    pub fn to_local(&self, global: u64) -> (usize, u64) {
+        let p = self.stripe_pages;
+        let group = p * self.shards as u64;
+        let local = (global / group) * p + global % p;
+        (self.shard_of(global), local)
+    }
+
+    /// Translates `(shard, local LPN)` back to the global LPN — the
+    /// inverse of [`StripeRouter::to_local`].
+    pub fn to_global(&self, shard: usize, local: u64) -> u64 {
+        debug_assert!(shard < self.shards);
+        let p = self.stripe_pages;
+        (local / p) * p * self.shards as u64 + shard as u64 * p + local % p
+    }
+
+    /// Size of `shard`'s local space when the global space has
+    /// `global_pages` pages: the number of global LPNs routed to it.
+    pub fn local_pages(&self, global_pages: u64, shard: usize) -> u64 {
+        debug_assert!(shard < self.shards);
+        let p = self.stripe_pages;
+        let group = p * self.shards as u64;
+        let full = (global_pages / group) * p;
+        let rem = global_pages % group;
+        full + rem.saturating_sub(shard as u64 * p).min(p)
+    }
+
+    /// Splits one global-space host request into shard-local requests,
+    /// cutting the span at stripe boundaries. Fragments come out in
+    /// ascending global-LPN order, so routing a request stream is
+    /// deterministic by construction.
+    pub fn split(&self, req: HostRequest) -> Vec<(usize, HostRequest)> {
+        let p = self.stripe_pages;
+        let mut out = Vec::new();
+        let mut global = req.lpn;
+        let mut left = u64::from(req.n_pages);
+        while left > 0 {
+            let in_stripe = p - global % p;
+            let take = in_stripe.min(left);
+            let (shard, local) = self.to_local(global);
+            out.push((
+                shard,
+                HostRequest {
+                    op: req.op,
+                    lpn: local,
+                    n_pages: u32::try_from(take).expect("fragment fits a stripe"),
+                },
+            ));
+            global += take;
+            left -= take;
+        }
+        out
+    }
+
+    /// Routes a whole request stream: returns one shard-local request
+    /// vector per shard, each in the global stream's order.
+    pub fn route_stream<I>(&self, stream: I) -> Vec<Vec<HostRequest>>
+    where
+        I: IntoIterator<Item = HostRequest>,
+    {
+        let mut per_shard = vec![Vec::new(); self.shards];
+        for req in stream {
+            for (shard, local) in self.split(req) {
+                per_shard[shard].push(local);
+            }
+        }
+        per_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdsim::{HostOp, HostRequest};
+
+    #[test]
+    fn striping_roundtrips() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for stripe in [1u64, 4, 64] {
+                let r = StripeRouter::new(shards, stripe);
+                for g in 0..(stripe * shards as u64 * 3 + 7) {
+                    let (s, l) = r.to_local(g);
+                    assert!(s < shards);
+                    assert_eq!(r.shard_of(g), s);
+                    assert_eq!(r.to_global(s, l), g, "roundtrip at {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_pages_partition_the_global_space() {
+        for shards in [1usize, 2, 5] {
+            for stripe in [1u64, 8] {
+                for total in [0u64, 1, 7, 64, 100, 1000] {
+                    let r = StripeRouter::new(shards, stripe);
+                    let sum: u64 = (0..shards).map(|s| r.local_pages(total, s)).sum();
+                    assert_eq!(
+                        sum, total,
+                        "{shards} shards, stripe {stripe}, {total} pages"
+                    );
+                    // Every routed LPN fits its shard's local space.
+                    for g in 0..total {
+                        let (s, l) = r.to_local(g);
+                        assert!(l < r.local_pages(total, s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_cuts_spans_at_stripe_boundaries() {
+        let r = StripeRouter::new(2, 4);
+        // Pages 6..13 cross three stripes: [6,7] on shard 1, [8..11] on
+        // shard 0, [12] on shard 1.
+        let parts = r.split(HostRequest::write_span(6, 7));
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], (1, HostRequest::write_span(2, 2)));
+        assert_eq!(parts[1], (0, HostRequest::write_span(4, 4)));
+        assert_eq!(parts[2], (1, HostRequest::write_span(4, 1)));
+        let pages: u64 = parts.iter().map(|(_, q)| u64::from(q.n_pages)).sum();
+        assert_eq!(pages, 7, "no page lost or duplicated");
+    }
+
+    #[test]
+    fn route_stream_preserves_order_and_ops() {
+        let r = StripeRouter::new(2, 1);
+        let stream = [
+            HostRequest::write(0),
+            HostRequest::read(1),
+            HostRequest {
+                op: HostOp::Trim,
+                lpn: 2,
+                n_pages: 2,
+            },
+        ];
+        let routed = r.route_stream(stream);
+        assert_eq!(
+            routed[0],
+            vec![HostRequest::write(0), HostRequest::trim_span(1, 1)]
+        );
+        assert_eq!(
+            routed[1],
+            vec![HostRequest::read(0), HostRequest::trim_span(1, 1)]
+        );
+    }
+}

@@ -100,6 +100,13 @@ pub struct FtlStats {
     /// maintenance (free-pool top-up before a scrub migration);
     /// `gc_page_moves` then counts host-triggered GC only.
     pub maint_gc_page_moves: u64,
+    /// ORT lookups answered by a cached per-h-layer `ΔV_Ref` entry.
+    pub ort_hits: u64,
+    /// ORT lookups that found no cached entry (the read starts from the
+    /// default offset).
+    pub ort_misses: u64,
+    /// ORT entries evicted by the capacity-bounded LRU.
+    pub ort_evictions: u64,
 }
 
 impl FtlStats {
@@ -123,6 +130,40 @@ impl FtlStats {
     /// migrations and OPM re-monitors) — the CLI's background-op count.
     pub fn maint_actions(&self) -> u64 {
         self.scrub_blocks + self.wear_level_moves + self.remonitored_layers
+    }
+
+    /// Fraction of ORT lookups served from the table, or `None` when no
+    /// lookup happened.
+    pub fn ort_hit_rate(&self) -> Option<f64> {
+        let total = self.ort_hits + self.ort_misses;
+        (total > 0).then(|| self.ort_hits as f64 / total as f64)
+    }
+
+    /// Adds every counter of `other` — the array front-end merges
+    /// per-shard stats this way, in shard order.
+    pub fn accumulate(&mut self, other: &FtlStats) {
+        self.host_wl_programs += other.host_wl_programs;
+        self.follower_wl_programs += other.follower_wl_programs;
+        self.gc_runs += other.gc_runs;
+        self.gc_page_moves += other.gc_page_moves;
+        self.erases += other.erases;
+        self.read_retries += other.read_retries;
+        self.nand_reads += other.nand_reads;
+        self.safety_reprograms += other.safety_reprograms;
+        self.safety_demotions += other.safety_demotions;
+        self.program_aborts += other.program_aborts;
+        self.stuck_retry_recoveries += other.stuck_retry_recoveries;
+        self.uncorrectable_recoveries += other.uncorrectable_recoveries;
+        self.host_trims += other.host_trims;
+        self.scrub_blocks += other.scrub_blocks;
+        self.scrub_page_moves += other.scrub_page_moves;
+        self.scrub_sample_reads += other.scrub_sample_reads;
+        self.remonitored_layers += other.remonitored_layers;
+        self.wear_level_moves += other.wear_level_moves;
+        self.maint_gc_page_moves += other.maint_gc_page_moves;
+        self.ort_hits += other.ort_hits;
+        self.ort_misses += other.ort_misses;
+        self.ort_evictions += other.ort_evictions;
     }
 }
 

@@ -31,5 +31,6 @@ pub use driver::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite}
 pub use request::{HostOp, HostRequest};
 pub use ssd::{
     ChipStats, InFlightFlush, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim,
+    StepOutcome,
 };
 pub use stats::LatencyRecorder;

@@ -384,6 +384,19 @@ struct StalledWrite {
     lpns: Vec<u64>,
 }
 
+/// Outcome of one bounded [`SsdSim::run_step`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The event budget ran out with simulation work still pending;
+    /// call [`SsdSim::run_step`] again.
+    Running,
+    /// The workload drained and every in-flight event completed.
+    Drained,
+    /// The armed sudden-power-off trigger fired; the device state at the
+    /// cut is available from [`SsdSim::run_end`].
+    PowerCut,
+}
+
 /// The simulation engine. Owns the platform state; borrows the FTL and
 /// the workload for the duration of [`SsdSim::run`].
 #[derive(Debug)]
@@ -408,7 +421,24 @@ pub struct SsdSim {
     /// TRIMmed LPNs of the current run — recorded only while an SPO
     /// trigger is armed (`None` otherwise, zero cost on normal runs).
     spo_trims: Option<Vec<u64>>,
+    /// Cap on host requests pulled from the workload this run.
+    issue_limit: u64,
+    /// The armed sudden-power-off trigger, if any.
+    spo: Option<SpoTrigger>,
+    /// Dedicated RNG stream for [`SpoTrigger::Seeded`].
+    spo_rng: Option<StdRng>,
+    /// Set once the armed trigger fires; consumed by [`SsdSim::run_end`].
+    spo_event: Option<SpoEvent>,
+    /// Events processed this run (progress logging under `SSDSIM_DEBUG`).
+    event_count: u64,
 }
+
+// The sharded array engine (crate `ssdarray`) runs one `SsdSim` per
+// worker thread; keep the engine `Send`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SsdSim>();
+};
 
 impl SsdSim {
     /// Creates an engine for `config`.
@@ -433,6 +463,11 @@ impl SsdSim {
             read_latency: LatencyRecorder::new(),
             write_latency: LatencyRecorder::new(),
             spo_trims: None,
+            issue_limit: 0,
+            spo: None,
+            spo_rng: None,
+            spo_event: None,
+            event_count: 0,
             config,
         }
     }
@@ -513,39 +548,71 @@ impl SsdSim {
         F: FtlDriver + ?Sized,
         W: IntoIterator<Item = HostRequest>,
     {
+        self.run_begin(max_requests, spo);
+        let mut workload = workload.into_iter();
+        while self.run_step(ftl, &mut workload, u64::MAX) == StepOutcome::Running {}
+        self.run_end(ftl)
+    }
+
+    /// Arms a new run: resets the platform state, caps the number of
+    /// host requests pulled from the workload at `max_requests` and
+    /// installs an optional sudden-power-off trigger.
+    ///
+    /// Together with [`SsdSim::run_step`] and [`SsdSim::run_end`] this
+    /// is the stepping API an external engine (the sharded array
+    /// front-end) drives; [`SsdSim::run`] is the one-call wrapper.
+    pub fn run_begin(&mut self, max_requests: u64, spo: Option<SpoTrigger>) {
         self.reset();
-        let mut workload = workload.into_iter().take(max_requests as usize).peekable();
+        self.issue_limit = max_requests;
         // The SPO machinery only exists while a trigger is armed: normal
         // runs create no RNG, record no trims and take the exact same
         // event path as before.
+        self.spo = spo;
         self.spo_trims = spo.map(|_| Vec::new());
-        let mut spo_rng = match spo {
+        self.spo_rng = match spo {
             Some(SpoTrigger::Seeded { seed, .. }) => {
                 Some(StdRng::seed_from_u64(seed ^ 0x5b0f_f00d))
             }
             _ => None,
         };
-        let mut spo_event: Option<SpoEvent> = None;
+    }
 
-        self.fill_queue(&mut workload, ftl);
+    /// Advances the armed run by at most `max_events` simulation events.
+    /// The outcome is a pure function of the workload, the FTL and the
+    /// configuration: slicing a run into any sequence of budgets yields
+    /// byte-identical results, because the issue/maintenance polls at a
+    /// slice boundary are idempotent at an unchanged simulated time.
+    pub fn run_step<F, W>(&mut self, ftl: &mut F, workload: &mut W, max_events: u64) -> StepOutcome
+    where
+        F: FtlDriver + ?Sized,
+        W: Iterator<Item = HostRequest>,
+    {
+        if self.spo_event.is_some() {
+            return StepOutcome::PowerCut;
+        }
+        self.fill_queue(workload, ftl);
         self.try_maint(ftl);
-        let mut event_count: u64 = 0;
-        'sim: while let Some(&ev) = self.events.peek() {
-            if let Some(SpoTrigger::AtTimeUs(t_cut)) = spo {
+        let mut sliced = 0u64;
+        while sliced < max_events {
+            let Some(&ev) = self.events.peek() else {
+                return StepOutcome::Drained;
+            };
+            if let Some(SpoTrigger::AtTimeUs(t_cut)) = self.spo {
                 if ev.t >= t_cut {
                     // Power dies strictly before the next event executes.
                     self.now = self.now.max(t_cut);
-                    spo_event = Some(self.spo_snapshot());
-                    break 'sim;
+                    self.spo_event = Some(self.spo_snapshot());
+                    return StepOutcome::PowerCut;
                 }
             }
             let ev = self.events.pop().expect("peeked event exists");
             debug_assert!(ev.t >= self.now - 1e-9, "time went backwards");
-            event_count += 1;
-            if event_count.is_multiple_of(1_000_000) && std::env::var("SSDSIM_DEBUG").is_ok() {
+            sliced += 1;
+            self.event_count += 1;
+            if self.event_count.is_multiple_of(1_000_000) && std::env::var("SSDSIM_DEBUG").is_ok() {
                 eprintln!(
                     "events={}M now={:.0} completed={} outstanding={} stalled={} buffer={}/{}",
-                    event_count / 1_000_000,
+                    self.event_count / 1_000_000,
                     self.now,
                     self.completed,
                     self.outstanding,
@@ -566,29 +633,42 @@ impl SsdSim {
                 }
                 EventKind::ChipIdle { chip } => self.chip_op_done(chip, ftl),
             }
-            self.fill_queue(&mut workload, ftl);
+            self.fill_queue(workload, ftl);
             self.try_maint(ftl);
-            match spo {
+            match self.spo {
                 Some(SpoTrigger::AtOps(n)) if self.completed >= n => {
-                    spo_event = Some(self.spo_snapshot());
-                    break 'sim;
+                    self.spo_event = Some(self.spo_snapshot());
+                    return StepOutcome::PowerCut;
                 }
                 Some(SpoTrigger::Seeded { rate, .. }) if rate > 0.0 => {
-                    let rng = spo_rng.as_mut().expect("seeded trigger has an RNG");
+                    let rng = self.spo_rng.as_mut().expect("seeded trigger has an RNG");
+                    let mut fired = false;
                     for _ in completed_before..self.completed {
                         if rng.gen_bool(rate) {
-                            spo_event = Some(self.spo_snapshot());
-                            break 'sim;
+                            fired = true;
+                            break;
                         }
+                    }
+                    if fired {
+                        self.spo_event = Some(self.spo_snapshot());
+                        return StepOutcome::PowerCut;
                     }
                 }
                 _ => {}
             }
         }
+        StepOutcome::Running
+    }
 
+    /// Finalizes the armed run and returns its report plus the SPO
+    /// event, if the trigger fired.
+    pub fn run_end<F: FtlDriver + ?Sized>(&mut self, ftl: &F) -> (SimReport, Option<SpoEvent>) {
+        let spo_event = self.spo_event.take();
         if spo_event.is_none() {
             debug_assert_eq!(self.outstanding, 0, "drain left requests in flight");
         }
+        self.spo = None;
+        self.spo_rng = None;
         self.spo_trims = None;
         let sim_time_us = self.now.max(1e-9);
         let report = SimReport {
@@ -684,6 +764,11 @@ impl SsdSim {
         self.read_latency = LatencyRecorder::new();
         self.write_latency = LatencyRecorder::new();
         self.spo_trims = None;
+        self.issue_limit = 0;
+        self.spo = None;
+        self.spo_rng = None;
+        self.spo_event = None;
+        self.event_count = 0;
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
@@ -702,12 +787,14 @@ impl SsdSim {
         }
     }
 
-    fn fill_queue<F, W>(&mut self, workload: &mut std::iter::Peekable<W>, ftl: &mut F)
+    fn fill_queue<F, W>(&mut self, workload: &mut W, ftl: &mut F)
     where
         F: FtlDriver + ?Sized,
         W: Iterator<Item = HostRequest>,
     {
-        while self.outstanding < self.config.queue_depth {
+        while self.outstanding < self.config.queue_depth
+            && (self.requests.len() as u64) < self.issue_limit
+        {
             let Some(req) = workload.next() else { break };
             self.issue(req, ftl);
         }

@@ -29,6 +29,20 @@ impl LatencyRecorder {
         self.samples.len()
     }
 
+    /// The raw samples, in recording order (or sorted order after a
+    /// percentile/CDF query).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Appends every sample of `other`. The array front-end merges
+    /// per-shard recorders this way, always in shard order, so the
+    /// merged sample sequence is independent of thread interleaving.
+    pub fn absorb(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

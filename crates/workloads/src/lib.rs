@@ -30,11 +30,13 @@
 
 pub mod filebench;
 pub mod kv;
+pub mod shard;
 pub mod trace;
 pub mod zipf;
 
 pub use filebench::{FilebenchKind, FilebenchWorkload};
 pub use kv::{MongoWorkload, RocksWorkload};
+pub use shard::shard_seed;
 pub use trace::{Trace, TraceReplay};
 pub use zipf::Zipfian;
 
@@ -87,8 +89,9 @@ impl StandardWorkload {
     }
 
     /// Builds the generator over a logical address space of
-    /// `logical_pages` pages.
-    pub fn build(self, logical_pages: u64, seed: u64) -> Box<dyn Workload> {
+    /// `logical_pages` pages. The generator is `Send` so the array
+    /// front-end can move it onto a shard worker thread.
+    pub fn build(self, logical_pages: u64, seed: u64) -> Box<dyn Workload + Send> {
         match self {
             StandardWorkload::Mail => Box::new(FilebenchWorkload::new(
                 FilebenchKind::Mail,

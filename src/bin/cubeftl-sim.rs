@@ -7,6 +7,8 @@
 //!             [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]
 //!             [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]
 //!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
+//!             [--shards N] [--array-stripe PAGES] [--array-threads N]
+//!             [--ort-capacity N] [--trace-file PATH]
 //! ```
 //!
 //! `--fault-rate` enables seeded fault injection (repeatable); CLASS is one
@@ -29,6 +31,22 @@
 //! L2P checkpoint cadence in host WL programs (default 64; 0 disables,
 //! forcing a full-array OOB rebuild).
 //!
+//! `--shards N` (N > 1) runs a sharded multi-device array: host LPNs are
+//! striped across N independent devices (`--array-stripe` pages per
+//! stripe unit), each with its own FTL, chips and seeded workload
+//! substream, executed on `--array-threads` worker threads (default: one
+//! per shard) and merged deterministically — the same seed produces a
+//! byte-identical merged report at any thread count. Combined with a
+//! power cut, the array demands `--spo-at-us`: every shard is cut at the
+//! same virtual instant and recovered independently.
+//!
+//! `--ort-capacity N` bounds the per-chip offset-reuse table to N entries
+//! with LRU eviction (default: unbounded); hit/miss/eviction counters
+//! show up in the per-FTL output. `--trace-file PATH` replays a trace
+//! instead of a synthetic workload — either the native `# cubeftl trace
+//! v1` format or an MSR-Cambridge-style CSV (byte offsets folded into
+//! the simulated address space at 16-KB page granularity).
+//!
 //! Examples:
 //!
 //! ```sh
@@ -37,13 +55,23 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --fault-rate ber-spike=0.01 --fault-rate abort=0.005
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --aging eol --maint --maint-gap-us 500
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --spo-at 40000 --ckpt-interval 128
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --array-stripe 64
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --spo-at-us 80000
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-file tests/data/sample_trace.csv
 //! ```
 
-use cubeftl::harness::{run_eval, run_spo_eval, EvalConfig, SpoConfig};
+use cubeftl::harness::{
+    run_array_eval, run_array_spo_eval, run_array_trace_eval, run_eval, run_spo_eval,
+    run_trace_eval, ArrayEvalConfig, ArrayEvalReport, ArraySpoConfig, EvalConfig, SpoConfig,
+};
 use cubeftl::{
-    AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, SpoTrigger, StandardWorkload,
+    AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, SpoTrigger, StandardWorkload, Trace,
 };
 use std::process::ExitCode;
+
+/// Page size the simulator models (bus transfer is per 16-KB page);
+/// byte-addressed trace files are converted at this granularity.
+const PAGE_BYTES: u64 = 16 * 1024;
 
 fn parse_ftl(s: &str) -> Option<Vec<FtlKind>> {
     Some(match s {
@@ -96,6 +124,8 @@ fn usage() -> ExitCode {
          \x20                  [--maint] [--maint-gap-us F] [--maint-scrub-months F] [--maint-scrub-ber F]\n\
          \x20                  [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]\n\
          \x20                  [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]\n\
+         \x20                  [--shards N] [--array-stripe PAGES] [--array-threads N]\n\
+         \x20                  [--ort-capacity N] [--trace-file PATH]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort"
     );
     ExitCode::FAILURE
@@ -115,6 +145,10 @@ fn main() -> ExitCode {
     let mut spo_trigger: Option<SpoTrigger> = None;
     let mut spo_seed: Option<u64> = None;
     let mut ckpt_interval: u64 = 64;
+    let mut shards: usize = 1;
+    let mut stripe_pages: u64 = 64;
+    let mut array_threads: usize = 0;
+    let mut trace_file: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -248,6 +282,23 @@ fn main() -> ExitCode {
                 Ok(n) => ckpt_interval = n,
                 Err(_) => return usage(),
             },
+            ("--shards", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => shards = n,
+                _ => return usage(),
+            },
+            ("--array-stripe", Some(v)) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => stripe_pages = n,
+                _ => return usage(),
+            },
+            ("--array-threads", Some(v)) => match v.parse::<usize>() {
+                Ok(n) => array_threads = n,
+                Err(_) => return usage(),
+            },
+            ("--ort-capacity", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.ort_capacity = n,
+                _ => return usage(),
+            },
+            ("--trace-file", Some(v)) => trace_file = Some(v.clone()),
             _ => return usage(),
         }
         i += 2;
@@ -295,9 +346,95 @@ fn main() -> ExitCode {
     if let Some(c) = celsius {
         cfg.ambient_celsius = c;
     }
+    let trace = match &trace_file {
+        Some(path) => match load_trace(path) {
+            Ok(t) => {
+                println!("trace {path}: {} requests ({})", t.len(), t.label());
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if trace.is_some() && spo_trigger.is_some() {
+        eprintln!("--trace-file cannot be combined with a sudden power-off");
+        return ExitCode::FAILURE;
+    }
+
+    if shards > 1 {
+        let arr = ArrayEvalConfig {
+            shards,
+            stripe_pages,
+            threads: array_threads,
+        };
+        if let Some(trigger) = spo_trigger {
+            let SpoTrigger::AtTimeUs(cut_at_us) = trigger else {
+                eprintln!(
+                    "--shards cuts the whole array at one virtual instant: \
+                     use --spo-at-us (not --spo-at or --spo-rate)"
+                );
+                return ExitCode::FAILURE;
+            };
+            return run_array_spo(kinds, workload, aging, &cfg, &arr, cut_at_us, ckpt_interval);
+        }
+        println!(
+            "array: {} shards, stripe {} pages, {} worker threads\n",
+            arr.shards,
+            arr.stripe_pages,
+            if arr.threads == 0 {
+                arr.shards
+            } else {
+                arr.threads
+            }
+        );
+        print_table_header();
+        for kind in kinds {
+            let mut r = match &trace {
+                Some(t) => run_array_trace_eval(kind, aging, &cfg, &arr, t),
+                None => run_array_eval(kind, workload, aging, &cfg, &arr),
+            };
+            print_array_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(trace) = &trace {
+        print_table_header();
+        for kind in kinds {
+            let mut r = run_trace_eval(kind, aging, &cfg, trace);
+            print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if let Some(trigger) = spo_trigger {
         return run_spo(kinds, workload, aging, &cfg, trigger, ckpt_interval);
     }
+    print_table_header();
+    for kind in kinds {
+        let mut r = run_eval(kind, workload, aging, &cfg);
+        print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads a trace file: the native `cubeftl trace v1` line format, or an
+/// MSR-Cambridge-style CSV (byte offsets converted to 16-KB pages; LPNs
+/// are folded into the simulated address space at run time).
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    if text.lines().next().map(str::trim) == Some(workloads::trace::TRACE_HEADER) {
+        text.parse().map_err(|e| format!("{path}: {e}"))
+    } else {
+        Trace::from_msr_csv(&text, PAGE_BYTES, 1 << 40).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn print_table_header() {
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6} {:>6}",
         "FTL",
@@ -310,57 +447,203 @@ fn main() -> ExitCode {
         "WA(h)",
         "WA(t)"
     );
-    let faults_on = cfg.faults.is_some();
-    let maint_on = cfg.maint.is_some();
-    let fmt_wa = |w: Option<f64>| {
-        w.map(|w| format!("{w:.2}"))
-            .unwrap_or_else(|| "-".to_owned())
-    };
-    for kind in kinds {
-        let mut r = run_eval(kind, workload, aging, &cfg);
+}
+
+fn fmt_wa(w: Option<f64>) -> String {
+    w.map(|w| format!("{w:.2}"))
+        .unwrap_or_else(|| "-".to_owned())
+}
+
+/// The per-FTL detail lines shared by every table mode.
+fn print_detail_lines(
+    ftl: &cubeftl::FtlStats,
+    max_queue_depth: usize,
+    mean_busy: f64,
+    background_ops: u64,
+    maint_on: bool,
+    faults_on: bool,
+) {
+    println!(
+        "{:<10} chips: max queue depth {}, mean busy {:.1}%{}",
+        "", // aligned under the FTL column
+        max_queue_depth,
+        mean_busy * 100.0,
+        if maint_on {
+            format!(
+                ", {} background ops ({} scrubs, {} re-monitors, {} wear moves)",
+                background_ops, ftl.scrub_blocks, ftl.remonitored_layers, ftl.wear_level_moves,
+            )
+        } else {
+            String::new()
+        }
+    );
+    if let Some(rate) = ftl.ort_hit_rate() {
         println!(
-            "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6} {:>6}",
-            r.ftl_name,
-            r.iops,
-            r.read_latency.percentile(50.0) / 1000.0,
-            r.read_latency.percentile(99.0) / 1000.0,
-            r.write_latency.percentile(90.0) / 1000.0,
-            r.ftl.gc_runs,
-            r.ftl.read_retries,
-            fmt_wa(r.wa_host()),
-            fmt_wa(r.wa_total()),
-        );
-        println!(
-            "{:<10} chips: max queue depth {}, mean busy {:.1}%{}",
+            "{:<10} ORT: {:.1}% hit rate ({} hits, {} misses, {} evictions)",
             "", // aligned under the FTL column
-            r.max_queue_depth(),
-            r.mean_busy_fraction() * 100.0,
-            if maint_on {
-                format!(
-                    ", {} background ops ({} scrubs, {} re-monitors, {} wear moves)",
-                    r.background_ops(),
-                    r.ftl.scrub_blocks,
-                    r.ftl.remonitored_layers,
-                    r.ftl.wear_level_moves,
-                )
-            } else {
-                String::new()
-            }
+            rate * 100.0,
+            ftl.ort_hits,
+            ftl.ort_misses,
+            ftl.ort_evictions,
         );
-        if faults_on {
+    }
+    if faults_on {
+        println!(
+            "{:<10} recoveries: {} safety re-programs, {} demotions, {} aborts, \
+             {} stuck retries, {} uncorrectable",
+            "", // aligned under the FTL column
+            ftl.safety_reprograms,
+            ftl.safety_demotions,
+            ftl.program_aborts,
+            ftl.stuck_retry_recoveries,
+            ftl.uncorrectable_recoveries,
+        );
+    }
+}
+
+fn print_report_row(r: &mut cubeftl::SimReport, maint_on: bool, faults_on: bool) {
+    println!(
+        "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6} {:>6}",
+        r.ftl_name,
+        r.iops,
+        r.read_latency.percentile(50.0) / 1000.0,
+        r.read_latency.percentile(99.0) / 1000.0,
+        r.write_latency.percentile(90.0) / 1000.0,
+        r.ftl.gc_runs,
+        r.ftl.read_retries,
+        fmt_wa(r.wa_host()),
+        fmt_wa(r.wa_total()),
+    );
+    let (mqd, busy, bg) = (
+        r.max_queue_depth(),
+        r.mean_busy_fraction(),
+        r.background_ops(),
+    );
+    print_detail_lines(&r.ftl, mqd, busy, bg, maint_on, faults_on);
+}
+
+fn print_array_row(r: &mut ArrayEvalReport, maint_on: bool, faults_on: bool) {
+    let m = &mut r.merged;
+    println!(
+        "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6} {:>6}",
+        m.ftl_name,
+        m.iops,
+        m.read_latency.percentile(50.0) / 1000.0,
+        m.read_latency.percentile(99.0) / 1000.0,
+        m.write_latency.percentile(90.0) / 1000.0,
+        m.ftl.gc_runs,
+        m.ftl.read_retries,
+        fmt_wa(m.wa_host()),
+        fmt_wa(m.wa_total()),
+    );
+    let per_shard: Vec<String> = m.per_shard_iops.iter().map(|i| format!("{i:.0}")).collect();
+    println!(
+        "{:<10} shards: [{}] IOPS, makespan {:.1} ms, {} requests total",
+        "", // aligned under the FTL column
+        per_shard.join(", "),
+        m.sim_time_us / 1000.0,
+        m.completed,
+    );
+    let mqd = m.chip_stats.iter().map(|c| c.max_queue_depth).max();
+    let busy = if m.chip_stats.is_empty() {
+        0.0
+    } else {
+        m.chip_stats
+            .iter()
+            .map(|c| c.busy_fraction(m.sim_time_us))
+            .sum::<f64>()
+            / m.chip_stats.len() as f64
+    };
+    let bg = m.chip_stats.iter().map(|c| c.maint_ops).sum();
+    print_detail_lines(&m.ftl, mqd.unwrap_or(0), busy, bg, maint_on, faults_on);
+}
+
+/// The array-wide crash experiment: every shard cut at the same virtual
+/// instant, recovered independently, merged in shard order. Exits
+/// non-zero if any shard lost host-acknowledged data.
+fn run_array_spo(
+    kinds: Vec<FtlKind>,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    cut_at_us: f64,
+    ckpt_interval: u64,
+) -> ExitCode {
+    let spo = ArraySpoConfig {
+        cut_at_us,
+        ckpt_interval_host_wls: ckpt_interval,
+    };
+    println!(
+        "array-wide sudden power-off armed: every shard cut at {:.1} ms, \
+         checkpoint every {} host WLs\n",
+        cut_at_us / 1000.0,
+        if ckpt_interval == 0 {
+            "∞ (disabled)".to_owned()
+        } else {
+            ckpt_interval.to_string()
+        }
+    );
+    let mut lost = false;
+    for kind in kinds {
+        let r = run_array_spo_eval(kind, workload, aging, cfg, arr, &spo);
+        println!("{}:", r.pre_cut.ftl_name);
+        println!(
+            "  cut      {}/{} shards hit at {:.1} ms; {} requests completed before the cut, \
+             {} checkpoints taken",
+            r.shards_cut(),
+            arr.shards,
+            cut_at_us / 1000.0,
+            r.pre_cut.completed,
+            r.checkpoints_taken,
+        );
+        let torn: u64 = r
+            .recoveries
+            .iter()
+            .flatten()
+            .map(|rec| rec.torn_wls_quarantined)
+            .sum();
+        let demoted: u64 = r
+            .recoveries
+            .iter()
+            .flatten()
+            .map(|rec| rec.layers_demoted)
+            .sum();
+        let replayed: u64 = r
+            .recoveries
+            .iter()
+            .flatten()
+            .map(|rec| rec.oob_records_replayed)
+            .sum();
+        println!(
+            "  recovery {} torn WLs quarantined, {} h-layers demoted, \
+             {} OOB records replayed across the array",
+            torn, demoted, replayed,
+        );
+        if let Some(res) = &r.resumed {
             println!(
-                "{:<10} recoveries: {} safety re-programs, {} demotions, {} aborts, \
-                 {} stuck retries, {} uncorrectable",
-                "", // aligned under the FTL column
-                r.ftl.safety_reprograms,
-                r.ftl.safety_demotions,
-                r.ftl.program_aborts,
-                r.ftl.stuck_retry_recoveries,
-                r.ftl.uncorrectable_recoveries,
+                "  resumed  {} remaining requests at {:.0} aggregate IOPS",
+                res.completed, res.iops,
+            );
+        } else {
+            println!("  resumed  nothing left to replay");
+        }
+        if r.lost_lpns.is_empty() {
+            println!("  audit    zero host-acknowledged data loss on any shard\n");
+        } else {
+            lost = true;
+            println!(
+                "  audit    LOST {} host-acknowledged (shard, LPN) pairs: {:?}\n",
+                r.lost_lpns.len(),
+                &r.lost_lpns[..r.lost_lpns.len().min(16)]
             );
         }
     }
-    ExitCode::SUCCESS
+    if lost {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// The double-run crash experiment: golden run, cut, recovery, resume.

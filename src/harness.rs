@@ -8,8 +8,9 @@
 
 use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, RecoveryReport};
 use nand3d::{AgingState, FaultPlan};
-use ssdsim::{MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
-use workloads::StandardWorkload;
+use ssdarray::{ArrayReport, ArrayShard, SsdArray, StripeRouter};
+use ssdsim::{HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
+use workloads::{shard_seed, StandardWorkload, Trace};
 
 /// Scale and length of one evaluation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,10 @@ pub struct EvalConfig {
     /// wear leveling, OPM re-monitoring), enabled after prefill so the
     /// measured run interleaves maintenance with host traffic.
     pub maint: Option<MaintConfig>,
+    /// Per-chip ORT capacity in h-layer entries (`usize::MAX` = the
+    /// paper's unbounded in-DRAM table; smaller values model scarce
+    /// controller SRAM with LRU eviction).
+    pub ort_capacity: usize,
 }
 
 impl EvalConfig {
@@ -52,6 +57,7 @@ impl EvalConfig {
             ssd: SsdConfig::paper(),
             faults: None,
             maint: None,
+            ort_capacity: usize::MAX,
         }
     }
 
@@ -77,6 +83,7 @@ impl EvalConfig {
             ssd: SsdConfig::paper(),
             faults: None,
             maint: None,
+            ort_capacity: usize::MAX,
         }
     }
 
@@ -85,6 +92,7 @@ impl EvalConfig {
         let mut cfg = FtlConfig::paper();
         cfg.nand.geometry.blocks_per_chip = self.blocks_per_chip;
         cfg.seed = self.seed;
+        cfg.ort_capacity = self.ort_capacity;
         cfg
     }
 }
@@ -323,6 +331,365 @@ pub fn run_spo_eval(
         lost_lpns,
         checkpoints_taken,
         total_blocks,
+    }
+}
+
+/// Scale-out parameters of a sharded-array evaluation on top of an
+/// [`EvalConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayEvalConfig {
+    /// Independent device shards.
+    pub shards: usize,
+    /// LPN-striping stripe size in pages (trace routing only; synthetic
+    /// workloads draw per-shard substreams directly).
+    pub stripe_pages: u64,
+    /// Worker threads for the engine; 0 means one per shard. Purely a
+    /// resource knob — any value yields the same merged report.
+    pub threads: usize,
+}
+
+impl ArrayEvalConfig {
+    /// `shards` shards, 64-page stripes, one thread per shard.
+    pub fn new(shards: usize) -> Self {
+        ArrayEvalConfig {
+            shards,
+            stripe_pages: 64,
+            threads: 0,
+        }
+    }
+
+    /// The LPN striper these parameters imply.
+    pub fn router(&self) -> StripeRouter {
+        StripeRouter::new(self.shards, self.stripe_pages)
+    }
+
+    fn engine_threads(&self) -> usize {
+        if self.threads == 0 {
+            self.shards
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Results of one sharded-array evaluation.
+#[derive(Debug, Clone)]
+pub struct ArrayEvalReport {
+    /// The merged array-wide report (shard-order fan-in).
+    pub merged: ArrayReport,
+    /// Per-shard reports, indexed by shard.
+    pub shards: Vec<SimReport>,
+}
+
+/// Splits a total request budget over shards: the first `total % shards`
+/// shards take one extra request.
+fn split_requests(total: u64, shards: usize) -> Vec<u64> {
+    let base = total / shards as u64;
+    let rem = total % shards as u64;
+    (0..shards as u64)
+        .map(|s| base + u64::from(s < rem))
+        .collect()
+}
+
+/// One fully prepared shard: device simulator and prefilled FTL, seeded
+/// from the master seed and the shard index.
+fn setup_shard(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    shard: usize,
+) -> (SsdSim, Ftl, u64) {
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut ftl_cfg = cfg.ftl_config();
+    ftl_cfg.seed = shard_seed(cfg.seed, shard);
+    let mut sim = SsdSim::new(ssd_cfg);
+    let ftl = setup_ftl(kind, aging, cfg, ftl_cfg, &mut sim);
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    (sim, ftl, prefill)
+}
+
+/// Runs one evaluation cell on a sharded array: `arr.shards` independent
+/// devices, each prefilled and driven by its own deterministic workload
+/// substream (seeded by [`shard_seed`]), executed by the thread-per-shard
+/// engine and merged in shard order. Deterministic for a given
+/// configuration at any thread count.
+pub fn run_array_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+) -> ArrayEvalReport {
+    assert!(arr.shards >= 1, "need at least one shard");
+    let budgets = split_requests(cfg.requests, arr.shards);
+    let shards = (0..arr.shards)
+        .map(|s| {
+            let (sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            ftl.reset_stats();
+            let stream = workload.build(prefill.max(1024), shard_seed(cfg.seed, s));
+            ArrayShard {
+                sim,
+                ftl,
+                workload: stream,
+                requests: budgets[s],
+                spo: None,
+            }
+        })
+        .collect();
+    let out = SsdArray::new(shards)
+        .with_threads(arr.engine_threads())
+        .run();
+    ArrayEvalReport {
+        merged: out.report,
+        shards: out.shard_reports,
+    }
+}
+
+/// Folds a trace's LPNs into `logical_pages` (modulo the space, spans
+/// clamped at its end) so any recorded trace replays on any geometry.
+fn fold_requests(requests: &[HostRequest], logical_pages: u64) -> Vec<HostRequest> {
+    requests
+        .iter()
+        .map(|r| {
+            let lpn = r.lpn % logical_pages;
+            let span = u64::from(r.n_pages).min(logical_pages - lpn);
+            HostRequest {
+                op: r.op,
+                lpn,
+                n_pages: u32::try_from(span).expect("span fits"),
+            }
+        })
+        .collect()
+}
+
+/// Replays a recorded [`Trace`] against one prefilled device and reports
+/// the run. Trace LPNs are folded into the device's logical space.
+pub fn run_trace_eval(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    trace: &Trace,
+) -> SimReport {
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.reset_stats();
+    let logical = ftl.logical_pages();
+    let folded = fold_requests(trace.requests(), logical);
+    let n = folded.len() as u64;
+    sim.run(&mut ftl, folded, n)
+}
+
+/// Replays a recorded [`Trace`] against a sharded array: the global
+/// trace is folded into the array's striped global space and fanned out
+/// through the [`StripeRouter`] (spans split at stripe boundaries), so
+/// every shard replays exactly the fragments that map to it.
+pub fn run_array_trace_eval(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    trace: &Trace,
+) -> ArrayEvalReport {
+    assert!(arr.shards >= 1, "need at least one shard");
+    let router = arr.router();
+
+    // Prepare every shard first to learn the shard-local capacity; the
+    // striped global space truncates each shard to a whole number of
+    // stripes so no fragment can overflow its device.
+    let mut prepared: Vec<(SsdSim, Ftl)> = Vec::with_capacity(arr.shards);
+    let mut local_limit = u64::MAX;
+    for s in 0..arr.shards {
+        let (sim, mut ftl, _prefill) = setup_shard(kind, aging, cfg, s);
+        ftl.reset_stats();
+        local_limit = local_limit.min(ftl.logical_pages());
+        prepared.push((sim, ftl));
+    }
+    let stripes_per_shard = local_limit / arr.stripe_pages;
+    assert!(
+        stripes_per_shard >= 1,
+        "stripe of {} pages exceeds the shard-local space of {} pages",
+        arr.stripe_pages,
+        local_limit
+    );
+    let global_pages = stripes_per_shard * arr.stripe_pages * arr.shards as u64;
+
+    let folded = fold_requests(trace.requests(), global_pages);
+    let mut per_shard = router.route_stream(folded);
+
+    let shards = prepared
+        .into_iter()
+        .enumerate()
+        .map(|(s, (sim, ftl))| {
+            let local: Vec<HostRequest> = std::mem::take(&mut per_shard[s]);
+            let requests = local.len() as u64;
+            ArrayShard {
+                sim,
+                ftl,
+                workload: local.into_iter(),
+                requests,
+                spo: None,
+            }
+        })
+        .collect();
+    let out = SsdArray::new(shards)
+        .with_threads(arr.engine_threads())
+        .run();
+    ArrayEvalReport {
+        merged: out.report,
+        shards: out.shard_reports,
+    }
+}
+
+/// Configuration of an array-wide sudden-power-off experiment: the cut
+/// hits **every shard at the same virtual instant** (one wall-clock
+/// event taking down the whole enclosure), then each shard runs its own
+/// crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArraySpoConfig {
+    /// Simulated time of the array-wide cut, µs.
+    pub cut_at_us: f64,
+    /// Checkpoint interval in host WL programs per shard (0 = scan-only
+    /// recovery).
+    pub ckpt_interval_host_wls: u64,
+}
+
+/// Outcome of one [`run_array_spo_eval`] experiment.
+#[derive(Debug, Clone)]
+pub struct ArraySpoEvalReport {
+    /// The merged truncated run up to the cut.
+    pub pre_cut: ArrayReport,
+    /// Per-shard truncated reports, indexed by shard.
+    pub shard_pre_cut: Vec<SimReport>,
+    /// Whether each shard's trigger fired (a shard that drained its
+    /// budget before the instant never sees the cut).
+    pub fired: Vec<bool>,
+    /// Per-shard recovery reports (`None` where the cut never landed).
+    pub recoveries: Vec<Option<RecoveryReport>>,
+    /// Host-acknowledged `(shard, local LPN)` pairs lost across the
+    /// array. **Must be empty** — any entry is data loss.
+    pub lost_lpns: Vec<(usize, u64)>,
+    /// The merged post-recovery resume run, when any work remained.
+    pub resumed: Option<ArrayReport>,
+    /// Checkpoints taken across all shards before the cut.
+    pub checkpoints_taken: u64,
+}
+
+impl ArraySpoEvalReport {
+    /// Shards whose trigger fired.
+    pub fn shards_cut(&self) -> usize {
+        self.fired.iter().filter(|&&f| f).count()
+    }
+}
+
+/// Runs the array-wide SPO experiment: every shard is armed with
+/// [`SpoTrigger::AtTimeUs`] at the same virtual instant, the array runs
+/// until each shard is cut (or drained), then each shard independently
+/// suffers the power-cut physics, boots through crash recovery, and
+/// resumes its workload remainder. Merging follows shard order
+/// throughout, so the experiment is deterministic at any thread count.
+pub fn run_array_spo_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    spo: &ArraySpoConfig,
+) -> ArraySpoEvalReport {
+    assert!(arr.shards >= 1, "need at least one shard");
+    assert!(spo.cut_at_us > 0.0, "the cut must be after time zero");
+    let budgets = split_requests(cfg.requests, arr.shards);
+    let shards = (0..arr.shards)
+        .map(|s| {
+            let (sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            ftl.enable_checkpointing(spo.ckpt_interval_host_wls);
+            ftl.reset_stats();
+            let stream = workload.build(prefill.max(1024), shard_seed(cfg.seed, s));
+            ArrayShard {
+                sim,
+                ftl,
+                workload: stream,
+                requests: budgets[s],
+                spo: Some(SpoTrigger::AtTimeUs(spo.cut_at_us)),
+            }
+        })
+        .collect();
+    let mut array = SsdArray::new(shards).with_threads(arr.engine_threads());
+    let out = array.run();
+
+    // Sequence point: every shard has stopped. Recover shard by shard,
+    // in shard order.
+    let mut fired = Vec::with_capacity(arr.shards);
+    let mut recoveries = Vec::with_capacity(arr.shards);
+    let mut lost_lpns = Vec::new();
+    let mut checkpoints_taken = 0;
+    let mut resumed_shards = Vec::with_capacity(arr.shards);
+    for (s, mut shard) in array.into_shards().into_iter().enumerate() {
+        checkpoints_taken += shard.ftl.checkpoints_taken();
+        let event = &out.spo_events[s];
+        fired.push(event.is_some());
+        let remaining = match event {
+            Some(event) => {
+                // Durable ledger at the instant of this shard's cut:
+                // mapped LPNs plus the PLP-protected buffer dump.
+                let logical = shard.ftl.logical_pages();
+                let mut durable: Vec<u64> =
+                    (0..logical).filter(|&l| shard.ftl.is_mapped(l)).collect();
+                durable.extend(event.buffered_lpns.iter().copied());
+                durable.sort_unstable();
+                durable.dedup();
+
+                for f in &event.interrupted_flushes {
+                    shard.ftl.power_cut(f.chip, f.lpns, f.did_gc);
+                }
+                let (mut recovered, recovery) = shard.ftl.power_cycle(&event.buffered_lpns);
+                lost_lpns.extend(
+                    durable
+                        .iter()
+                        .copied()
+                        .filter(|&l| !recovered.is_mapped(l))
+                        .map(|l| (s, l)),
+                );
+                if let Some(maint) = cfg.maint {
+                    recovered.enable_maintenance(maint);
+                }
+                shard.ftl = recovered;
+                recoveries.push(Some(recovery));
+                budgets[s].saturating_sub(event.issued)
+            }
+            None => {
+                recoveries.push(None);
+                0
+            }
+        };
+        shard.requests = remaining;
+        shard.spo = None;
+        resumed_shards.push(shard);
+    }
+
+    let any_remaining = resumed_shards.iter().any(|s| s.requests > 0);
+    let resumed = any_remaining.then(|| {
+        SsdArray::new(resumed_shards)
+            .with_threads(arr.engine_threads())
+            .run()
+            .report
+    });
+
+    ArraySpoEvalReport {
+        pre_cut: out.report,
+        shard_pre_cut: out.shard_reports,
+        fired,
+        recoveries,
+        lost_lpns,
+        resumed,
+        checkpoints_taken,
     }
 }
 

@@ -37,10 +37,11 @@ pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
     NandConfig, OobStatus, ProgramParams, ReadParams, TargetedFault, WlAddr, WlOob,
 };
+pub use ssdarray::{ArrayReport, ArrayRunOutcome, ArrayShard, SsdArray, StripeRouter};
 pub use ssdsim::{
-    ChipStats, FtlDriver, HostRequest, MaintSchedule, MaintWork, SimReport, SpoEvent, SpoTrigger,
-    SsdConfig, SsdSim,
+    ChipStats, FtlDriver, FtlStats, HostRequest, MaintSchedule, MaintWork, SimReport, SpoEvent,
+    SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
-pub use workloads::{StandardWorkload, Workload};
+pub use workloads::{shard_seed, StandardWorkload, Trace, TraceReplay, Workload};
 
 pub mod harness;

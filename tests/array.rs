@@ -1,0 +1,209 @@
+//! Sharded-array determinism and correctness, end to end through the
+//! harness: same master seed ⇒ byte-identical merged report at any
+//! worker-thread count, on repeated runs, and across trace routing.
+//!
+//! `CUBEFTL_SHARDS` (CI sets 4) overrides the default shard count so
+//! the same suite exercises whichever array width the job asks for.
+
+use cubeftl::harness::{
+    run_array_eval, run_array_spo_eval, run_array_trace_eval, ArrayEvalConfig, ArraySpoConfig,
+    EvalConfig,
+};
+use cubeftl::{AgingState, FtlKind, StandardWorkload, Trace};
+
+/// Shard count under test: `CUBEFTL_SHARDS` if set (CI runs the suite
+/// once with 4), else 2 to keep the default run fast.
+fn shards_under_test() -> usize {
+    std::env::var("CUBEFTL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+fn cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 1_200;
+    cfg
+}
+
+#[test]
+fn array_double_run_is_byte_identical() {
+    let cfg = cfg();
+    for shards in [1, shards_under_test().max(2)] {
+        let arr = ArrayEvalConfig::new(shards);
+        let run = || {
+            run_array_eval(
+                FtlKind::Cube,
+                StandardWorkload::Oltp,
+                AgingState::MidLife,
+                &cfg,
+                &arr,
+            )
+        };
+        assert_eq!(
+            format!("{:?}", run().merged),
+            format!("{:?}", run().merged),
+            "{shards}-shard array diverged between identical runs"
+        );
+    }
+}
+
+#[test]
+fn array_report_is_identical_at_any_thread_count() {
+    let cfg = cfg();
+    let shards = shards_under_test().max(2);
+    let at = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(shards);
+        arr.threads = threads;
+        let r = run_array_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+            &arr,
+        );
+        format!("{:?}", r.merged)
+    };
+    let one = at(1);
+    assert_eq!(one, at(2), "1 vs 2 worker threads");
+    assert_eq!(one, at(shards), "1 vs {shards} worker threads");
+}
+
+#[test]
+fn array_completes_the_exact_budget_and_sums_shard_counters() {
+    let cfg = cfg();
+    let arr = ArrayEvalConfig::new(shards_under_test());
+    let r = run_array_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+    );
+    assert_eq!(r.merged.completed, cfg.requests);
+    assert_eq!(r.merged.shards, arr.shards);
+    assert_eq!(
+        r.merged.completed,
+        r.shards.iter().map(|s| s.completed).sum::<u64>()
+    );
+    assert_eq!(
+        r.merged.per_shard_completed,
+        r.shards.iter().map(|s| s.completed).collect::<Vec<_>>()
+    );
+    let iops_sum: f64 = r.shards.iter().map(|s| s.iops).sum();
+    assert!((r.merged.iops - iops_sum).abs() < 1e-9);
+    // The makespan is the slowest shard, not a sum.
+    for s in &r.shards {
+        assert!(s.sim_time_us <= r.merged.sim_time_us);
+    }
+}
+
+#[test]
+fn array_trace_routing_is_deterministic() {
+    let text =
+        std::fs::read_to_string("tests/data/sample_trace.csv").expect("sample trace present");
+    let trace = Trace::from_msr_csv(&text, 16 * 1024, 1 << 40).expect("sample trace parses");
+    let cfg = cfg();
+    let arr = ArrayEvalConfig::new(shards_under_test().max(2));
+    let run = || run_array_trace_eval(FtlKind::Cube, AgingState::Fresh, &cfg, &arr, &trace);
+    let a = run();
+    let b = run();
+    assert_eq!(format!("{:?}", a.merged), format!("{:?}", b.merged));
+    // Striping may split spans at stripe boundaries but never drops or
+    // invents host work: at least one fragment per trace request.
+    assert!(a.merged.completed >= trace.len() as u64);
+}
+
+/// Cut instant that lands mid-run on every shard: half the fastest
+/// shard's uninterrupted makespan (each shard starts at virtual time
+/// zero, so all of them are still busy then).
+fn mid_run_cut_us(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+) -> f64 {
+    let probe = run_array_eval(kind, workload, aging, cfg, arr);
+    let min_time = probe
+        .shards
+        .iter()
+        .map(|s| s.sim_time_us)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_time.is_finite() && min_time > 0.0);
+    min_time * 0.5
+}
+
+#[test]
+fn array_wide_spo_recovers_every_shard_with_zero_loss() {
+    let mut cfg = cfg();
+    cfg.requests = 2_000;
+    let arr = ArrayEvalConfig::new(shards_under_test().max(2));
+    let spo = ArraySpoConfig {
+        cut_at_us: mid_run_cut_us(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::MidLife,
+            &cfg,
+            &arr,
+        ),
+        ckpt_interval_host_wls: 32,
+    };
+    let r = run_array_spo_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::MidLife,
+        &cfg,
+        &arr,
+        &spo,
+    );
+    assert_eq!(r.shards_cut(), arr.shards, "every shard cut at the instant");
+    assert!(
+        r.lost_lpns.is_empty(),
+        "host-acknowledged data lost: {:?}",
+        r.lost_lpns
+    );
+    assert!(r.recoveries.iter().all(Option::is_some));
+    let resumed = r.resumed.expect("workload remainder resumed");
+    // Requests in flight at the cut were issued but never acknowledged,
+    // so they are neither completed nor replayed; the shortfall is
+    // bounded by the per-device queue depth.
+    let done = r.pre_cut.completed + resumed.completed;
+    assert!(resumed.completed > 0, "the remainder must actually resume");
+    assert!(done <= cfg.requests);
+    assert!(
+        cfg.requests - done <= 32 * arr.shards as u64,
+        "shortfall {} exceeds the array's possible in-flight window",
+        cfg.requests - done
+    );
+}
+
+#[test]
+fn array_spo_experiment_is_deterministic() {
+    let mut cfg = cfg();
+    cfg.requests = 1_500;
+    let arr = ArrayEvalConfig::new(2);
+    let spo = ArraySpoConfig {
+        cut_at_us: mid_run_cut_us(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+            &arr,
+        ),
+        ckpt_interval_host_wls: 64,
+    };
+    let run = || {
+        let r = run_array_spo_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+            &arr,
+            &spo,
+        );
+        format!("{:?} {:?} {:?}", r.pre_cut, r.resumed, r.lost_lpns)
+    };
+    assert_eq!(run(), run());
+}

@@ -342,3 +342,58 @@ proptest! {
         prop_assert_eq!(WlOob::decode(&bytes[..WlOob::ENCODED_LEN - 1]), None);
     }
 }
+
+proptest! {
+    /// LPN striping is a bijection: every global LPN maps to exactly one
+    /// (shard, local LPN) pair and back, locals stay within the shard's
+    /// capacity, and every span split covers the original range exactly
+    /// once in order.
+    #[test]
+    fn lpn_striping_is_a_bijection(
+        shards in 1usize..9,
+        stripe in 1u64..129,
+        lpn in 0u64..1_000_000,
+    ) {
+        let router = cubeftl::StripeRouter::new(shards, stripe);
+        let (s, local) = router.to_local(lpn);
+        prop_assert_eq!(s, router.shard_of(lpn));
+        prop_assert!(s < shards);
+        prop_assert_eq!(router.to_global(s, local), lpn);
+        // Capacity accounting: the local LPN fits the shard's share of
+        // any global space that contains the LPN.
+        let global_pages = lpn + 1;
+        let mut total = 0;
+        for sh in 0..shards {
+            total += router.local_pages(global_pages, sh);
+        }
+        prop_assert_eq!(total, global_pages);
+        prop_assert!(local < router.local_pages(global_pages, s));
+    }
+
+    /// Splitting a span request at stripe boundaries conserves pages:
+    /// the fragments partition the original `[lpn, lpn + n)` range.
+    #[test]
+    fn span_splits_partition_the_request(
+        shards in 1usize..9,
+        stripe in 1u64..65,
+        lpn in 0u64..100_000,
+        n in 1u32..400,
+    ) {
+        let router = cubeftl::StripeRouter::new(shards, stripe);
+        let req = ssdsim::HostRequest::write_span(lpn, n);
+        let parts = router.split(req);
+        let mut next = lpn;
+        let mut pages = 0u64;
+        for (s, frag) in &parts {
+            prop_assert!(*s < shards);
+            // Fragments are contiguous, in ascending global order.
+            prop_assert_eq!(router.to_global(*s, frag.lpn), next);
+            prop_assert!(frag.n_pages >= 1);
+            // No fragment crosses a stripe boundary.
+            prop_assert!(frag.lpn % stripe + u64::from(frag.n_pages) <= stripe);
+            next += u64::from(frag.n_pages);
+            pages += u64::from(frag.n_pages);
+        }
+        prop_assert_eq!(pages, u64::from(n));
+    }
+}
