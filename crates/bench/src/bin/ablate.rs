@@ -26,7 +26,7 @@ fn main() {
     for mu in [0.0, 0.5, 0.8, 0.9, 0.99] {
         let mut ftl_cfg = cfg.ftl_config();
         ftl_cfg.mu_threshold = mu;
-        let mut r = run_eval_custom(
+        let r = run_eval_custom(
             FtlKind::Cube,
             StandardWorkload::Rocks,
             AgingState::Fresh,
@@ -54,7 +54,7 @@ fn main() {
         let mut ftl_cfg = cfg.ftl_config();
         ftl_cfg.active_blocks_per_chip = blocks;
         ftl_cfg.gc_free_block_threshold = ftl_cfg.gc_free_block_threshold.max(blocks);
-        let mut r = run_eval_custom(
+        let r = run_eval_custom(
             FtlKind::Cube,
             StandardWorkload::Oltp,
             AgingState::Fresh,
@@ -76,7 +76,7 @@ fn main() {
     for pages in [16usize, 48, 128, 256] {
         let mut c = cfg.clone();
         c.ssd.buffer_pages = pages;
-        let mut r = run_eval(
+        let r = run_eval(
             FtlKind::Cube,
             StandardWorkload::Rocks,
             AgingState::Fresh,

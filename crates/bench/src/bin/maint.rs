@@ -47,7 +47,7 @@ fn main() {
         cfg.maint = maint;
         cfg.ssd.maint.enabled = maint.is_some();
         cfg.ssd.maint.min_gap_us = gap_us;
-        let mut r = run_eval(
+        let r = run_eval(
             FtlKind::Cube,
             StandardWorkload::Web,
             AgingState::EndOfLife,

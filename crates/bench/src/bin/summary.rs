@@ -277,19 +277,19 @@ fn main() {
         "Fig. 17(c)",
     ]);
 
-    let mut page_rocks = run_eval(
+    let page_rocks = run_eval(
         FtlKind::Page,
         StandardWorkload::Rocks,
         AgingState::Fresh,
         &cfg,
     );
-    let mut minus_rocks = run_eval(
+    let minus_rocks = run_eval(
         FtlKind::CubeMinus,
         StandardWorkload::Rocks,
         AgingState::Fresh,
         &cfg,
     );
-    let mut cube_rocks = run_eval(
+    let cube_rocks = run_eval(
         FtlKind::Cube,
         StandardWorkload::Rocks,
         AgingState::Fresh,

@@ -127,6 +127,12 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Prints a figure banner to stderr — for binaries whose stdout is a
+/// machine-readable export (e.g. `active_sweep`'s metrics NDJSON).
+pub fn banner_err(title: &str) {
+    eprintln!("\n=== {title} ===\n");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

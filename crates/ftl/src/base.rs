@@ -25,6 +25,7 @@ use nand3d::{
 };
 use ssdsim::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
 use std::collections::VecDeque;
+use telemetry::{Collector, EventKind, EventMask, MetricRegistry, TraceEvent};
 
 /// Which FTL variant an [`Ftl`] instance behaves as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,6 +89,9 @@ struct CkptState {
     blob: Option<Vec<u8>>,
     /// Checkpoints flushed so far.
     taken: u64,
+    /// Cumulative metadata pages programmed into the region (the region
+    /// is a ring: every `pages_per_block` of these recycles one block).
+    pages_written: u64,
 }
 
 /// A page-level FTL over a [`FlashArray`]. See the
@@ -124,6 +128,11 @@ pub struct Ftl {
     last_gc_erase: Vec<Option<BlockId>>,
     /// Periodic L2P checkpointing, when enabled.
     ckpt: Option<CkptState>,
+    /// Structured event trace sink (inert unless enabled).
+    trace: Collector,
+    /// Virtual time of the current host call, µs — stamps trace events
+    /// emitted from internal helpers that carry no [`HostContext`].
+    tel_now_us: f64,
 }
 
 // The array front-end runs one Ftl per shard on worker threads.
@@ -168,6 +177,8 @@ impl Ftl {
             seq_counter: 0,
             last_gc_erase: vec![None; config.chips],
             ckpt: None,
+            trace: Collector::disabled(),
+            tel_now_us: 0.0,
             config,
         }
     }
@@ -244,12 +255,52 @@ impl Ftl {
     }
 
     /// Clears the measurement counters (call after prefill, before a
-    /// measured run).
+    /// measured run). Buffered trace events are discarded too, so a
+    /// collector enabled before prefill starts the measured run clean.
     pub fn reset_stats(&mut self) {
         self.stats = FtlStats::default();
         if let Some(opm) = &mut self.opm {
             opm.reset_ort_counters();
         }
+        self.trace.reset();
+    }
+
+    /// Enables structured event tracing for the categories in `mask`,
+    /// tagging every event with `shard` (0 for a single device). Events
+    /// are virtual-timestamped with the `now_us` of the host call they
+    /// occur under, so the trace is deterministic.
+    pub fn enable_telemetry(&mut self, mask: EventMask, shard: u32) {
+        self.trace = if mask.is_empty() {
+            Collector::disabled()
+        } else {
+            Collector::enabled(mask, shard)
+        };
+    }
+
+    /// Drains the buffered trace events (time-ordered; sequence numbers
+    /// continue across calls).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Advances the trace clock to `now_us` — for out-of-band entry
+    /// points ([`Ftl::power_cut`], [`Ftl::take_checkpoint`]) invoked
+    /// outside a [`HostContext`]-carrying call.
+    pub fn set_trace_now(&mut self, now_us: f64) {
+        self.tel_now_us = now_us;
+    }
+
+    /// Registers the FTL's physical-layer counters — per-chip NAND
+    /// command totals, array-wide injected-fault totals and the current
+    /// free-pool size — under `prefix` (e.g. `nand.chip0.programs`,
+    /// `nand.free_blocks`). The logical FTL counters live in
+    /// [`FtlStats::register_metrics`].
+    pub fn register_metrics(&self, reg: &mut MetricRegistry, prefix: &str) {
+        self.array.register_metrics(reg, prefix);
+        reg.gauge(
+            &format!("{prefix}.free_blocks"),
+            FtlDriver::free_blocks(self) as f64,
+        );
     }
 
     /// The underlying flash array (for characterization experiments).
@@ -411,6 +462,20 @@ impl Ftl {
                 .program_wl(wl, WlData::from_pages(lpns), &params)
                 .expect("allocator hands out erased WLs");
             latency += report.latency_us;
+            if self.trace.wants(EventMask::ISPP) {
+                self.trace.emit(
+                    self.tel_now_us,
+                    EventKind::IsppProgram {
+                        chip: chip as u32,
+                        leader: choice.is_leader(),
+                        pulses: report.pulses,
+                        verifies: report.verifies,
+                        margin_excess_loops: report.margin_excess_loops,
+                        latency_us: report.latency_us,
+                        aborted: report.aborted,
+                    },
+                );
+            }
 
             if report.aborted {
                 // Program suspend/abort: the WL holds no valid data (it
@@ -437,6 +502,17 @@ impl Ftl {
                 {
                     let engine = self.array.chip(chip).expect("valid chip").ispp();
                     opm.record_leader(chip, wl, engine_report, engine);
+                    if self.trace.wants(EventMask::OPM) {
+                        self.trace.emit(
+                            self.tel_now_us,
+                            EventKind::Opm {
+                                chip: chip as u32,
+                                layer: wl.block.0 * u32::from(g.hlayers_per_block)
+                                    + u32::from(wl.h.0),
+                                action: "monitor",
+                            },
+                        );
+                    }
                 }
                 if opm.safety_check(chip, wl, engine_report) && attempts < 4 {
                     // §4.1.4: the WL is considered improperly programmed;
@@ -447,6 +523,17 @@ impl Ftl {
                     let newly_demoted = opm.demote_layer(chip, wl);
                     self.stats.safety_reprograms += 1;
                     self.stats.safety_demotions += u64::from(newly_demoted);
+                    if self.trace.wants(EventMask::OPM) {
+                        self.trace.emit(
+                            self.tel_now_us,
+                            EventKind::Opm {
+                                chip: chip as u32,
+                                layer: wl.block.0 * u32::from(g.hlayers_per_block)
+                                    + u32::from(wl.h.0),
+                                action: "demote",
+                            },
+                        );
+                    }
                     // Re-monitor: force default params by treating the
                     // retry as a leader-style program.
                     choice = WlChoice::Leader(self.select_wl(chip, mu).addr());
@@ -591,6 +678,17 @@ impl Ftl {
             self.is_free[chip][victim.0 as usize] = true;
             self.stats.erases += 1;
             self.stats.gc_runs += 1;
+            if self.trace.wants(EventMask::GC) {
+                self.trace.emit(
+                    self.tel_now_us,
+                    EventKind::GcVictim {
+                        chip: chip as u32,
+                        block: victim.0,
+                        moved_wls: (valid.len() as u32).div_ceil(3),
+                        wear_aware: self.wear_leveling_on(),
+                    },
+                );
+            }
         }
         latency
     }
@@ -639,6 +737,21 @@ impl Ftl {
         if let Some(opm) = &mut self.opm {
             opm.update_read_offset(chip, page.wl, report.final_offset);
         }
+        if (report.retries > 0 || report.fault.is_some()) && self.trace.wants(EventMask::READ_RETRY)
+        {
+            self.trace.emit(
+                self.tel_now_us,
+                EventKind::ReadRetry {
+                    chip: chip as u32,
+                    lpn,
+                    retries: report.retries,
+                    fault: report.fault.map(|f| match f {
+                        ReadFaultKind::StuckRetry => "stuck_retry",
+                        ReadFaultKind::Uncorrectable => "uncorrectable",
+                    }),
+                },
+            );
+        }
         Some(PageRead {
             chip,
             nand_us: report.latency_us,
@@ -672,6 +785,7 @@ impl Ftl {
             host_wls_since: 0,
             blob: None,
             taken: 0,
+            pages_written: 0,
         });
     }
 
@@ -703,11 +817,32 @@ impl Ftl {
             erase_counts,
         };
         let pages = ckpt.pages(CKPT_PAGE_BYTES);
+        let blob = ckpt.encode();
+        let bytes = blob.len() as u64;
+        let latency = pages as f64 * CKPT_PAGE_PROGRAM_US;
+        // Metadata-region wear: the flushed pages are real NAND programs,
+        // and the ring recycles (erases) a region block every time the
+        // cumulative page count fills one.
+        let per_block = u64::from(self.geometry().pages_per_block());
+        self.stats.ckpt_page_programs += pages;
         let st = self.ckpt.as_mut().expect("checked above");
-        st.blob = Some(ckpt.encode());
+        let filled_before = st.pages_written / per_block;
+        st.pages_written += pages;
+        self.stats.ckpt_erases += st.pages_written / per_block - filled_before;
+        st.blob = Some(blob);
         st.taken += 1;
         st.host_wls_since = 0;
-        pages as f64 * CKPT_PAGE_PROGRAM_US
+        if self.trace.wants(EventMask::CKPT) {
+            self.trace.emit(
+                self.tel_now_us,
+                EventKind::Checkpoint {
+                    pages: pages as u32,
+                    bytes,
+                    latency_us: latency,
+                },
+            );
+        }
+        latency
     }
 
     /// Advances the checkpoint clock by one host WL and flushes when the
@@ -764,6 +899,13 @@ impl Ftl {
                 chip_ref.interrupt_erase(b);
             }
         }
+        self.trace.emit(
+            self.tel_now_us,
+            EventKind::Spo {
+                phase: "cut",
+                detail: torn,
+            },
+        );
         torn
     }
 
@@ -793,8 +935,17 @@ impl Ftl {
             config,
             mut array,
             ckpt,
+            mut trace,
+            tel_now_us,
             ..
         } = self;
+        trace.emit(
+            tel_now_us,
+            EventKind::Spo {
+                phase: "recovery_begin",
+                detail: 0,
+            },
+        );
         let g = config.nand.geometry;
         let chips = config.chips;
         let blocks = g.blocks_per_chip;
@@ -804,6 +955,7 @@ impl Ftl {
         // corrupt region must degrade to a full scan, not a panic).
         let ckpt_interval = ckpt.as_ref().map(|c| c.interval_host_wls);
         let ckpt_taken = ckpt.as_ref().map_or(0, |c| c.taken);
+        let ckpt_pages_written = ckpt.as_ref().map_or(0, |c| c.pages_written);
         let blob = ckpt.and_then(|c| c.blob);
         let checkpoint = blob
             .as_deref()
@@ -987,7 +1139,10 @@ impl Ftl {
                 host_wls_since: 0,
                 blob,
                 taken: ckpt_taken,
+                pages_written: ckpt_pages_written,
             }),
+            trace,
+            tel_now_us,
             config,
         };
 
@@ -1056,6 +1211,13 @@ impl Ftl {
         }
         ftl.in_maint = false;
         ftl.stats = FtlStats::default();
+        ftl.trace.emit(
+            ftl.tel_now_us,
+            EventKind::Spo {
+                phase: "recovery_done",
+                detail: report.oob_records_replayed,
+            },
+        );
         (ftl, report)
     }
 
@@ -1136,6 +1298,7 @@ impl Ftl {
             // scrub window resumes it; otherwise it moves on.
             let mut next_cursor = (b.0 + 1) % blocks;
             let mut in_progress = false;
+            let mut moved = 0u64;
             if refresh {
                 let (t, outcome) = self.refresh_block(chip, b, mu, cfg.scrub_batch_pages);
                 latency += t;
@@ -1143,9 +1306,11 @@ impl Ftl {
                     RefreshOutcome::Erased { pages_moved } => {
                         self.stats.scrub_blocks += 1;
                         self.stats.scrub_page_moves += pages_moved;
+                        moved = pages_moved;
                     }
                     RefreshOutcome::Partial { pages_moved } => {
                         self.stats.scrub_page_moves += pages_moved;
+                        moved = pages_moved;
                         next_cursor = b.0;
                         in_progress = true;
                     }
@@ -1156,6 +1321,16 @@ impl Ftl {
             st.scrub_cursor[chip] = next_cursor;
             st.scrub_resume[chip] = in_progress;
             if latency > 0.0 {
+                if self.trace.wants(EventMask::MAINT) {
+                    self.trace.emit(
+                        self.tel_now_us,
+                        EventKind::Maint {
+                            chip: chip as u32,
+                            service: "scrub",
+                            page_moves: moved,
+                        },
+                    );
+                }
                 return Some(latency);
             }
         }
@@ -1230,6 +1405,16 @@ impl Ftl {
                     .as_mut()
                     .expect("maintenance enabled")
                     .remonitor_cursor[chip] = next;
+                if self.trace.wants(EventMask::MAINT) {
+                    self.trace.emit(
+                        self.tel_now_us,
+                        EventKind::Maint {
+                            chip: chip as u32,
+                            service: "remonitor",
+                            page_moves: 0,
+                        },
+                    );
+                }
                 return Some(latency);
             }
         }
@@ -1261,11 +1446,22 @@ impl Ftl {
         // so the next wear window resumes it automatically.
         let batch = cfg.scrub_batch_pages;
         let (latency, outcome) = self.refresh_block(chip, coldest_block, mu, batch);
-        match outcome {
+        let moved = match outcome {
             RefreshOutcome::Erased { pages_moved } | RefreshOutcome::Partial { pages_moved } => {
                 self.stats.wear_level_moves += pages_moved;
+                pages_moved
             }
-            RefreshOutcome::Stalled => {}
+            RefreshOutcome::Stalled => 0,
+        };
+        if latency > 0.0 && self.trace.wants(EventMask::MAINT) {
+            self.trace.emit(
+                self.tel_now_us,
+                EventKind::Maint {
+                    chip: chip as u32,
+                    service: "wear_level",
+                    page_moves: moved,
+                },
+            );
         }
         (latency > 0.0).then_some(latency)
     }
@@ -1433,6 +1629,7 @@ enum RefreshOutcome {
 
 impl FtlDriver for Ftl {
     fn write_wl(&mut self, chip: usize, lpns: [u64; 3], ctx: &HostContext) -> WlWrite {
+        self.tel_now_us = ctx.now_us;
         let mut nand_us = 0.0;
         let mut did_gc = false;
         if !self.in_gc && self.free_blocks[chip].len() <= self.config.gc_free_block_threshold {
@@ -1453,7 +1650,8 @@ impl FtlDriver for Ftl {
         }
     }
 
-    fn read_page(&mut self, lpn: u64, _ctx: &HostContext) -> Option<PageRead> {
+    fn read_page(&mut self, lpn: u64, ctx: &HostContext) -> Option<PageRead> {
+        self.tel_now_us = ctx.now_us;
         self.read_mapped(lpn)
     }
 
@@ -1465,6 +1663,7 @@ impl FtlDriver for Ftl {
 
     fn maintenance_step(&mut self, chip: usize, ctx: &HostContext) -> Option<MaintWork> {
         self.maint.as_ref()?;
+        self.tel_now_us = ctx.now_us;
         self.in_maint = true;
         let work = self.maintenance_unit(chip, ctx.buffer_utilization);
         self.in_maint = false;
@@ -1480,6 +1679,10 @@ impl FtlDriver for Ftl {
             stats.ort_evictions = evictions;
         }
         stats
+    }
+
+    fn free_blocks(&self) -> u64 {
+        self.free_blocks.iter().map(|p| p.len() as u64).sum()
     }
 
     fn name(&self) -> &str {

@@ -451,6 +451,7 @@ mod tests {
             post_ber,
             pulses: 11,
             verifies: 50,
+            margin_excess_loops: 0,
             disturbed: false,
             pe_cycles: 0,
             aborted: false,

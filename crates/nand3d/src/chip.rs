@@ -144,6 +144,9 @@ pub struct ProgramReport {
     pub pulses: u32,
     /// Number of verify steps executed.
     pub verifies: u32,
+    /// Window shrink beyond the safe `MaxLoop` margin, in loops
+    /// (under-margin exposure; 0 for safe parameters).
+    pub margin_excess_loops: u32,
     /// Whether the program ran under a sudden ambient disturbance.
     pub disturbed: bool,
     /// Effective P/E cycles of the block at program time (Get-Features
@@ -420,6 +423,7 @@ impl NandChip {
                 post_ber: outcome.post_ber,
                 pulses: outcome.pulses / 2,
                 verifies: outcome.verifies / 2,
+                margin_excess_loops: outcome.margin_excess_loops,
                 disturbed,
                 pe_cycles: self.env.pe(wl.block.0 as usize),
                 aborted: true,
@@ -437,6 +441,7 @@ impl NandChip {
             post_ber: outcome.post_ber,
             pulses: outcome.pulses,
             verifies: outcome.verifies,
+            margin_excess_loops: outcome.margin_excess_loops,
             disturbed,
             pe_cycles: self.env.pe(wl.block.0 as usize),
             aborted: false,
@@ -754,6 +759,19 @@ impl FlashArray {
         self.chips.iter().fold(FaultCounters::default(), |acc, c| {
             acc.merged(&c.fault_counters())
         })
+    }
+
+    /// Registers every chip's lifetime command counts plus the array-wide
+    /// injected-fault totals under `prefix` (e.g. `nand.chip0.programs`).
+    pub fn register_metrics(&self, reg: &mut telemetry::MetricRegistry, prefix: &str) {
+        for (i, c) in self.chips.iter().enumerate() {
+            let (erases, programs, reads) = c.op_counts();
+            reg.counter(&format!("{prefix}.chip{i}.erases"), erases);
+            reg.counter(&format!("{prefix}.chip{i}.programs"), programs);
+            reg.counter(&format!("{prefix}.chip{i}.reads"), reads);
+        }
+        self.fault_counters()
+            .register_metrics(reg, &format!("{prefix}.faults"));
     }
 }
 

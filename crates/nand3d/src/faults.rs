@@ -222,6 +222,20 @@ impl FaultCounters {
             + self.uncorrectable_reads
     }
 
+    /// Registers every fault counter under `prefix` (e.g.
+    /// `nand.faults.ber_spikes`).
+    pub fn register_metrics(&self, reg: &mut telemetry::MetricRegistry, prefix: &str) {
+        for (name, value) in [
+            ("ispp_loop_outliers", self.ispp_loop_outliers),
+            ("ber_spikes", self.ber_spikes),
+            ("program_aborts", self.program_aborts),
+            ("stuck_retries", self.stuck_retries),
+            ("uncorrectable_reads", self.uncorrectable_reads),
+        ] {
+            reg.counter(&format!("{prefix}.{name}"), value);
+        }
+    }
+
     /// Element-wise sum (for array-level totals).
     #[must_use]
     pub fn merged(&self, other: &FaultCounters) -> FaultCounters {

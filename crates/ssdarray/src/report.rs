@@ -99,8 +99,8 @@ impl ArrayReport {
         Some(nand_pages as f64 / host_pages as f64)
     }
 
-    /// Total write amplification including background maintenance, over
-    /// the whole array.
+    /// Total write amplification including background maintenance and
+    /// checkpoint-region metadata programs, over the whole array.
     pub fn wa_total(&self) -> Option<f64> {
         let host_pages = self.ftl.host_wl_programs * 3;
         if host_pages == 0 {
@@ -109,12 +109,50 @@ impl ArrayReport {
         let nand_pages =
             (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
                 + self.ftl.gc_page_moves
-                + self.ftl.maint_page_moves();
+                + self.ftl.maint_page_moves()
+                + self.ftl.ckpt_page_programs;
         Some(nand_pages as f64 / host_pages as f64)
     }
 
     /// Total fault-recovery actions across all shards.
     pub fn recovery_actions(&self) -> u64 {
         self.ftl.recovery_actions()
+    }
+
+    /// Registers the merged array metrics under `prefix`: array-wide
+    /// gauges and counters, the merged latency histograms, the
+    /// accumulated FTL counters (under `{prefix}.ftl`) and per-shard
+    /// throughput (under `{prefix}.shard{s}`).
+    pub fn register_metrics(&self, reg: &mut telemetry::MetricRegistry, prefix: &str) {
+        reg.gauge(&format!("{prefix}.iops"), self.iops);
+        reg.gauge(&format!("{prefix}.sim_time_us"), self.sim_time_us);
+        if let Some(wa) = self.wa_host() {
+            reg.gauge(&format!("{prefix}.wa_host"), wa);
+        }
+        if let Some(wa) = self.wa_total() {
+            reg.gauge(&format!("{prefix}.wa_total"), wa);
+        }
+        reg.counter(&format!("{prefix}.completed"), self.completed);
+        reg.counter(&format!("{prefix}.reads"), self.reads);
+        reg.counter(&format!("{prefix}.writes"), self.writes);
+        reg.counter(&format!("{prefix}.trims"), self.trims);
+        reg.histogram(
+            &format!("{prefix}.read_latency_us"),
+            self.read_latency.histogram(),
+        );
+        reg.histogram(
+            &format!("{prefix}.write_latency_us"),
+            self.write_latency.histogram(),
+        );
+        self.ftl.register_metrics(reg, &format!("{prefix}.ftl"));
+        for (s, (iops, completed)) in self
+            .per_shard_iops
+            .iter()
+            .zip(&self.per_shard_completed)
+            .enumerate()
+        {
+            reg.gauge(&format!("{prefix}.shard{s}.iops"), *iops);
+            reg.counter(&format!("{prefix}.shard{s}.completed"), *completed);
+        }
     }
 }

@@ -107,6 +107,13 @@ pub struct FtlStats {
     pub ort_misses: u64,
     /// ORT entries evicted by the capacity-bounded LRU.
     pub ort_evictions: u64,
+    /// Metadata pages programmed into the reserved checkpoint region by
+    /// L2P checkpoint flushes — real NAND wear, counted into total
+    /// write amplification.
+    pub ckpt_page_programs: u64,
+    /// Checkpoint-region block erases (the region is a ring: a block is
+    /// recycled whenever cumulative checkpoint pages fill one).
+    pub ckpt_erases: u64,
 }
 
 impl FtlStats {
@@ -164,6 +171,40 @@ impl FtlStats {
         self.ort_hits += other.ort_hits;
         self.ort_misses += other.ort_misses;
         self.ort_evictions += other.ort_evictions;
+        self.ckpt_page_programs += other.ckpt_page_programs;
+        self.ckpt_erases += other.ckpt_erases;
+    }
+
+    /// Registers every counter under `prefix` (e.g. `ftl.gc_runs`).
+    pub fn register_metrics(&self, reg: &mut telemetry::MetricRegistry, prefix: &str) {
+        for (name, value) in [
+            ("host_wl_programs", self.host_wl_programs),
+            ("follower_wl_programs", self.follower_wl_programs),
+            ("gc_runs", self.gc_runs),
+            ("gc_page_moves", self.gc_page_moves),
+            ("erases", self.erases),
+            ("read_retries", self.read_retries),
+            ("nand_reads", self.nand_reads),
+            ("safety_reprograms", self.safety_reprograms),
+            ("safety_demotions", self.safety_demotions),
+            ("program_aborts", self.program_aborts),
+            ("stuck_retry_recoveries", self.stuck_retry_recoveries),
+            ("uncorrectable_recoveries", self.uncorrectable_recoveries),
+            ("host_trims", self.host_trims),
+            ("scrub_blocks", self.scrub_blocks),
+            ("scrub_page_moves", self.scrub_page_moves),
+            ("scrub_sample_reads", self.scrub_sample_reads),
+            ("remonitored_layers", self.remonitored_layers),
+            ("wear_level_moves", self.wear_level_moves),
+            ("maint_gc_page_moves", self.maint_gc_page_moves),
+            ("ort_hits", self.ort_hits),
+            ("ort_misses", self.ort_misses),
+            ("ort_evictions", self.ort_evictions),
+            ("ckpt_page_programs", self.ckpt_page_programs),
+            ("ckpt_erases", self.ckpt_erases),
+        ] {
+            reg.counter(&format!("{prefix}.{name}"), value);
+        }
     }
 }
 
@@ -201,6 +242,12 @@ pub trait FtlDriver {
 
     /// FTL-internal counters.
     fn stats(&self) -> FtlStats;
+
+    /// Free blocks currently available across all chips — sampled into
+    /// the telemetry time series. Default: 0 (unknown).
+    fn free_blocks(&self) -> u64 {
+        0
+    }
 
     /// Short name for reports (e.g. `"cubeFTL"`).
     fn name(&self) -> &str;

@@ -20,6 +20,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+use telemetry::{
+    Collector, EventKind as TraceKind, EventMask, LogHistogram, MetricRegistry, SampleRow, Series,
+    TraceEvent,
+};
 
 /// Background-maintenance scheduling policy of the simulator.
 ///
@@ -256,9 +260,10 @@ impl SimReport {
     }
 
     /// Total write amplification including background maintenance
-    /// (scrub and wear-level migrations, maintenance-triggered GC) on
-    /// top of the host-attributed pages. `wa_total == wa_host` when
-    /// maintenance is off.
+    /// (scrub and wear-level migrations, maintenance-triggered GC) and
+    /// checkpoint-region metadata programs on top of the
+    /// host-attributed pages. `wa_total == wa_host` when maintenance
+    /// and checkpointing are off.
     pub fn wa_total(&self) -> Option<f64> {
         let host_pages: u64 = self.ftl.host_wl_programs * 3;
         if host_pages == 0 {
@@ -267,7 +272,8 @@ impl SimReport {
         let nand_pages =
             (self.ftl.host_wl_programs + self.ftl.safety_reprograms + self.ftl.program_aborts) * 3
                 + self.ftl.gc_page_moves
-                + self.ftl.maint_page_moves();
+                + self.ftl.maint_page_moves()
+                + self.ftl.ckpt_page_programs;
         Some(nand_pages as f64 / host_pages as f64)
     }
 
@@ -295,6 +301,42 @@ impl SimReport {
             .map(|c| c.busy_fraction(self.sim_time_us))
             .sum::<f64>()
             / self.chip_stats.len() as f64
+    }
+
+    /// Registers the report's numbers into a metric registry under
+    /// `prefix` (e.g. `ssd.iops`, `ssd.ftl.gc_runs`,
+    /// `ssd.chip0.busy_us`). The report itself stays the compatibility
+    /// view; the registry is the export surface.
+    pub fn register_metrics(&self, reg: &mut MetricRegistry, prefix: &str) {
+        reg.gauge(&format!("{prefix}.iops"), self.iops);
+        reg.gauge(&format!("{prefix}.sim_time_us"), self.sim_time_us);
+        reg.counter(&format!("{prefix}.completed"), self.completed);
+        reg.counter(&format!("{prefix}.reads"), self.reads);
+        reg.counter(&format!("{prefix}.writes"), self.writes);
+        reg.counter(&format!("{prefix}.trims"), self.trims);
+        reg.histogram(
+            &format!("{prefix}.read_latency_us"),
+            self.read_latency.histogram(),
+        );
+        reg.histogram(
+            &format!("{prefix}.write_latency_us"),
+            self.write_latency.histogram(),
+        );
+        reg.gauge(&format!("{prefix}.wa_host"), self.wa_host().unwrap_or(0.0));
+        reg.gauge(
+            &format!("{prefix}.wa_total"),
+            self.wa_total().unwrap_or(0.0),
+        );
+        self.ftl.register_metrics(reg, &format!("{prefix}.ftl"));
+        for (i, c) in self.chip_stats.iter().enumerate() {
+            reg.gauge(
+                &format!("{prefix}.chip{i}.max_queue_depth"),
+                c.max_queue_depth as f64,
+            );
+            reg.gauge(&format!("{prefix}.chip{i}.busy_us"), c.busy_us);
+            reg.counter(&format!("{prefix}.chip{i}.maint_ops"), c.maint_ops);
+            reg.gauge(&format!("{prefix}.chip{i}.maint_us"), c.maint_us);
+        }
     }
 }
 
@@ -431,6 +473,36 @@ pub struct SsdSim {
     spo_event: Option<SpoEvent>,
     /// Events processed this run (progress logging under `SSDSIM_DEBUG`).
     event_count: u64,
+    /// Structured event trace sink (inert unless
+    /// [`SsdSim::enable_telemetry`] armed a mask).
+    trace: Collector,
+    /// Virtual-time series sampler (`None` = sampling off).
+    sampler: Option<SamplerState>,
+}
+
+/// State of the periodic registry sampler: the next virtual-time
+/// threshold, per-window accumulators, and the rows collected so far.
+/// Sampling is driven by event-loop time-threshold crossings, which are
+/// idempotent at `run_step` slice boundaries, so the rows are a pure
+/// function of the workload/FTL/config — independent of step budgets
+/// and worker-thread counts.
+#[derive(Debug)]
+struct SamplerState {
+    /// Sampling interval, virtual µs.
+    interval_us: f64,
+    /// Next sample threshold, virtual µs.
+    next_us: f64,
+    /// Shard tag stamped on every row.
+    shard: u32,
+    /// Rows collected this run.
+    series: Series,
+    /// Host completions as of the previous row (window base).
+    win_completed: u64,
+    /// NAND program latencies of host flushes in the current window
+    /// (tPROG proxy; GC-carrying flushes excluded).
+    win_tprog: LogHistogram,
+    /// FTL counters as of the previous row (window deltas).
+    last_ftl: crate::driver::FtlStats,
 }
 
 // The sharded array engine (crate `ssdarray`) runs one `SsdSim` per
@@ -468,6 +540,8 @@ impl SsdSim {
             spo_rng: None,
             spo_event: None,
             event_count: 0,
+            trace: Collector::disabled(),
+            sampler: None,
             config,
         }
     }
@@ -475,6 +549,58 @@ impl SsdSim {
     /// The configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// Arms telemetry for subsequent runs: event categories in `mask`
+    /// are traced (tagged with `shard`), and when `sample_interval_us`
+    /// is set the engine snapshots a time-series row every that many
+    /// virtual µs. Call before [`SsdSim::run_begin`]; with
+    /// `EventMask::NONE` and no interval this is a no-op and the engine
+    /// stays on the zero-cost path.
+    pub fn enable_telemetry(
+        &mut self,
+        mask: EventMask,
+        shard: u32,
+        sample_interval_us: Option<f64>,
+    ) {
+        self.trace = if mask.is_empty() {
+            Collector::disabled()
+        } else {
+            Collector::enabled(mask, shard)
+        };
+        self.sampler = sample_interval_us.map(|interval_us| {
+            assert!(
+                interval_us > 0.0 && interval_us.is_finite(),
+                "sample interval must be positive"
+            );
+            SamplerState {
+                interval_us,
+                next_us: interval_us,
+                shard,
+                series: Series::new(interval_us),
+                win_completed: 0,
+                win_tprog: LogHistogram::new(),
+                last_ftl: crate::driver::FtlStats::default(),
+            }
+        });
+    }
+
+    /// Drains the simulator-side trace events collected so far (host
+    /// I/O completions). The caller merges them with the FTL-side
+    /// stream via [`telemetry::merge_streams`].
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Drains the sampled time series (empty when sampling is off).
+    pub fn take_series(&mut self) -> Series {
+        match &mut self.sampler {
+            Some(s) => {
+                let interval = s.interval_us;
+                std::mem::replace(&mut s.series, Series::new(interval))
+            }
+            None => Series::default(),
+        }
     }
 
     /// Writes `lpns` through the FTL without simulating time — used to
@@ -600,6 +726,7 @@ impl SsdSim {
             if let Some(SpoTrigger::AtTimeUs(t_cut)) = self.spo {
                 if ev.t >= t_cut {
                     // Power dies strictly before the next event executes.
+                    self.sample_until(t_cut, ftl);
                     self.now = self.now.max(t_cut);
                     self.spo_event = Some(self.spo_snapshot());
                     return StepOutcome::PowerCut;
@@ -607,6 +734,7 @@ impl SsdSim {
             }
             let ev = self.events.pop().expect("peeked event exists");
             debug_assert!(ev.t >= self.now - 1e-9, "time went backwards");
+            self.sample_until(ev.t, ftl);
             sliced += 1;
             self.event_count += 1;
             if self.event_count.is_multiple_of(1_000_000) && std::env::var("SSDSIM_DEBUG").is_ok() {
@@ -769,6 +897,14 @@ impl SsdSim {
         self.spo_rng = None;
         self.spo_event = None;
         self.event_count = 0;
+        self.trace.reset();
+        if let Some(s) = &mut self.sampler {
+            s.next_us = s.interval_us;
+            s.series = Series::new(s.interval_us);
+            s.win_completed = 0;
+            s.win_tprog = LogHistogram::new();
+            s.last_ftl = crate::driver::FtlStats::default();
+        }
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
@@ -891,7 +1027,8 @@ impl SsdSim {
         debug_assert!(!r.done, "request completed twice");
         r.done = true;
         let latency = self.now - r.arrival_us;
-        match r.op {
+        let (op, lpn) = (r.op, r.lpn);
+        match op {
             HostOp::Write => {
                 self.write_latency.record(latency);
                 self.writes_done += 1;
@@ -904,6 +1041,21 @@ impl SsdSim {
         }
         self.completed += 1;
         self.outstanding -= 1;
+        if self.trace.wants(EventMask::HOST_IO) {
+            let op = match op {
+                HostOp::Read => "read",
+                HostOp::Write => "write",
+                HostOp::Trim => "trim",
+            };
+            self.trace.emit(
+                self.now,
+                TraceKind::HostIo {
+                    op,
+                    lpn,
+                    latency_us: latency,
+                },
+            );
+        }
     }
 
     fn enqueue_chip_op(&mut self, chip: usize, op: ChipOp) {
@@ -963,7 +1115,18 @@ impl SsdSim {
                     self.finish_request(req);
                 }
             }
-            ChipOp::Flush { lpns, .. } => {
+            ChipOp::Flush {
+                lpns,
+                nand_us,
+                did_gc,
+            } => {
+                // GC-free flushes are the run's tPROG proxy: the NAND
+                // time is the WL program alone.
+                if !did_gc {
+                    if let Some(s) = &mut self.sampler {
+                        s.win_tprog.record(nand_us);
+                    }
+                }
                 self.chips[chip].pending_flushes -= 1;
                 self.buffer.complete_flush(lpns);
                 self.retry_stalled_writes();
@@ -1053,6 +1216,64 @@ impl SsdSim {
                 }
             }
         }
+    }
+
+    /// Emits a sample row for every interval threshold at or below `t`.
+    /// Called just before simulated time advances to `t`, so each row
+    /// reflects the device state at its threshold instant (nothing can
+    /// change between two consecutive event times).
+    fn sample_until<F: FtlDriver + ?Sized>(&mut self, t: f64, ftl: &F) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let mut s = self.sampler.take().expect("sampler present");
+        while s.next_us <= t {
+            let stats = ftl.stats();
+            let d_completed = self.completed - s.win_completed;
+            let d_reads = stats.nand_reads - s.last_ftl.nand_reads;
+            let d_retries = stats.read_retries - s.last_ftl.read_retries;
+            let host_pages = stats.host_wl_programs * 3;
+            let wa_total = if host_pages == 0 {
+                0.0
+            } else {
+                ((stats.host_wl_programs + stats.safety_reprograms + stats.program_aborts) * 3
+                    + stats.gc_page_moves
+                    + stats.maint_page_moves()
+                    + stats.ckpt_page_programs) as f64
+                    / host_pages as f64
+            };
+            s.series.push(
+                s.shard,
+                SampleRow {
+                    t_us: s.next_us,
+                    completed: self.completed,
+                    iops: d_completed as f64 / (s.interval_us / 1e6),
+                    tprog_mean_us: s.win_tprog.mean(),
+                    tprog_p99_us: if s.win_tprog.is_empty() {
+                        0.0
+                    } else {
+                        s.win_tprog.percentile(99.0)
+                    },
+                    retry_rate: if d_reads == 0 {
+                        0.0
+                    } else {
+                        d_retries as f64 / d_reads as f64
+                    },
+                    queue_depth: self
+                        .chips
+                        .iter()
+                        .map(|c| c.queue.len() as u64 + u64::from(c.busy))
+                        .sum(),
+                    free_blocks: ftl.free_blocks(),
+                    wa_total,
+                },
+            );
+            s.win_completed = self.completed;
+            s.win_tprog = LogHistogram::new();
+            s.last_ftl = stats;
+            s.next_us += s.interval_us;
+        }
+        self.sampler = Some(s);
     }
 
     fn pick_flush_chip(&self) -> Option<usize> {
@@ -1180,7 +1401,7 @@ mod tests {
         let mut sim = SsdSim::new(cfg);
         let mut ftl = StubFtl::new(cfg.chips);
         let report = sim.run(&mut ftl, (0..400u64).map(HostRequest::write), 400);
-        let mut lat = report.write_latency;
+        let lat = report.write_latency;
         // The fastest writes (those that find buffer room — the first
         // ~buffer_pages of them) only pay the buffer latency...
         assert!(lat.percentile(2.0) <= cfg.t_buffer_us + 1e-9);
@@ -1197,7 +1418,7 @@ mod tests {
         let report = sim.run(&mut ftl, (0..1000u64).map(HostRequest::read), 1000);
         assert_eq!(report.reads, 1000);
         assert!(report.ftl.nand_reads >= 1000);
-        let mut lat = report.read_latency;
+        let lat = report.read_latency;
         assert!(lat.percentile(50.0) >= 80.0, "NAND reads cost ≥ tREAD");
         assert!(report.iops > 0.0);
     }

@@ -1,14 +1,24 @@
 //! Latency recording, percentiles and CDFs.
 
 use serde::{Deserialize, Serialize};
+use telemetry::LogHistogram;
 
 /// Records a stream of latencies (µs) and answers distribution queries
 /// (mean, percentiles, CDF series) — the raw material for the latency
 /// CDFs of Fig. 18.
+///
+/// Backed by a deterministic log-bucketed histogram
+/// ([`telemetry::LogHistogram`]) rather than a raw sample buffer, so
+/// memory is bounded by the number of distinct latency buckets touched
+/// — million-op runs cost a few hundred map entries, not a `Vec` of
+/// every sample. The trade: percentiles and CDF points are reported at
+/// bucket granularity (the lower bound of the bucket holding the rank),
+/// under-estimating the true nearest-rank sample by at most
+/// [`LogHistogram::MAX_RELATIVE_ERROR`] (1.6%); count, mean and max
+/// stay exact.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
-    samples: Vec<f64>,
-    sorted: bool,
+    hist: LogHistogram,
 }
 
 impl LatencyRecorder {
@@ -20,86 +30,68 @@ impl LatencyRecorder {
     /// Records one latency sample.
     pub fn record(&mut self, latency_us: f64) {
         debug_assert!(latency_us >= 0.0, "negative latency");
-        self.samples.push(latency_us);
-        self.sorted = false;
+        self.hist.record(latency_us);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.hist.len() as usize
     }
 
-    /// The raw samples, in recording order (or sorted order after a
-    /// percentile/CDF query).
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
+    /// The underlying histogram (for metric registration).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 
-    /// Appends every sample of `other`. The array front-end merges
+    /// Merges every bucket of `other`. The array front-end merges
     /// per-shard recorders this way, always in shard order, so the
-    /// merged sample sequence is independent of thread interleaving.
+    /// merged distribution is independent of thread interleaving.
     pub fn absorb(&mut self, other: &LatencyRecorder) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.hist.absorb(&other.hist);
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.is_empty()
     }
 
-    /// Mean latency, or 0 when empty.
+    /// Mean latency (exact), or 0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.hist.mean()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-            self.sorted = true;
-        }
-    }
-
-    /// The `p`-th percentile (0 < p ≤ 100) by nearest-rank, or 0 when
-    /// empty.
+    /// The `p`-th percentile (0 < p ≤ 100) by nearest-rank at bucket
+    /// granularity (≤ 1.6% below the true sample; `p = 100` is the
+    /// exact maximum), or 0 when empty.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `(0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p <= 100.0, "percentile out of range");
-        if self.samples.is_empty() {
+        if self.hist.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        self.hist.percentile(p)
     }
 
     /// A CDF as `points` evenly spaced `(latency_us, cumulative
     /// fraction)` pairs.
-    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
-        if self.samples.is_empty() || points == 0 {
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.hist.is_empty() || points == 0 {
             return Vec::new();
         }
-        self.ensure_sorted();
-        let n = self.samples.len();
         (1..=points)
             .map(|i| {
                 let frac = i as f64 / points as f64;
-                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
-                (self.samples[idx], frac)
+                (self.hist.percentile(frac * 100.0), frac)
             })
             .collect()
     }
 
-    /// Maximum sample, or 0 when empty.
+    /// Maximum sample (exact), or 0 when empty.
     pub fn max(&self) -> f64 {
-        self.samples.iter().cloned().fold(0.0, f64::max)
+        self.hist.max()
     }
 }
 
@@ -108,22 +100,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mean_and_percentiles() {
+    fn mean_and_percentiles_within_bucket_resolution() {
         let mut r = LatencyRecorder::new();
         for i in 1..=100 {
             r.record(f64::from(i));
         }
         assert_eq!(r.len(), 100);
-        assert!((r.mean() - 50.5).abs() < 1e-9);
-        assert_eq!(r.percentile(50.0), 50.0);
-        assert_eq!(r.percentile(90.0), 90.0);
-        assert_eq!(r.percentile(100.0), 100.0);
+        assert!((r.mean() - 50.5).abs() < 1e-9, "mean stays exact");
+        for (p, exact) in [(50.0, 50.0), (90.0, 90.0)] {
+            let got = r.percentile(p);
+            assert!(got <= exact + 1e-9, "p{p}: {got} above exact {exact}");
+            assert!(
+                got >= exact * (1.0 - LogHistogram::MAX_RELATIVE_ERROR) - 1e-9,
+                "p{p}: {got} below resolution bound of {exact}"
+            );
+        }
+        assert_eq!(r.percentile(100.0), 100.0, "p100 is the exact max");
         assert_eq!(r.max(), 100.0);
     }
 
     #[test]
     fn empty_recorder_is_calm() {
-        let mut r = LatencyRecorder::new();
+        let r = LatencyRecorder::new();
         assert!(r.is_empty());
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.percentile(99.0), 0.0);
@@ -152,11 +150,30 @@ mod tests {
     }
 
     #[test]
-    fn recording_after_query_resorts() {
+    fn absorb_matches_direct_recording() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        let mut all = LatencyRecorder::new();
+        for i in 0..200 {
+            let v = (i % 23) as f64 * 31.5 + 5.0;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            all.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a.len(), all.len());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert_eq!(a.percentile(99.0), all.percentile(99.0));
+    }
+
+    #[test]
+    fn bounded_memory_on_million_sample_runs() {
         let mut r = LatencyRecorder::new();
-        r.record(5.0);
-        assert_eq!(r.percentile(50.0), 5.0);
-        r.record(1.0);
-        assert_eq!(r.percentile(50.0), 1.0);
+        for i in 0..1_000_000u64 {
+            r.record(60.0 + (i % 5000) as f64 / 3.0);
+        }
+        assert_eq!(r.len(), 1_000_000);
+        // The whole recorder is a sparse bucket map: well under the
+        // 8 MB a Vec<f64> of these samples would need.
+        assert!(std::mem::size_of_val(&r) < 128);
     }
 }

@@ -1,0 +1,508 @@
+//! Structured event trace: typed records, category mask, collector.
+
+use crate::fmt_num;
+use std::fmt::Write as _;
+
+/// Bitmask of event categories a [`Collector`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// Host I/O completions (read/write/trim latency).
+    pub const HOST_IO: EventMask = EventMask(1 << 0);
+    /// ISPP WL programs (pulses, verifies, margin excess, abort flag).
+    pub const ISPP: EventMask = EventMask(1 << 1);
+    /// Read-retry chains (retry count, recovered fault kind).
+    pub const READ_RETRY: EventMask = EventMask(1 << 2);
+    /// GC victim selection and migration/erase.
+    pub const GC: EventMask = EventMask(1 << 3);
+    /// Background maintenance units (scrub, wear-level, re-monitor).
+    pub const MAINT: EventMask = EventMask(1 << 4);
+    /// L2P checkpoint flushes to the metadata region.
+    pub const CKPT: EventMask = EventMask(1 << 5);
+    /// Sudden-power-off cut and boot-recovery phases.
+    pub const SPO: EventMask = EventMask(1 << 6);
+    /// OPM leader monitor / §4.1.4 demotion transitions.
+    pub const OPM: EventMask = EventMask(1 << 7);
+    /// Every category.
+    pub const ALL: EventMask = EventMask(0xff);
+    /// No category (the disabled collector).
+    pub const NONE: EventMask = EventMask(0);
+
+    /// Name table used by [`EventMask::parse`] and `--trace-events`.
+    pub const NAMES: [(&'static str, EventMask); 8] = [
+        ("host", Self::HOST_IO),
+        ("ispp", Self::ISPP),
+        ("retry", Self::READ_RETRY),
+        ("gc", Self::GC),
+        ("maint", Self::MAINT),
+        ("ckpt", Self::CKPT),
+        ("spo", Self::SPO),
+        ("opm", Self::OPM),
+    ];
+
+    /// Whether every bit of `other` is enabled here.
+    pub fn contains(self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no category is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
+    /// Parses a `--trace-events` value: `all`, `none`, or a
+    /// comma-separated list of category names (see [`EventMask::NAMES`]).
+    pub fn parse(spec: &str) -> Result<EventMask, String> {
+        match spec.trim() {
+            "all" => return Ok(Self::ALL),
+            "none" | "" => return Ok(Self::NONE),
+            _ => {}
+        }
+        let mut mask = Self::NONE;
+        for part in spec.split(',') {
+            let part = part.trim();
+            match Self::NAMES.iter().find(|(name, _)| *name == part) {
+                Some((_, bit)) => mask = mask.union(*bit),
+                None => {
+                    return Err(format!(
+                        "unknown event category {part:?} (expected one of: all, none, {})",
+                        Self::NAMES.map(|(n, _)| n).join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+/// The typed payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A host request completed.
+    HostIo {
+        /// `"read"`, `"write"` or `"trim"`.
+        op: &'static str,
+        /// First logical page of the request.
+        lpn: u64,
+        /// Host-visible latency in µs.
+        latency_us: f64,
+    },
+    /// One WL program through the ISPP engine.
+    IsppProgram {
+        /// Chip index.
+        chip: u32,
+        /// Whether this WL was the h-layer leader (full-verify monitor).
+        leader: bool,
+        /// Program pulses executed.
+        pulses: u32,
+        /// Verify steps executed (skipped verifies = pulses − verifies).
+        verifies: u32,
+        /// Window shrink beyond the safe MaxLoop margin, in loops.
+        margin_excess_loops: u32,
+        /// NAND program latency in µs.
+        latency_us: f64,
+        /// Whether the program aborted (injected fault).
+        aborted: bool,
+    },
+    /// A page read that needed the retry chain.
+    ReadRetry {
+        /// Chip index.
+        chip: u32,
+        /// Logical page read.
+        lpn: u64,
+        /// Retries performed before decoding.
+        retries: u32,
+        /// Injected fault kind recovered from, if any.
+        fault: Option<&'static str>,
+    },
+    /// GC selected a victim block.
+    GcVictim {
+        /// Chip index.
+        chip: u32,
+        /// Victim block id.
+        block: u32,
+        /// Valid WLs migrated off the victim.
+        moved_wls: u32,
+        /// Whether the wear-aware selector was used.
+        wear_aware: bool,
+    },
+    /// One background maintenance unit ran.
+    Maint {
+        /// Chip index.
+        chip: u32,
+        /// `"scrub"`, `"wear_level"` or `"remonitor"`.
+        service: &'static str,
+        /// Pages moved by this unit.
+        page_moves: u64,
+    },
+    /// An L2P checkpoint was flushed to the metadata region.
+    Checkpoint {
+        /// Metadata pages programmed.
+        pages: u32,
+        /// Encoded checkpoint size in bytes.
+        bytes: u64,
+        /// Latency charged to the triggering write, in µs.
+        latency_us: f64,
+    },
+    /// A sudden-power-off phase boundary.
+    Spo {
+        /// `"cut"`, `"recovery_begin"` or `"recovery_done"`.
+        phase: &'static str,
+        /// Phase detail: completed ops at the cut, or replayed WLs.
+        detail: u64,
+    },
+    /// An OPM transition on one (chip, h-layer).
+    Opm {
+        /// Chip index.
+        chip: u32,
+        /// h-layer index.
+        layer: u32,
+        /// `"monitor"` (leader promoted/recorded) or `"demote"`
+        /// (§4.1.4 safety-check demotion).
+        action: &'static str,
+    },
+}
+
+impl EventKind {
+    /// The mask category this event belongs to.
+    pub fn category(&self) -> EventMask {
+        match self {
+            EventKind::HostIo { .. } => EventMask::HOST_IO,
+            EventKind::IsppProgram { .. } => EventMask::ISPP,
+            EventKind::ReadRetry { .. } => EventMask::READ_RETRY,
+            EventKind::GcVictim { .. } => EventMask::GC,
+            EventKind::Maint { .. } => EventMask::MAINT,
+            EventKind::Checkpoint { .. } => EventMask::CKPT,
+            EventKind::Spo { .. } => EventMask::SPO,
+            EventKind::Opm { .. } => EventMask::OPM,
+        }
+    }
+}
+
+/// One trace record: a virtual timestamp, its origin shard, a
+/// per-collector sequence number, and the typed payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event in µs.
+    pub t_us: f64,
+    /// Shard the event originated on (0 for a single device).
+    pub shard: u32,
+    /// Per-collector sequence number (tie-break within a timestamp).
+    pub seq: u64,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one NDJSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"t_us\":{},\"shard\":{},\"seq\":{},\"kind\":",
+            fmt_num(self.t_us),
+            self.shard,
+            self.seq
+        );
+        match &self.kind {
+            EventKind::HostIo {
+                op,
+                lpn,
+                latency_us,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"host_io\",\"op\":\"{op}\",\"lpn\":{lpn},\"latency_us\":{}",
+                    fmt_num(*latency_us)
+                );
+            }
+            EventKind::IsppProgram {
+                chip,
+                leader,
+                pulses,
+                verifies,
+                margin_excess_loops,
+                latency_us,
+                aborted,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"ispp_program\",\"chip\":{chip},\"leader\":{leader},\"pulses\":{pulses},\
+                     \"verifies\":{verifies},\"margin_excess_loops\":{margin_excess_loops},\
+                     \"latency_us\":{},\"aborted\":{aborted}",
+                    fmt_num(*latency_us)
+                );
+            }
+            EventKind::ReadRetry {
+                chip,
+                lpn,
+                retries,
+                fault,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"read_retry\",\"chip\":{chip},\"lpn\":{lpn},\"retries\":{retries},\"fault\":"
+                );
+                match fault {
+                    Some(f) => {
+                        let _ = write!(s, "\"{f}\"");
+                    }
+                    None => s.push_str("null"),
+                }
+            }
+            EventKind::GcVictim {
+                chip,
+                block,
+                moved_wls,
+                wear_aware,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"gc_victim\",\"chip\":{chip},\"block\":{block},\"moved_wls\":{moved_wls},\"wear_aware\":{wear_aware}"
+                );
+            }
+            EventKind::Maint {
+                chip,
+                service,
+                page_moves,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"maint\",\"chip\":{chip},\"service\":\"{service}\",\"page_moves\":{page_moves}"
+                );
+            }
+            EventKind::Checkpoint {
+                pages,
+                bytes,
+                latency_us,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"checkpoint\",\"pages\":{pages},\"bytes\":{bytes},\"latency_us\":{}",
+                    fmt_num(*latency_us)
+                );
+            }
+            EventKind::Spo { phase, detail } => {
+                let _ = write!(s, "\"spo\",\"phase\":\"{phase}\",\"detail\":{detail}");
+            }
+            EventKind::Opm {
+                chip,
+                layer,
+                action,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"opm\",\"chip\":{chip},\"layer\":{layer},\"action\":\"{action}\""
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Serializes a slice of events as NDJSON (one line each, `\n`-ended).
+pub fn events_to_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// A mask-gated event sink owned by one component (the simulator or the
+/// FTL of one shard). With an empty mask the collector is inert: no
+/// event is ever pushed and the buffer never allocates.
+#[derive(Debug, Default)]
+pub struct Collector {
+    mask: EventMask,
+    shard: u32,
+    seq: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Collector {
+    /// The inert collector (records nothing, never allocates).
+    pub fn disabled() -> Self {
+        Collector::default()
+    }
+
+    /// A collector recording the categories in `mask`, tagging every
+    /// event with `shard`.
+    pub fn enabled(mask: EventMask, shard: u32) -> Self {
+        Collector {
+            mask,
+            shard,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events of category `cat` would be recorded. Call sites
+    /// use this to skip payload construction entirely when tracing is
+    /// off — the disabled path must cost one mask test and nothing else.
+    #[inline]
+    pub fn wants(&self, cat: EventMask) -> bool {
+        self.mask.contains(cat) && !cat.is_empty()
+    }
+
+    /// Records one event (dropped unless its category is enabled).
+    #[inline]
+    pub fn emit(&mut self, t_us: f64, kind: EventKind) {
+        if !self.wants(kind.category()) {
+            return;
+        }
+        self.events.push(TraceEvent {
+            t_us,
+            shard: self.shard,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drains the buffered events (the collector stays enabled and its
+    /// sequence numbering continues).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Discards buffered events and restarts sequence numbering, keeping
+    /// the mask and shard tag — called at the start of each run.
+    pub fn reset(&mut self) {
+        self.events = Vec::new();
+        self.seq = 0;
+    }
+}
+
+/// Stable two-way merge of two time-ordered event streams. On timestamp
+/// ties the first stream wins — callers pass the device/simulator stream
+/// first and the FTL stream second, so the tie-break is by source rank
+/// and then by each stream's own sequence numbers: fully deterministic.
+pub fn merge_streams(a: Vec<TraceEvent>, b: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].t_us <= b[ib].t_us {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_parsing_round_trips_names() {
+        assert_eq!(EventMask::parse("all").unwrap(), EventMask::ALL);
+        assert_eq!(EventMask::parse("none").unwrap(), EventMask::NONE);
+        let m = EventMask::parse("host,gc,ckpt").unwrap();
+        assert!(m.contains(EventMask::HOST_IO));
+        assert!(m.contains(EventMask::GC));
+        assert!(m.contains(EventMask::CKPT));
+        assert!(!m.contains(EventMask::ISPP));
+        assert!(EventMask::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn disabled_collector_never_allocates() {
+        let mut c = Collector::disabled();
+        for i in 0..1000 {
+            c.emit(
+                i as f64,
+                EventKind::HostIo {
+                    op: "read",
+                    lpn: i,
+                    latency_us: 61.0,
+                },
+            );
+        }
+        assert!(c.is_empty());
+        assert_eq!(c.events.capacity(), 0, "disabled path must not allocate");
+    }
+
+    #[test]
+    fn mask_filters_categories() {
+        let mut c = Collector::enabled(EventMask::GC, 0);
+        c.emit(
+            1.0,
+            EventKind::HostIo {
+                op: "read",
+                lpn: 0,
+                latency_us: 1.0,
+            },
+        );
+        c.emit(
+            2.0,
+            EventKind::GcVictim {
+                chip: 0,
+                block: 3,
+                moved_wls: 7,
+                wear_aware: false,
+            },
+        );
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.take()[0].kind, EventKind::GcVictim { .. }));
+    }
+
+    #[test]
+    fn merge_is_time_ordered_with_first_stream_winning_ties() {
+        let ev = |t: f64, shard: u32, seq: u64| TraceEvent {
+            t_us: t,
+            shard,
+            seq,
+            kind: EventKind::Spo {
+                phase: "cut",
+                detail: 0,
+            },
+        };
+        let a = vec![ev(1.0, 0, 0), ev(5.0, 0, 1)];
+        let b = vec![ev(1.0, 1, 0), ev(2.0, 1, 1)];
+        let merged = merge_streams(a, b);
+        let order: Vec<(f64, u32)> = merged.iter().map(|e| (e.t_us, e.shard)).collect();
+        assert_eq!(order, vec![(1.0, 0), (1.0, 1), (2.0, 1), (5.0, 0)]);
+    }
+
+    #[test]
+    fn json_lines_carry_the_envelope_keys() {
+        let ev = TraceEvent {
+            t_us: 12.5,
+            shard: 2,
+            seq: 7,
+            kind: EventKind::Checkpoint {
+                pages: 3,
+                bytes: 4096,
+                latency_us: 2109.0,
+            },
+        };
+        let line = ev.to_json();
+        assert!(line.starts_with("{\"t_us\":12.5,\"shard\":2,\"seq\":7,"));
+        assert!(line.contains("\"kind\":\"checkpoint\""));
+        assert!(line.ends_with('}'));
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic log-bucketed histogram with bounded memory.
+//!
+//! Values are binned by their IEEE-754 bit pattern: the bucket index is
+//! the exponent plus the top [`LogHistogram::SUB_BUCKET_BITS`] mantissa
+//! bits, giving 64 sub-buckets per octave. Bucket boundaries are exact
+//! powers of `2^(1/64)` steps, so the **relative resolution is
+//! `2^-6 ≈ 1.56%`**: any reported percentile is the *lower bound* of the
+//! bucket holding the rank, i.e. it under-estimates the true
+//! nearest-rank value by at most 1.6% (count, sum, mean, min and max are
+//! exact). Bucketing uses only integer bit manipulation — no `log2`, no
+//! libm — so it is bit-stable across platforms.
+//!
+//! Storage is a `BTreeMap` keyed by bucket index: iteration order is
+//! value order (deterministic), and memory is bounded by the number of
+//! *distinct* buckets touched (a few hundred for µs-scale latencies),
+//! not the number of samples.
+
+use std::collections::BTreeMap;
+
+/// A log-bucketed histogram of non-negative `f64` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    /// Sparse bucket counts, keyed by [`LogHistogram::bucket_index`].
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: f64,
+    /// Exact extrema; meaningful only when `count > 0`.
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Mantissa bits kept per bucket: 2^6 = 64 sub-buckets per octave.
+    pub const SUB_BUCKET_BITS: u32 = 6;
+
+    /// Worst-case relative error of a percentile: one bucket width.
+    pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Bucket index of `v`: 0 for non-positive (or non-finite) values,
+    /// otherwise exponent + top mantissa bits, offset by one.
+    fn bucket_index(v: f64) -> u32 {
+        if v > 0.0 && v.is_finite() {
+            (v.to_bits() >> (52 - Self::SUB_BUCKET_BITS)) as u32 + 1
+        } else {
+            0
+        }
+    }
+
+    /// Lower bound of the bucket `idx` (its percentile representative).
+    fn bucket_lower_bound(idx: u32) -> f64 {
+        if idx == 0 {
+            0.0
+        } else {
+            f64::from_bits(u64::from(idx - 1) << (52 - Self::SUB_BUCKET_BITS))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        *self.buckets.entry(Self::bucket_index(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn absorb(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples (exact).
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (exact; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (exact; 0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact; 0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank percentile, reported as the lower bound of the
+    /// bucket holding the rank (≤ 1.6% below the true sample; clamped
+    /// into `[min, max]`). `p = 100` returns the exact maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histogram is empty or `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(self.count > 0, "percentile of an empty histogram");
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} outside (0, 100]");
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lower_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples at or below each point, evaluated at bucket
+    /// granularity: a point inside a bucket counts the whole bucket
+    /// (over-estimates by at most one bucket's population). Monotone in
+    /// the query point by construction.
+    pub fn cdf(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&p| {
+                let below: u64 = self
+                    .buckets
+                    .iter()
+                    .take_while(|&(&idx, _)| Self::bucket_lower_bound(idx) <= p)
+                    .map(|(_, &n)| n)
+                    .sum();
+                let frac = if self.count == 0 {
+                    0.0
+                } else {
+                    below as f64 / self.count as f64
+                };
+                (p, frac)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_aggregates_survive_bucketing() {
+        let mut h = LogHistogram::new();
+        for v in [5.0, 100.0, 250.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 4);
+        assert!((h.mean() - 338.75).abs() < 1e-9);
+        assert_eq!(h.min(), 5.0);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.percentile(100.0), 1000.0);
+    }
+
+    #[test]
+    fn percentile_under_estimates_within_one_bucket() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let exact = (p / 100.0 * 1000.0_f64).ceil();
+            let approx = h.percentile(p);
+            assert!(approx <= exact + 1e-9, "p{p}: {approx} > {exact}");
+            assert!(
+                approx >= exact * (1.0 - LogHistogram::MAX_RELATIVE_ERROR) - 1e-9,
+                "p{p}: {approx} below error bound of {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_matches_recording_directly() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500 {
+            let v = (i as f64) * 1.7 + 0.3;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            all.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        let mut h = LogHistogram::new();
+        for i in 0..300 {
+            h.record((i % 37) as f64 + 0.5);
+        }
+        let pts: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let cdf = h.cdf(&pts);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_fall_into_the_floor_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(2.0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.percentile(50.0), 0.0_f64.clamp(h.min(), h.max()));
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_distinct_buckets() {
+        let mut h = LogHistogram::new();
+        for i in 0..1_000_000u64 {
+            h.record(50.0 + (i % 1000) as f64);
+        }
+        assert_eq!(h.len(), 1_000_000);
+        assert!(h.buckets.len() < 700, "got {} buckets", h.buckets.len());
+    }
+}

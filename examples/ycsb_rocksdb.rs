@@ -21,7 +21,7 @@ fn main() {
     );
     let mut page_iops = None;
     for kind in FtlKind::ALL {
-        let mut r = run_eval(kind, StandardWorkload::Rocks, AgingState::EndOfLife, &cfg);
+        let r = run_eval(kind, StandardWorkload::Rocks, AgingState::EndOfLife, &cfg);
         let base = *page_iops.get_or_insert(r.iops);
         println!(
             "{:<10} {:>9.0} {:>12.3} {:>12.3} {:>12.3} {:>10}  ({:+.0}% IOPS vs pageFTL)",

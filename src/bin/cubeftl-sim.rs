@@ -9,6 +9,8 @@
 //!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
 //!             [--shards N] [--array-stripe PAGES] [--array-threads N]
 //!             [--ort-capacity N] [--trace-file PATH]
+//!             [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]
+//!             [--series-out PATH] [--sample-interval-us T]
 //! ```
 //!
 //! `--fault-rate` enables seeded fault injection (repeatable); CLASS is one
@@ -47,6 +49,18 @@
 //! v1` format or an MSR-Cambridge-style CSV (byte offsets folded into
 //! the simulated address space at 16-KB page granularity).
 //!
+//! The telemetry flags export deterministic, virtual-timestamped run
+//! data (see `crates/telemetry`): `--trace-out PATH` writes the
+//! structured event trace as NDJSON, filtered by `--trace-events SPEC`
+//! (`all`, `none`, or a comma list of `host,ispp,retry,gc,maint,ckpt,
+//! spo,opm`; default `all`); `--series-out PATH` writes a time series
+//! sampled every `--sample-interval-us T` of virtual time (CSV when the
+//! path ends in `.csv`, NDJSON otherwise); `--metrics-out PATH` writes
+//! the end-of-run metric registry (named counters, gauges and latency
+//! histograms) as NDJSON. Trace and series output require a single
+//! `--ftl` kind and the standard run modes (no `--trace-file`, no SPO);
+//! double runs produce byte-identical files at any `--array-threads`.
+//!
 //! Examples:
 //!
 //! ```sh
@@ -58,14 +72,18 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --array-stripe 64
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --spo-at-us 80000
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-file tests/data/sample_trace.csv
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-out run.ndjson --trace-events ispp,retry,gc
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --series-out run.csv --sample-interval-us 5000 --metrics-out metrics.ndjson
 //! ```
 
 use cubeftl::harness::{
-    run_array_eval, run_array_spo_eval, run_array_trace_eval, run_eval, run_spo_eval,
+    run_array_eval_traced, run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_spo_eval,
     run_trace_eval, ArrayEvalConfig, ArrayEvalReport, ArraySpoConfig, EvalConfig, SpoConfig,
+    TelemetrySpec,
 };
 use cubeftl::{
-    AgingState, FaultKind, FaultPlan, FtlKind, MaintConfig, SpoTrigger, StandardWorkload, Trace,
+    events_to_ndjson, AgingState, EventMask, FaultKind, FaultPlan, FtlKind, MaintConfig,
+    MetricRegistry, SpoTrigger, StandardWorkload, Trace,
 };
 use std::process::ExitCode;
 
@@ -126,7 +144,10 @@ fn usage() -> ExitCode {
          \x20                  [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]\n\
          \x20                  [--shards N] [--array-stripe PAGES] [--array-threads N]\n\
          \x20                  [--ort-capacity N] [--trace-file PATH]\n\
-         \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort"
+         \x20                  [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]\n\
+         \x20                  [--series-out PATH] [--sample-interval-us T]\n\
+         \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort\n\
+         \x20 SPEC:  all|none|comma list of host,ispp,retry,gc,maint,ckpt,spo,opm"
     );
     ExitCode::FAILURE
 }
@@ -149,6 +170,11 @@ fn main() -> ExitCode {
     let mut stripe_pages: u64 = 64;
     let mut array_threads: usize = 0;
     let mut trace_file: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_events: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut series_out: Option<String> = None;
+    let mut sample_interval_us: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -299,6 +325,14 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             ("--trace-file", Some(v)) => trace_file = Some(v.clone()),
+            ("--trace-out", Some(v)) => trace_out = Some(v.clone()),
+            ("--trace-events", Some(v)) => trace_events = Some(v.clone()),
+            ("--metrics-out", Some(v)) => metrics_out = Some(v.clone()),
+            ("--series-out", Some(v)) => series_out = Some(v.clone()),
+            ("--sample-interval-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => sample_interval_us = Some(t),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
         i += 2;
@@ -327,6 +361,39 @@ fn main() -> ExitCode {
     } else if spo_seed.is_some() {
         // A seed alone arms nothing; it only parameterizes --spo-rate.
         return usage();
+    }
+
+    if trace_events.is_some() && trace_out.is_none() {
+        eprintln!("--trace-events only filters --trace-out; add --trace-out PATH");
+        return ExitCode::FAILURE;
+    }
+    if series_out.is_some() != sample_interval_us.is_some() {
+        eprintln!("--series-out and --sample-interval-us must be given together");
+        return ExitCode::FAILURE;
+    }
+    let events = match &trace_events {
+        Some(spec) => match EventMask::parse(spec) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("--trace-events: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        // --trace-out alone traces every category.
+        None => EventMask::ALL,
+    };
+    let tel = TelemetrySpec {
+        events: if trace_out.is_some() {
+            events
+        } else {
+            EventMask::NONE
+        },
+        sample_interval_us,
+    };
+    let telemetry_on = trace_out.is_some() || series_out.is_some() || metrics_out.is_some();
+    if telemetry_on && kinds.len() > 1 {
+        eprintln!("telemetry output files cover one run: use a single --ftl kind");
+        return ExitCode::FAILURE;
     }
 
     println!(
@@ -363,6 +430,13 @@ fn main() -> ExitCode {
         eprintln!("--trace-file cannot be combined with a sudden power-off");
         return ExitCode::FAILURE;
     }
+    if telemetry_on && (trace.is_some() || spo_trigger.is_some()) {
+        eprintln!(
+            "telemetry output (--trace-out/--series-out/--metrics-out) is only \
+             available in the standard run modes (no --trace-file, no SPO)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     if shards > 1 {
         let arr = ArrayEvalConfig {
@@ -392,11 +466,23 @@ fn main() -> ExitCode {
         );
         print_table_header();
         for kind in kinds {
-            let mut r = match &trace {
-                Some(t) => run_array_trace_eval(kind, aging, &cfg, &arr, t),
-                None => run_array_eval(kind, workload, aging, &cfg, &arr),
+            let (mut r, tel_out) = match &trace {
+                Some(t) => (
+                    run_array_trace_eval(kind, aging, &cfg, &arr, t),
+                    Default::default(),
+                ),
+                None => run_array_eval_traced(kind, workload, aging, &cfg, &arr, &tel),
             };
             print_array_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+            let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+                let mut reg = MetricRegistry::new();
+                r.merged.register_metrics(&mut reg, "array");
+                reg
+            });
+            if let Err(e) = write {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -415,10 +501,53 @@ fn main() -> ExitCode {
     }
     print_table_header();
     for kind in kinds {
-        let mut r = run_eval(kind, workload, aging, &cfg);
+        let (mut r, tel_out) = run_eval_traced(kind, workload, aging, &cfg, &tel);
         print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+        let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+            let mut reg = MetricRegistry::new();
+            r.register_metrics(&mut reg, "ssd");
+            reg
+        });
+        if let Err(e) = write {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Writes the requested telemetry files; `None` paths are skipped. The
+/// metric registry is built lazily — only when `--metrics-out` asked
+/// for it.
+fn write_telemetry(
+    trace_out: &Option<String>,
+    series_out: &Option<String>,
+    metrics_out: &Option<String>,
+    tel: &cubeftl::harness::TelemetryOutput,
+    registry: impl FnOnce() -> MetricRegistry,
+) -> Result<(), String> {
+    let write = |path: &str, contents: &str| {
+        std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+    };
+    if let Some(path) = trace_out {
+        write(path, &events_to_ndjson(&tel.events))?;
+        println!("trace: {} events -> {path}", tel.events.len());
+    }
+    if let Some(path) = series_out {
+        let body = if path.ends_with(".csv") {
+            tel.series.to_csv()
+        } else {
+            tel.series.to_ndjson()
+        };
+        write(path, &body)?;
+        println!("series: {} samples -> {path}", tel.series.rows.len());
+    }
+    if let Some(path) = metrics_out {
+        let reg = registry();
+        write(path, &reg.to_ndjson())?;
+        println!("metrics: {} entries -> {path}", reg.entries().len());
+    }
+    Ok(())
 }
 
 /// Loads a trace file: the native `cubeftl trace v1` line format, or an

@@ -10,6 +10,7 @@ use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, RecoveryReport};
 use nand3d::{AgingState, FaultPlan};
 use ssdarray::{ArrayReport, ArrayShard, SsdArray, StripeRouter};
 use ssdsim::{HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
+use telemetry::{merge_streams, EventMask, Series, TraceEvent};
 use workloads::{shard_seed, StandardWorkload, Trace};
 
 /// Scale and length of one evaluation run.
@@ -124,7 +125,80 @@ pub fn run_eval_custom(
     cfg: &EvalConfig,
     ftl_cfg: FtlConfig,
 ) -> SimReport {
-    let mut ftl = Ftl::new(kind, ftl_cfg);
+    run_eval_traced_custom(kind, workload, aging, cfg, ftl_cfg, &TelemetrySpec::off()).0
+}
+
+/// Telemetry switches for a traced evaluation run. [`TelemetrySpec::off`]
+/// keeps the engine on the zero-cost path: a traced run with telemetry
+/// off is byte-identical to its untraced counterpart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySpec {
+    /// Event categories to trace (`EventMask::NONE` disables tracing).
+    pub events: EventMask,
+    /// Time-series sampling interval in virtual µs (`None` disables
+    /// sampling).
+    pub sample_interval_us: Option<f64>,
+}
+
+impl TelemetrySpec {
+    /// Everything off (the default).
+    pub fn off() -> Self {
+        TelemetrySpec {
+            events: EventMask::NONE,
+            sample_interval_us: None,
+        }
+    }
+
+    /// Everything on: all event categories, one sample every
+    /// `interval_us` of virtual time.
+    pub fn all(interval_us: f64) -> Self {
+        TelemetrySpec {
+            events: EventMask::ALL,
+            sample_interval_us: Some(interval_us),
+        }
+    }
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec::off()
+    }
+}
+
+/// Telemetry artifacts of one traced run.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOutput {
+    /// The merged event trace: per shard, the device-side stream merged
+    /// with the FTL-side stream in virtual-time order; shard streams
+    /// concatenated in shard-index order.
+    pub events: Vec<TraceEvent>,
+    /// The sampled time series (empty when sampling was off).
+    pub series: Series,
+}
+
+/// Like [`run_eval`] but with telemetry: returns the report plus the
+/// event trace and sampled time series. Telemetry arms *after* prefill,
+/// so the trace covers exactly the measured run.
+pub fn run_eval_traced(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    tel: &TelemetrySpec,
+) -> (SimReport, TelemetryOutput) {
+    run_eval_traced_custom(kind, workload, aging, cfg, cfg.ftl_config(), tel)
+}
+
+/// The fully general single-device entry point: explicit FTL
+/// configuration and telemetry switches. Everything else delegates here.
+pub fn run_eval_traced_custom(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    ftl_cfg: FtlConfig,
+    tel: &TelemetrySpec,
+) -> (SimReport, TelemetryOutput) {
     let mut ssd_cfg = cfg.ssd;
     // Maintenance needs the simulator to offer idle windows: derive the
     // schedule from the FTL-side config unless one was set explicitly.
@@ -132,30 +206,22 @@ pub fn run_eval_custom(
         ssd_cfg.maint = MaintSchedule::on();
     }
     let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, ftl_cfg, &mut sim);
+    ftl.reset_stats();
+    // Arm telemetry only now: prefill runs at t = 0 and would otherwise
+    // flood the trace with setup writes outside the measured window.
+    sim.enable_telemetry(tel.events, 0, tel.sample_interval_us);
+    ftl.enable_telemetry(tel.events, 0);
 
-    // Pin the aging state first (the paper pre-cycles blocks and bakes
-    // retention before the FTL ever runs, §6.2), then prefill to
-    // establish mappings and block occupancy so GC behaves like a used
-    // drive. Prefilling *after* aging also means every monitored leader
-    // parameter is valid for the measured run — flipping conditions
-    // mid-run would (correctly) trip the §4.1.4 safety check on every
-    // active h-layer.
-    ftl.set_aging(aging);
-    ftl.set_ambient_celsius(cfg.ambient_celsius);
     let logical = ftl.logical_pages();
     let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
-    sim.prefill(&mut ftl, 0..prefill);
-    ftl.set_disturbance_prob(cfg.disturbance_prob);
-    if let Some(plan) = &cfg.faults {
-        ftl.set_fault_plan(plan);
-    }
-    if let Some(maint) = cfg.maint {
-        ftl.enable_maintenance(maint);
-    }
-    ftl.reset_stats();
-
     let stream = workload.build(prefill.max(1024), cfg.seed);
-    sim.run(&mut ftl, stream, cfg.requests)
+    let report = sim.run(&mut ftl, stream, cfg.requests);
+    let telemetry = TelemetryOutput {
+        events: merge_streams(sim.take_trace(), ftl.take_trace()),
+        series: sim.take_series(),
+    };
+    (report, telemetry)
 }
 
 /// Configuration of a sudden-power-off experiment on top of an
@@ -424,12 +490,30 @@ pub fn run_array_eval(
     cfg: &EvalConfig,
     arr: &ArrayEvalConfig,
 ) -> ArrayEvalReport {
+    run_array_eval_traced(kind, workload, aging, cfg, arr, &TelemetrySpec::off()).0
+}
+
+/// Like [`run_array_eval`] but with telemetry: every shard's collectors
+/// are tagged with its shard index, and after the engine's fan-in
+/// sequence point the per-shard streams are drained **in shard-index
+/// order** — so the combined trace and series are byte-identical at any
+/// worker-thread count.
+pub fn run_array_eval_traced(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    tel: &TelemetrySpec,
+) -> (ArrayEvalReport, TelemetryOutput) {
     assert!(arr.shards >= 1, "need at least one shard");
     let budgets = split_requests(cfg.requests, arr.shards);
     let shards = (0..arr.shards)
         .map(|s| {
-            let (sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            let (mut sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
             ftl.reset_stats();
+            sim.enable_telemetry(tel.events, s as u32, tel.sample_interval_us);
+            ftl.enable_telemetry(tel.events, s as u32);
             let stream = workload.build(prefill.max(1024), shard_seed(cfg.seed, s));
             ArrayShard {
                 sim,
@@ -440,13 +524,27 @@ pub fn run_array_eval(
             }
         })
         .collect();
-    let out = SsdArray::new(shards)
-        .with_threads(arr.engine_threads())
-        .run();
-    ArrayEvalReport {
-        merged: out.report,
-        shards: out.shard_reports,
+    let mut array = SsdArray::new(shards).with_threads(arr.engine_threads());
+    let out = array.run();
+    // Sequence point: every shard has finished and sits back in its
+    // index slot. Drain shard by shard, in shard order, merging each
+    // shard's device and FTL streams by virtual time.
+    let mut events = Vec::new();
+    let mut series = Series::new(tel.sample_interval_us.unwrap_or(0.0));
+    for shard in array.shards_mut() {
+        events.extend(merge_streams(
+            shard.sim.take_trace(),
+            shard.ftl.take_trace(),
+        ));
+        series.extend(&shard.sim.take_series());
     }
+    (
+        ArrayEvalReport {
+            merged: out.report,
+            shards: out.shard_reports,
+        },
+        TelemetryOutput { events, series },
+    )
 }
 
 /// Folds a trace's LPNs into `logical_pages` (modulo the space, spans

@@ -42,6 +42,10 @@ pub use ssdsim::{
     ChipStats, FtlDriver, FtlStats, HostRequest, MaintSchedule, MaintWork, SimReport, SpoEvent,
     SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
+pub use telemetry::{
+    events_to_ndjson, merge_streams, EventKind, EventMask, LogHistogram, MetricRegistry, SampleRow,
+    Series, TraceEvent,
+};
 pub use workloads::{shard_seed, StandardWorkload, Trace, TraceReplay, Workload};
 
 pub mod harness;

@@ -1,0 +1,188 @@
+//! Telemetry subsystem guarantees: schema-valid output files, golden
+//! snapshots, byte-identity across double runs and thread counts, and
+//! zero perturbation of the simulation itself.
+//!
+//! The golden files live in `tests/data/golden_*`. If an intentional
+//! model change shifts them, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test telemetry` and review the diff —
+//! the point is that *unintentional* drift fails loudly.
+
+use cubeftl::harness::{
+    run_array_eval_traced, run_eval, run_eval_traced, ArrayEvalConfig, EvalConfig, TelemetryOutput,
+    TelemetrySpec,
+};
+use cubeftl::{
+    events_to_ndjson, AgingState, EventMask, FtlKind, MetricRegistry, SimReport, StandardWorkload,
+};
+use telemetry::{validate_ndjson, validate_trace_ndjson};
+
+/// One traced smoke run with every category on and a tight sampling
+/// interval (2 ms of virtual time).
+fn traced_smoke(requests: u64) -> (SimReport, TelemetryOutput) {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = requests;
+    run_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+        &TelemetrySpec::all(2_000.0),
+    )
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // A fully instrumented run must report bit-identically to the plain
+    // run — the trace observes the simulation, never steers it. (This is
+    // also what keeps the pre-PR golden snapshot in determinism.rs
+    // valid with telemetry compiled in.)
+    let cfg = EvalConfig::smoke();
+    let plain = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+    );
+    let (traced, out) = traced_smoke(cfg.requests);
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{traced:?}"),
+        "telemetry perturbed the simulation"
+    );
+    assert!(!out.events.is_empty(), "the trace must capture events");
+    assert!(!out.series.rows.is_empty(), "the sampler must produce rows");
+}
+
+#[test]
+fn traced_double_run_is_byte_identical() {
+    let (_, a) = traced_smoke(2_000);
+    let (_, b) = traced_smoke(2_000);
+    assert_eq!(
+        events_to_ndjson(&a.events),
+        events_to_ndjson(&b.events),
+        "trace files diverged between identical runs"
+    );
+    assert_eq!(a.series.to_csv(), b.series.to_csv());
+    assert_eq!(a.series.to_ndjson(), b.series.to_ndjson());
+}
+
+#[test]
+fn emitted_files_are_schema_valid() {
+    let (report, out) = traced_smoke(2_000);
+    let trace = events_to_ndjson(&out.events);
+    let n = validate_trace_ndjson(&trace).expect("trace NDJSON is well-formed");
+    assert_eq!(n, out.events.len());
+
+    let series = out.series.to_ndjson();
+    let n = validate_ndjson(&series).expect("series NDJSON is well-formed");
+    assert_eq!(n, out.series.rows.len());
+
+    let mut reg = MetricRegistry::new();
+    report.register_metrics(&mut reg, "ssd");
+    let metrics = reg.to_ndjson();
+    let n = validate_ndjson(&metrics).expect("metrics NDJSON is well-formed");
+    assert_eq!(n, reg.entries().len());
+    assert!(n > 0, "the registry must have entries");
+}
+
+#[test]
+fn event_mask_filters_categories() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 500;
+    let tel = TelemetrySpec {
+        events: EventMask::ISPP,
+        sample_interval_us: None,
+    };
+    let (_, out) = run_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+        &tel,
+    );
+    assert!(!out.events.is_empty(), "ISPP events must fire on writes");
+    for e in &out.events {
+        let line = e.to_json();
+        assert!(
+            line.contains("\"kind\":\"ispp_program\""),
+            "mask leaked a foreign category: {line}"
+        );
+    }
+    assert!(out.series.rows.is_empty(), "sampling was off");
+}
+
+/// Golden-file comparison with `UPDATE_GOLDEN=1` regeneration.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        golden, actual,
+        "{name} drifted from the golden snapshot; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_trace_and_series_are_stable() {
+    // A short run keeps the committed files small while still covering
+    // host I/O, ISPP and GC event emission plus several sample rows.
+    let (report, out) = traced_smoke(300);
+    check_golden("golden_trace.ndjson", &events_to_ndjson(&out.events));
+    check_golden("golden_series.csv", &out.series.to_csv());
+    let mut reg = MetricRegistry::new();
+    report.register_metrics(&mut reg, "ssd");
+    check_golden("golden_metrics.ndjson", &reg.to_ndjson());
+}
+
+#[test]
+fn array_telemetry_is_thread_count_invariant() {
+    // 4 shards at 1 vs 4 worker threads: trace, series and merged report
+    // must be byte-identical — fan-in follows shard order, never
+    // completion order.
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 1_200;
+    let tel = TelemetrySpec::all(1_000.0);
+    let run = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(4);
+        arr.threads = threads;
+        run_array_eval_traced(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::MidLife,
+            &cfg,
+            &arr,
+            &tel,
+        )
+    };
+    let (ra, ta) = run(1);
+    let (rb, tb) = run(4);
+    assert_eq!(
+        events_to_ndjson(&ta.events),
+        events_to_ndjson(&tb.events),
+        "array trace diverged across thread counts"
+    );
+    assert_eq!(ta.series.to_csv(), tb.series.to_csv());
+    assert_eq!(
+        format!("{:?}", ra.merged),
+        format!("{:?}", rb.merged),
+        "merged report diverged across thread counts"
+    );
+
+    // Every shard contributed, tagged with its index, in shard order.
+    let shards: Vec<u32> = ta.events.iter().map(|e| e.shard).collect();
+    assert!(
+        shards.windows(2).all(|w| w[0] <= w[1]),
+        "shard streams must be concatenated in shard order"
+    );
+    for s in 0..4 {
+        assert!(
+            shards.contains(&s),
+            "shard {s} emitted no events — per-shard tagging broken"
+        );
+    }
+}
