@@ -146,7 +146,10 @@ impl Ftl {
     pub fn new(kind: FtlKind, config: FtlConfig) -> Self {
         config.validate();
         let g = config.nand.geometry;
-        let array = FlashArray::new(config.nand, config.chips, config.seed);
+        let mut array = FlashArray::new(config.nand, config.chips, config.seed);
+        for chip in array.iter_mut() {
+            chip.set_retry_opt(config.retry_opt);
+        }
         let mapping = Mapping::new(g, config.chips, config.logical_pages());
         let free_blocks = (0..config.chips)
             .map(|_| (0..g.blocks_per_chip).map(BlockId).collect())
@@ -167,9 +170,11 @@ impl Ftl {
                     config.active_blocks_per_chip,
                 )
             }),
-            opm: kind
-                .ps_aware()
-                .then(|| Opm::with_ort_capacity(&g, config.chips, config.ort_capacity)),
+            opm: kind.ps_aware().then(|| {
+                let mut opm = Opm::with_ort_capacity(&g, config.chips, config.ort_capacity);
+                opm.set_cluster(config.ort_cluster);
+                opm
+            }),
             stats: FtlStats::default(),
             in_gc: false,
             maint: None,
@@ -707,8 +712,13 @@ impl Ftl {
         let g = self.geometry();
         let page = g.page_unflat(ppn.page as usize);
         let chip = ppn.chip as usize;
-        let params = match &mut self.opm {
-            Some(opm) => ReadParams::from_offset(opm.read_offset(chip, page.wl)),
+        let lookup = self
+            .opm
+            .as_mut()
+            .map(|opm| opm.lookup_offset(chip, page.wl));
+        let params = match lookup {
+            Some(l) if l.seeded => ReadParams::seeded_from(l.offset),
+            Some(l) => ReadParams::from_offset(l.offset),
             None => ReadParams::default(),
         };
         let report = self
@@ -723,6 +733,7 @@ impl Ftl {
         if !self.in_maint {
             self.stats.nand_reads += 1;
             self.stats.read_retries += u64::from(report.retries);
+            self.stats.early_terminations += u64::from(report.early_terminated);
             match report.fault {
                 // Stale cached ΔV_Ref: the extra retry found a working
                 // offset, and the ORT update below refreshes the cached
@@ -735,6 +746,9 @@ impl Ftl {
             }
         }
         if let Some(opm) = &mut self.opm {
+            if let Some(l) = lookup {
+                opm.note_read_outcome(l, report.final_offset);
+            }
             opm.update_read_offset(chip, page.wl, report.final_offset);
         }
         if (report.retries > 0 || report.fault.is_some()) && self.trace.wants(EventMask::READ_RETRY)
@@ -749,6 +763,8 @@ impl Ftl {
                         ReadFaultKind::StuckRetry => "stuck_retry",
                         ReadFaultKind::Uncorrectable => "uncorrectable",
                     }),
+                    seeded: lookup.is_some_and(|l| l.seeded),
+                    early_term: report.early_terminated,
                 },
             );
         }
@@ -1104,12 +1120,20 @@ impl Ftl {
         // 5. Fresh volatile state: the OPM/ORT boot cold (re-derived on
         // first touch per h-layer), the WAM and write points reset.
         // H-layers holding a torn WL boot demoted — the §4.1.4 quarantine.
-        let mut opm = kind
-            .ps_aware()
-            .then(|| Opm::with_ort_capacity(&g, chips, config.ort_capacity));
+        let mut opm = kind.ps_aware().then(|| {
+            let mut opm = Opm::with_ort_capacity(&g, chips, config.ort_capacity);
+            // The cluster boots empty like the ORT — it re-warms from
+            // post-boot decode traffic, deterministically.
+            opm.set_cluster(config.ort_cluster);
+            opm
+        });
         if let Some(opm) = &mut opm {
             for &(chip, wl) in &torn {
                 report.layers_demoted += u64::from(opm.demote_layer(chip, wl));
+                // A torn WL's h-layer is also untrusted for cluster
+                // seeding until a fresh decode re-vouches for it.
+                report.cluster_keys_quarantined +=
+                    u64::from(opm.quarantine_cluster_key(chip, wl.block.0, wl.h.0));
             }
         }
         let mut ftl = Ftl {
@@ -1189,6 +1213,23 @@ impl Ftl {
                     })
                     .map_or(0, |w| w + 1);
                 ftl.seq[chip] = Some(SeqAlloc { block: b, next });
+            }
+        }
+
+        // The re-opened write points hold h-layers whose leader-program
+        // history died with the RAM: their upcoming WLs will be
+        // re-programmed under conservative defaults, so their pre-cut
+        // `ΔV_Ref` behaviour is not representative of the cluster
+        // average. Quarantine those keys from cluster seeding until a
+        // fresh decode re-vouches for each one.
+        if let Some(opm) = &mut ftl.opm {
+            if let Some(wam) = &ftl.wam {
+                for chip in 0..chips {
+                    for (block, h) in wam.open_layers(chip) {
+                        report.cluster_keys_quarantined +=
+                            u64::from(opm.quarantine_cluster_key(chip, block.0, h));
+                    }
+                }
             }
         }
 
@@ -1598,8 +1639,10 @@ impl Ftl {
             wl,
             page: nand3d::PageIndex(0),
         };
-        let params = match &mut self.opm {
-            Some(opm) => ReadParams::from_offset(opm.read_offset(chip, wl)),
+        let lookup = self.opm.as_mut().map(|opm| opm.lookup_offset(chip, wl));
+        let params = match lookup {
+            Some(l) if l.seeded => ReadParams::seeded_from(l.offset),
+            Some(l) => ReadParams::from_offset(l.offset),
             None => ReadParams::default(),
         };
         let report = self
@@ -1609,6 +1652,9 @@ impl Ftl {
             .read_page(page, params)
             .expect("sampled WL is written");
         if let Some(opm) = &mut self.opm {
+            if let Some(l) = lookup {
+                opm.note_read_outcome(l, report.final_offset);
+            }
             opm.update_read_offset(chip, wl, report.final_offset);
         }
         report.latency_us
@@ -1677,6 +1723,11 @@ impl FtlDriver for Ftl {
             stats.ort_hits = hits;
             stats.ort_misses = misses;
             stats.ort_evictions = evictions;
+            stats.ort_fallbacks = opm.ort_fallbacks();
+            let (seeds, chits, mispredicts) = opm.cluster_counters();
+            stats.cluster_seeds = seeds;
+            stats.cluster_hits = chits;
+            stats.cluster_mispredicts = mispredicts;
         }
         stats
     }

@@ -1,6 +1,40 @@
 //! FTL configuration.
 
-use nand3d::NandConfig;
+use nand3d::{NandConfig, RetryOptConfig};
+
+/// Cross-block offset cluster configuration (§4.2.2): when enabled, an
+/// ORT miss is answered from the per-chip, per-h-layer average of
+/// recently decoded `ΔV_Ref` offsets instead of the cold default 0.
+/// Off by default — the conservative setting preserves every pre-cluster
+/// golden bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrtClusterConfig {
+    /// Master switch (`--ort-cluster on|off`).
+    pub enabled: bool,
+    /// Decode samples an h-layer must accumulate before its cluster
+    /// average seeds cold blocks. Low thresholds warm up faster; higher
+    /// ones resist early-outlier skew.
+    pub min_samples: u32,
+}
+
+impl OrtClusterConfig {
+    /// The enabled configuration with the default warm-up threshold.
+    pub fn on() -> Self {
+        OrtClusterConfig {
+            enabled: true,
+            min_samples: 2,
+        }
+    }
+}
+
+impl Default for OrtClusterConfig {
+    fn default() -> Self {
+        OrtClusterConfig {
+            enabled: false,
+            min_samples: 2,
+        }
+    }
+}
 
 /// Configuration shared by every FTL variant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +58,11 @@ pub struct FtlConfig {
     /// entries; LRU eviction beyond that. `usize::MAX` models the
     /// paper's full in-DRAM table (§5.1).
     pub ort_capacity: usize,
+    /// Cross-block offset cluster (§4.2.2 closure); off by default.
+    pub ort_cluster: OrtClusterConfig,
+    /// Park-et-al-style retry-chain optimizations (speculative stepping,
+    /// cold-read offset prediction, early termination); off by default.
+    pub retry_opt: RetryOptConfig,
     /// Seed for per-chip process variation.
     pub seed: u64,
 }
@@ -40,6 +79,8 @@ impl FtlConfig {
             mu_threshold: 0.9,
             active_blocks_per_chip: 2,
             ort_capacity: usize::MAX,
+            ort_cluster: OrtClusterConfig::default(),
+            retry_opt: RetryOptConfig::default(),
             seed: 42,
         }
     }
@@ -55,6 +96,8 @@ impl FtlConfig {
             mu_threshold: 0.9,
             active_blocks_per_chip: 2,
             ort_capacity: usize::MAX,
+            ort_cluster: OrtClusterConfig::default(),
+            retry_opt: RetryOptConfig::default(),
             seed: 42,
         }
     }

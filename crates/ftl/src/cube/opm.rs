@@ -12,11 +12,14 @@
 //!   the most recent working `ΔV_Ref` offset per h-layer (2 bytes per
 //!   h-layer in the paper's encoding, ~0.001% space overhead).
 
+use crate::config::OrtClusterConfig;
 use nand3d::ispp::{margin_mv_for_spare, split_margin_mv};
 use nand3d::{
-    Geometry, IsppEngine, LoopInterval, ProgramParams, ProgramReport, WlAddr, NUM_PROGRAM_STATES,
+    Geometry, IsppEngine, LoopInterval, ProgramParams, ProgramReport, WlAddr, MAX_OFFSET_INDEX,
+    NUM_PROGRAM_STATES,
 };
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
 /// Parameters monitored from a leader-WL program, ready for reuse by the
@@ -59,6 +62,12 @@ type OrtKey = (u32, u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct OrtEntry {
     offset: u8,
+    /// Q8.8 EWMA of the key's decoded offsets — only maintained in
+    /// smoothed mode (cluster enabled), where `offset` is its rounding.
+    /// Smoothing filters the per-read ±1 thermal jitter out of the
+    /// cached start, so warm reads launch from the jitter-free optimum
+    /// instead of chasing the previous read's jitter.
+    ewma_q8: u16,
     stamp: u64,
 }
 
@@ -106,12 +115,28 @@ impl OrtCache {
     }
 
     /// Inserts or refreshes an entry; returns `true` when a victim was
-    /// evicted to make room.
-    fn insert(&mut self, key: OrtKey, offset: u8) -> bool {
+    /// evicted to make room. In smoothed mode a refresh folds the new
+    /// decode into the entry's Q8.8 EWMA (weight 1/4) and caches its
+    /// rounding; otherwise the entry stores the decode verbatim.
+    fn insert(&mut self, key: OrtKey, offset: u8, smooth: bool) -> bool {
         self.tick += 1;
         let stamp = self.tick;
         if let Some(e) = self.entries.get_mut(&key) {
-            *e = OrtEntry { offset, stamp };
+            if smooth {
+                let x = u32::from(offset) << 8;
+                let ewma = (u32::from(e.ewma_q8) * 3 + x) / 4;
+                *e = OrtEntry {
+                    offset: (((ewma + 128) >> 8) as u8).min(MAX_OFFSET_INDEX),
+                    ewma_q8: ewma as u16,
+                    stamp,
+                };
+            } else {
+                *e = OrtEntry {
+                    offset,
+                    ewma_q8: u16::from(offset) << 8,
+                    stamp,
+                };
+            }
             return false;
         }
         let mut evicted = false;
@@ -127,12 +152,77 @@ impl OrtCache {
             self.entries.remove(&victim);
             evicted = true;
         }
-        self.entries.insert(key, OrtEntry { offset, stamp });
+        self.entries.insert(
+            key,
+            OrtEntry {
+                offset,
+                ewma_q8: u16::from(offset) << 8,
+                stamp,
+            },
+        );
         evicted
     }
 
     fn len(&self) -> usize {
         self.entries.len()
+    }
+}
+
+/// The result of an ORT starting-offset lookup: the offset to issue the
+/// read at, and whether it came from the cross-block h-layer cluster
+/// (rather than a cached per-block entry or the cold default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffsetLookup {
+    /// Starting `ΔV_Ref` offset for the read.
+    pub offset: u8,
+    /// `true` when the offset was seeded from the h-layer cluster
+    /// because the block's own ORT entry was cold.
+    pub seeded: bool,
+}
+
+/// Per-chip cross-block offset cluster (§4.2.2): one exponentially
+/// weighted moving average of recently decoded `ΔV_Ref` offsets per
+/// h-layer, aggregated across all blocks of the chip. Horizontal process
+/// similarity makes the optimal offset primarily an h-layer property, so
+/// a block whose own ORT entry is cold (fresh block, LRU-evicted entry,
+/// post-SPO boot) is seeded from its h-layer's cluster average instead
+/// of cold-starting at offset 0.
+///
+/// The average is kept in Q8.8 fixed point — integer arithmetic only, so
+/// the prediction is bit-deterministic and free of float rounding drift.
+#[derive(Debug, Clone)]
+struct OffsetCluster {
+    /// EWMA of decoded offsets per h-layer, Q8.8 fixed point.
+    ewma_q8: Vec<u32>,
+    /// Saturating decode-sample count per h-layer.
+    samples: Vec<u32>,
+}
+
+impl OffsetCluster {
+    fn new(hlayers: usize) -> Self {
+        OffsetCluster {
+            ewma_q8: vec![0; hlayers],
+            samples: vec![0; hlayers],
+        }
+    }
+
+    /// Folds one decoded offset into the h-layer average (weight 1/4 for
+    /// the new sample — recent decodes dominate, single outliers don't).
+    fn record(&mut self, h: usize, offset: u8) {
+        let x = u32::from(offset) << 8;
+        self.ewma_q8[h] = if self.samples[h] == 0 {
+            x
+        } else {
+            (self.ewma_q8[h] * 3 + x) / 4
+        };
+        self.samples[h] = self.samples[h].saturating_add(1);
+    }
+
+    /// The rounded cluster average for `h`, once at least `min_samples`
+    /// decodes have been folded in.
+    fn predict(&self, h: usize, min_samples: u32) -> Option<u8> {
+        (self.samples[h] >= min_samples.max(1))
+            .then(|| (((self.ewma_q8[h] + 128) >> 8) as u8).min(MAX_OFFSET_INDEX))
     }
 }
 
@@ -159,6 +249,27 @@ pub struct Opm {
     ort_misses: u64,
     /// ORT entries evicted to make room.
     ort_evictions: u64,
+    /// ORT misses that fell all the way back to the default offset 0
+    /// (no cached entry and no cluster seed). Counted on both the read
+    /// path and the `peek_offset` prediction path — a `Cell` so the
+    /// shared-reference peek can count without mutable access.
+    ort_fallbacks: Cell<u64>,
+    /// Cross-block offset clusters, one per chip (`None`: feature off).
+    cluster: Option<Vec<OffsetCluster>>,
+    /// Minimum decode samples an h-layer cluster needs before it seeds.
+    cluster_min_samples: u32,
+    /// Per-chip (block, h) keys excluded from cluster seeding until
+    /// their next decode — set by crash recovery for torn or resumed
+    /// h-layers whose pre-cut offsets are no longer trustworthy.
+    cluster_quarantine: Vec<HashSet<OrtKey>>,
+    /// ORT misses answered with a cluster seed.
+    cluster_seeds: u64,
+    /// Seeded reads whose decode confirmed the seed exactly.
+    cluster_hits: u64,
+    /// Seeded reads whose decode landed on a different offset.
+    cluster_mispredicts: u64,
+    /// H-layers per block (cluster sizing survives `power_cycle`).
+    hlayers: usize,
     /// H-layers demoted by the §4.1.4 safety check: their monitored
     /// parameters were discarded (followers fall back to conservative
     /// defaults — no VFY skips, full window) until a leader-style
@@ -192,9 +303,50 @@ impl Opm {
             ort_hits: 0,
             ort_misses: 0,
             ort_evictions: 0,
+            ort_fallbacks: Cell::new(0),
+            cluster: None,
+            cluster_min_samples: 1,
+            cluster_quarantine: (0..chips).map(|_| HashSet::new()).collect(),
+            cluster_seeds: 0,
+            cluster_hits: 0,
+            cluster_mispredicts: 0,
+            hlayers: usize::from(geometry.hlayers_per_block),
             demoted: HashSet::new(),
             safety_factor: 3.0,
         }
+    }
+
+    /// Enables (or disables) the cross-block offset cluster. Enabling
+    /// starts from empty clusters — the feature warms up from decode
+    /// traffic, exactly as it would after a power cycle.
+    pub fn set_cluster(&mut self, cfg: OrtClusterConfig) {
+        if cfg.enabled {
+            let (chips, hlayers) = (self.ort.len(), self.hlayers);
+            self.cluster = Some((0..chips).map(|_| OffsetCluster::new(hlayers)).collect());
+            self.cluster_min_samples = cfg.min_samples.max(1);
+        } else {
+            self.cluster = None;
+        }
+        for q in &mut self.cluster_quarantine {
+            q.clear();
+        }
+    }
+
+    /// Whether cross-block cluster seeding is enabled.
+    pub fn cluster_enabled(&self) -> bool {
+        self.cluster.is_some()
+    }
+
+    /// Excludes one (block, h-layer) key on `chip` from cluster seeding
+    /// until its next successful decode. Crash recovery quarantines the
+    /// torn and resumed h-layers it cannot vouch for. Returns `true` if
+    /// the key was newly quarantined (always `false` with the cluster
+    /// off, so recovery reports stay identical to the pre-cluster ones).
+    pub fn quarantine_cluster_key(&mut self, chip: usize, block: u32, h: u16) -> bool {
+        if self.cluster.is_none() {
+            return false;
+        }
+        self.cluster_quarantine[chip].insert((block, h))
     }
 
     fn key(chip: usize, wl: WlAddr) -> LayerKey {
@@ -314,38 +466,105 @@ impl Opm {
             .retain(|k, _| !(k.0 == chip as u32 && k.1 == block));
         self.demoted
             .retain(|k| !(k.0 == chip as u32 && k.1 == block));
+        // An erased block is re-programmed from scratch; any recovery
+        // quarantine on its h-layers is moot.
+        self.cluster_quarantine[chip].retain(|k| k.0 != block);
+    }
+
+    /// The cluster seed for `wl`, if one is available: the cluster is
+    /// enabled, the h-layer has enough decode samples, the layer is not
+    /// demoted (§4.1.4 — its process behaviour is suspect) and the key
+    /// is not quarantined by crash recovery.
+    fn cluster_seed(&self, chip: usize, wl: WlAddr) -> Option<u8> {
+        let clusters = self.cluster.as_ref()?;
+        if self.is_demoted(chip, wl) || self.cluster_quarantine[chip].contains(&Self::ort_key(wl)) {
+            return None;
+        }
+        clusters[chip].predict(usize::from(wl.h.0), self.cluster_min_samples)
+    }
+
+    /// The starting read offset for `wl` (§4.2): the block's own cached
+    /// ORT entry when warm (counts a hit, refreshes LRU recency);
+    /// otherwise a cross-block cluster seed for the h-layer when
+    /// available (counts a miss and a seed); otherwise the default
+    /// offset 0 (counts a miss and a fallback).
+    pub fn lookup_offset(&mut self, chip: usize, wl: WlAddr) -> OffsetLookup {
+        if let Some(offset) = self.ort[chip].get(Self::ort_key(wl)) {
+            self.ort_hits += 1;
+            return OffsetLookup {
+                offset,
+                seeded: false,
+            };
+        }
+        self.ort_misses += 1;
+        if let Some(offset) = self.cluster_seed(chip, wl) {
+            self.cluster_seeds += 1;
+            return OffsetLookup {
+                offset,
+                seeded: true,
+            };
+        }
+        self.ort_fallbacks.set(self.ort_fallbacks.get() + 1);
+        OffsetLookup {
+            offset: 0,
+            seeded: false,
+        }
     }
 
     /// The ORT entry for `wl`'s h-layer: the starting read offset for a
     /// read of any WL on that h-layer (§4.2). Counts a hit or a miss and
-    /// refreshes the entry's LRU recency; a miss returns the default
-    /// offset 0 (read references unshifted).
+    /// refreshes the entry's LRU recency; a miss returns the cluster
+    /// seed when one is available, else the default offset 0 (read
+    /// references unshifted).
     pub fn read_offset(&mut self, chip: usize, wl: WlAddr) -> u8 {
-        match self.ort[chip].get(Self::ort_key(wl)) {
-            Some(offset) => {
-                self.ort_hits += 1;
-                offset
-            }
-            None => {
-                self.ort_misses += 1;
-                0
-            }
+        self.lookup_offset(chip, wl).offset
+    }
+
+    /// The starting offset for `wl` without touching the hit/miss/seed
+    /// counters or the LRU recency — for latency *prediction*, which
+    /// inspects the table without performing a read. Follows exactly the
+    /// `lookup_offset` decision (cached entry, then cluster seed, then
+    /// default) and counts a fallback when it lands on the default, so
+    /// `ort_fallbacks` agrees between the read path and prediction.
+    pub fn peek_offset(&self, chip: usize, wl: WlAddr) -> u8 {
+        match self.ort[chip].peek(Self::ort_key(wl)) {
+            Some(offset) => offset,
+            None => match self.cluster_seed(chip, wl) {
+                Some(offset) => offset,
+                None => {
+                    self.ort_fallbacks.set(self.ort_fallbacks.get() + 1);
+                    0
+                }
+            },
         }
     }
 
-    /// The ORT entry for `wl`'s h-layer without touching the hit/miss
-    /// counters or the LRU recency — for latency *prediction*, which
-    /// inspects the table without performing a read.
-    pub fn peek_offset(&self, chip: usize, wl: WlAddr) -> u8 {
-        self.ort[chip].peek(Self::ort_key(wl)).unwrap_or(0)
+    /// Scores a seeded lookup against the offset the decode actually
+    /// landed on: an exact match is a cluster hit, anything else a
+    /// mispredict. No-op for unseeded lookups.
+    pub fn note_read_outcome(&mut self, lookup: OffsetLookup, final_offset: u8) {
+        if lookup.seeded {
+            if final_offset == lookup.offset {
+                self.cluster_hits += 1;
+            } else {
+                self.cluster_mispredicts += 1;
+            }
+        }
     }
 
     /// Updates the ORT after a read decoded at `final_offset`, evicting
-    /// the least recently used entry of the chip's table when full.
+    /// the least recently used entry of the chip's table when full. The
+    /// decode also feeds the h-layer cluster and lifts any recovery
+    /// quarantine on the key — a fresh decode re-vouches for it.
     pub fn update_read_offset(&mut self, chip: usize, wl: WlAddr, final_offset: u8) {
-        if self.ort[chip].insert(Self::ort_key(wl), final_offset) {
+        let smooth = self.cluster.is_some();
+        if self.ort[chip].insert(Self::ort_key(wl), final_offset, smooth) {
             self.ort_evictions += 1;
         }
+        if let Some(clusters) = self.cluster.as_mut() {
+            clusters[chip].record(usize::from(wl.h.0), final_offset);
+        }
+        self.cluster_quarantine[chip].remove(&Self::ort_key(wl));
     }
 
     /// `(hits, misses, evictions)` of the ORT since the last reset.
@@ -353,11 +572,31 @@ impl Opm {
         (self.ort_hits, self.ort_misses, self.ort_evictions)
     }
 
-    /// Resets the ORT hit/miss/eviction counters (entries are kept).
+    /// ORT lookups (read path and prediction peeks) that fell back to
+    /// the default offset 0 — no cached entry and no cluster seed.
+    pub fn ort_fallbacks(&self) -> u64 {
+        self.ort_fallbacks.get()
+    }
+
+    /// `(seeds, hits, mispredicts)` of the cross-block cluster since the
+    /// last reset.
+    pub fn cluster_counters(&self) -> (u64, u64, u64) {
+        (
+            self.cluster_seeds,
+            self.cluster_hits,
+            self.cluster_mispredicts,
+        )
+    }
+
+    /// Resets the ORT and cluster counters (entries are kept).
     pub fn reset_ort_counters(&mut self) {
         self.ort_hits = 0;
         self.ort_misses = 0;
         self.ort_evictions = 0;
+        self.ort_fallbacks.set(0);
+        self.cluster_seeds = 0;
+        self.cluster_hits = 0;
+        self.cluster_mispredicts = 0;
     }
 
     /// Number of ORT entries currently cached on `chip`.
@@ -638,6 +877,141 @@ mod tests {
             opm.ort_entries(0),
             g.blocks_per_chip as usize * usize::from(g.hlayers_per_block)
         );
+    }
+
+    fn cluster_on(min_samples: u32) -> OrtClusterConfig {
+        OrtClusterConfig {
+            enabled: true,
+            min_samples,
+        }
+    }
+
+    #[test]
+    fn cluster_seeds_cold_lookup_from_hlayer_average() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        opm.set_cluster(cluster_on(2));
+        // Two blocks decode their h-layer 5 at offset 4.
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(0), 5, 0), 4);
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(1), 5, 1), 4);
+        // A third block with no ORT entry is seeded from the cluster.
+        let cold = g.wl_addr(nand3d::BlockId(2), 5, 0);
+        let lookup = opm.lookup_offset(0, cold);
+        assert_eq!(
+            lookup,
+            OffsetLookup {
+                offset: 4,
+                seeded: true
+            }
+        );
+        assert_eq!(opm.peek_offset(0, cold), 4, "peek follows the same path");
+        // A different h-layer has no samples: default fallback.
+        let other = opm.lookup_offset(0, g.wl_addr(nand3d::BlockId(2), 6, 0));
+        assert_eq!(
+            other,
+            OffsetLookup {
+                offset: 0,
+                seeded: false
+            }
+        );
+        let (seeds, _, _) = opm.cluster_counters();
+        assert_eq!(seeds, 1);
+        assert_eq!(opm.ort_fallbacks(), 1, "only the unseeded miss fell back");
+        // Other chips keep their own cluster.
+        assert_eq!(opm.read_offset(1, cold), 0);
+    }
+
+    #[test]
+    fn cluster_needs_min_samples_before_seeding() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        opm.set_cluster(cluster_on(3));
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(0), 2, 0), 5);
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(1), 2, 0), 5);
+        let cold = g.wl_addr(nand3d::BlockId(2), 2, 0);
+        assert_eq!(opm.read_offset(0, cold), 0, "two samples < threshold 3");
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(3), 2, 0), 5);
+        assert_eq!(opm.read_offset(0, cold), 5, "third sample arms the seed");
+    }
+
+    #[test]
+    fn cluster_respects_quarantine_and_demotion() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        opm.set_cluster(cluster_on(1));
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(0), 4, 0), 3);
+
+        // Crash recovery quarantines block 1's h-layer 4: no seed.
+        assert!(opm.quarantine_cluster_key(0, 1, 4));
+        assert!(!opm.quarantine_cluster_key(0, 1, 4), "already quarantined");
+        let cold = g.wl_addr(nand3d::BlockId(1), 4, 0);
+        assert_eq!(opm.read_offset(0, cold), 0, "quarantined key not seeded");
+        // A successful decode lifts the quarantine.
+        opm.update_read_offset(0, cold, 3);
+        assert_eq!(opm.read_offset(0, g.wl_addr(nand3d::BlockId(1), 4, 1)), 3);
+
+        // §4.1.4 demotion suppresses seeding for the suspect layer.
+        let suspect = g.wl_addr(nand3d::BlockId(2), 4, 0);
+        opm.demote_layer(0, suspect);
+        let lookup = opm.lookup_offset(0, suspect);
+        assert!(!lookup.seeded, "demoted layer is not seeded");
+        assert_eq!(lookup.offset, 0);
+    }
+
+    #[test]
+    fn quarantine_is_noop_with_cluster_off() {
+        let (mut opm, _chip) = setup();
+        assert!(
+            !opm.quarantine_cluster_key(0, 1, 4),
+            "cluster off: nothing to quarantine, recovery reports unchanged"
+        );
+        // Erase clears any quarantine for the block.
+        opm.set_cluster(cluster_on(1));
+        assert!(opm.quarantine_cluster_key(0, 1, 4));
+        opm.invalidate_block(0, 1);
+        assert!(opm.quarantine_cluster_key(0, 1, 4), "erase cleared the key");
+    }
+
+    #[test]
+    fn smoothed_ort_filters_read_jitter() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        let wl = g.wl_addr(nand3d::BlockId(0), 3, 0);
+        // Cluster off: the last decode wins verbatim.
+        opm.update_read_offset(0, wl, 4);
+        opm.update_read_offset(0, wl, 5);
+        assert_eq!(opm.read_offset(0, wl), 5);
+
+        // Cluster on: jittering decodes around 4 are averaged away, so
+        // the warm start stays at the jitter-free optimum.
+        opm.set_cluster(cluster_on(1));
+        let jittery = g.wl_addr(nand3d::BlockId(1), 3, 0);
+        for &o in &[4u8, 5, 4, 3, 4, 5, 4, 3] {
+            opm.update_read_offset(0, jittery, o);
+        }
+        assert_eq!(opm.read_offset(0, jittery), 4);
+    }
+
+    #[test]
+    fn cluster_counters_score_seeded_outcomes() {
+        let (mut opm, chip) = setup();
+        let g = *chip.geometry();
+        opm.set_cluster(cluster_on(1));
+        opm.update_read_offset(0, g.wl_addr(nand3d::BlockId(0), 1, 0), 2);
+        let cold = g.wl_addr(nand3d::BlockId(1), 1, 0);
+        let lookup = opm.lookup_offset(0, cold);
+        assert!(lookup.seeded);
+        opm.note_read_outcome(lookup, 2);
+        opm.note_read_outcome(lookup, 3);
+        let unseeded = OffsetLookup {
+            offset: 0,
+            seeded: false,
+        };
+        opm.note_read_outcome(unseeded, 7);
+        assert_eq!(opm.cluster_counters(), (1, 1, 1));
+        opm.reset_ort_counters();
+        assert_eq!(opm.cluster_counters(), (0, 0, 0));
+        assert_eq!(opm.ort_fallbacks(), 0);
     }
 
     // Silence an unused-import lint when tests compile alone.

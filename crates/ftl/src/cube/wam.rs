@@ -242,6 +242,21 @@ impl Wam {
         self.per_chip[chip].active.iter().map(|b| b.block)
     }
 
+    /// The `(block, h-layer)` pairs still open for programming on
+    /// `chip`'s active blocks: every h-layer at or above the follower
+    /// cursor and below the leader cursor plus the leader frontier
+    /// itself. After crash recovery these are the layers whose leader
+    /// parameters died with the RAM — the read pipeline's cluster
+    /// quarantines them from seeding until a fresh decode re-vouches.
+    pub fn open_layers(&self, chip: usize) -> impl Iterator<Item = (BlockId, u16)> + '_ {
+        let hlayers = self.geometry.hlayers_per_block;
+        self.per_chip[chip].active.iter().flat_map(move |b| {
+            let from = b.next_follower.0.min(b.next_leader_h);
+            let to = b.next_leader_h.min(hlayers.saturating_sub(1));
+            (from..=to).map(move |h| (b.block, h))
+        })
+    }
+
     /// The burst threshold `μ_TH`.
     pub fn mu_threshold(&self) -> f64 {
         self.mu_threshold
@@ -377,5 +392,36 @@ mod tests {
     fn allocator_failure_panics() {
         let mut w = wam();
         let _ = w.select(0, 0.0, || None);
+    }
+
+    #[test]
+    fn open_layers_cover_the_write_frontier() {
+        let mut w = wam();
+        let mut next = 0u32;
+        let mut alloc = || {
+            next += 1;
+            Some(BlockId(next - 1))
+        };
+        // Two calm leader writes open two blocks at their first h-layer.
+        let l0 = w.select(0, 0.1, &mut alloc).addr();
+        let _l1 = w.select(0, 0.1, &mut alloc).addr();
+        let open: Vec<(BlockId, u16)> = w.open_layers(0).collect();
+        assert!(
+            open.contains(&(l0.block, l0.h.0)),
+            "the programmed leader's layer is still open for followers: {open:?}"
+        );
+        // Every open layer belongs to an active block, and every active
+        // block contributes at least one open layer.
+        let active: std::collections::HashSet<BlockId> = w.active_blocks(0).collect();
+        assert!(open.iter().all(|(b, _)| active.contains(b)));
+        for b in &active {
+            assert!(
+                open.iter().any(|(ob, _)| ob == b),
+                "{b:?} has no open layer"
+            );
+        }
+        // Layer indices never exceed the geometry.
+        let hlayers = Geometry::small().hlayers_per_block;
+        assert!(open.iter().all(|&(_, h)| h < hlayers));
     }
 }

@@ -47,8 +47,8 @@ pub mod predictor;
 pub mod recovery;
 
 pub use base::{Ftl, FtlKind};
-pub use config::FtlConfig;
-pub use cube::opm::{LeaderParams, Opm};
+pub use config::{FtlConfig, OrtClusterConfig};
+pub use cube::opm::{LeaderParams, OffsetLookup, Opm};
 pub use cube::wam::{Wam, WlChoice};
 pub use maint::MaintConfig;
 pub use mapping::{Mapping, Ppn};

@@ -195,6 +195,10 @@ pub struct RecoveryReport {
     /// Buffered host pages re-written from the power-loss-protection
     /// dump during recovery.
     pub plp_pages_replayed: u64,
+    /// `(block, h-layer)` keys excluded from cross-block cluster seeding
+    /// at boot (torn WLs and re-opened write points); always 0 with the
+    /// cluster disabled.
+    pub cluster_keys_quarantined: u64,
     /// Total NAND time the recovery consumed (probe + scan reads,
     /// re-erases, PLP re-programs), µs.
     pub nand_us: f64,

@@ -173,6 +173,10 @@ pub struct ReadReport {
     /// The injected read fault this command recovered from, if any.
     /// Recovery costs retries/latency but never corrupts `data`.
     pub fault: Option<ReadFaultKind>,
+    /// Whether a hopeless retry chain was cut short (seeded walk
+    /// abandoned for the default schedule, or a shortened full scan —
+    /// see [`RetryOutcome::early_terminated`](crate::read::RetryOutcome)).
+    pub early_terminated: bool,
 }
 
 /// One 3D TLC NAND chip.
@@ -280,6 +284,12 @@ impl NandChip {
     /// The read-retry engine (exposed for characterization experiments).
     pub fn retry_engine(&self) -> &RetryEngine {
         &self.retry
+    }
+
+    /// Sets the retry-chain optimization switches (Park-et-al-style
+    /// speculation, prediction and early termination).
+    pub fn set_retry_opt(&mut self, opt: crate::read::RetryOptConfig) {
+        self.retry.set_opt(opt);
     }
 
     /// The reliability model (exposed for characterization experiments).
@@ -500,6 +510,7 @@ impl NandChip {
             final_offset: outcome.final_offset,
             data: self.wl_data[idx].pages[page.page.0 as usize],
             fault,
+            early_terminated: outcome.early_terminated,
         })
     }
 

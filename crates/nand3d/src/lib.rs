@@ -73,6 +73,6 @@ pub use faults::{
 pub use geometry::{BlockId, ChipId, Geometry, HLayer, PageAddr, PageIndex, VLayer, WlAddr};
 pub use ispp::{IsppEngine, LoopInterval, ProgramParams, StateIndex, NUM_PROGRAM_STATES};
 pub use process::ProcessModel;
-pub use read::{ReadParams, RetryEngine, MAX_OFFSET_INDEX};
+pub use read::{ReadParams, RetryEngine, RetryOptConfig, MAX_OFFSET_INDEX};
 pub use reliability::{delta_h, delta_v, ReliabilityModel};
 pub use vth::{VthConditions, VthLandscape, VthModel, VthState};

@@ -31,6 +31,13 @@ pub struct ReadParams {
     /// a PS-aware FTL passes its cached per-h-layer optimum (the ORT
     /// entry, §5.1).
     pub start_offset: u8,
+    /// `true` when `start_offset` is a cross-block *cluster seed* rather
+    /// than this block's own cached optimum. A seeded chain hedges: if
+    /// walking from the seed turns out costlier than the plain
+    /// default-start walk would have been, the chain abandons the seed
+    /// (early termination) and pays the default cost instead — a seed
+    /// can therefore never make a read slower than a cold start.
+    pub seeded: bool,
 }
 
 impl ReadParams {
@@ -38,6 +45,16 @@ impl ReadParams {
     pub fn from_offset(offset: u8) -> Self {
         ReadParams {
             start_offset: offset,
+            seeded: false,
+        }
+    }
+
+    /// A read starting from a cluster-seeded offset (see
+    /// [`ReadParams::seeded`]).
+    pub fn seeded_from(offset: u8) -> Self {
+        ReadParams {
+            start_offset: offset,
+            seeded: true,
         }
     }
 }
@@ -54,18 +71,66 @@ pub struct RetryOutcome {
     pub final_offset: u8,
     /// Whether the starting offset already decoded (no retry needed).
     pub first_try: bool,
+    /// Whether a hopeless retry chain was cut short: a cluster-seeded
+    /// walk abandoned in favour of the default schedule, or a full
+    /// offset scan stopped at the shortened budget (with
+    /// [`RetryOptConfig::early_terminate`]).
+    pub early_terminated: bool,
+}
+
+/// Park-et-al-style retry-chain optimizations (arXiv 2104.09611),
+/// individually switchable. All off by default — the conservative
+/// setting reproduces the unoptimized chain bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RetryOptConfig {
+    /// Cold reads (default start, no seed) jump to an offset predicted
+    /// from the block's P/E count and retention age after the first
+    /// failed sensing, instead of stepping one offset at a time.
+    pub predict: bool,
+    /// Retry steps speculate two offsets ahead per sensing, halving long
+    /// walks (rounded up — the final fine-tune step still lands exactly).
+    pub speculate: bool,
+    /// Uncorrectable-fault full scans stop at half the offset budget
+    /// (soft-decision sensing recognizes a hopeless chain early).
+    pub early_terminate: bool,
+}
+
+impl RetryOptConfig {
+    /// Every optimization enabled (`--retry-opt on`).
+    pub fn on() -> Self {
+        RetryOptConfig {
+            predict: true,
+            speculate: true,
+            early_terminate: true,
+        }
+    }
 }
 
 /// The read-retry engine for one chip.
 #[derive(Debug, Clone)]
 pub struct RetryEngine {
     model: CalibratedModel,
+    opt: RetryOptConfig,
 }
 
 impl RetryEngine {
-    /// Creates an engine from the calibrated model.
+    /// Creates an engine from the calibrated model, with every
+    /// retry-chain optimization off.
     pub fn new(model: CalibratedModel) -> Self {
-        RetryEngine { model }
+        RetryEngine {
+            model,
+            opt: RetryOptConfig::default(),
+        }
+    }
+
+    /// Sets the retry-chain optimization switches.
+    pub fn set_opt(&mut self, opt: RetryOptConfig) {
+        self.opt = opt;
+    }
+
+    /// The current retry-chain optimization switches.
+    pub fn opt(&self) -> RetryOptConfig {
+        self.opt
     }
 
     /// The ground-truth optimal offset index of `wl`'s h-layer under the
@@ -147,6 +212,87 @@ impl RetryEngine {
         by_retention * pe_frac
     }
 
+    /// The offset a PS-*unaware* predictor would jump to for a cold read
+    /// of `block`: the central shift under the block's P/E count and
+    /// retention age, with neutral layer sensitivity (Luo et al., arXiv
+    /// 1807.05140: condition the prediction on wear and retention).
+    /// Deterministic — no RNG draw, so enabling prediction never
+    /// perturbs the simulation's random stream.
+    pub fn predicted_offset(&self, env: &Environment, block: usize) -> u8 {
+        let pe = env.pe(block);
+        let months = env.effective_retention_months_of(block);
+        let x = f64::from(pe) / 2000.0;
+        let t = (months / 12.0).max(0.0);
+        // The optimal-offset formula with sens = 1 and the central layer
+        // factor 0.5 — what is knowable without per-layer monitoring.
+        let shift = (2.1 * t.powf(0.3) * (0.25 + x) * 0.8) / self.model.retry.shift_per_step;
+        (shift.round() as i64).clamp(0, i64::from(MAX_OFFSET_INDEX)) as u8
+    }
+
+    /// The retry-chain cost of reaching `optimal` from `params`:
+    /// `(retries, early_terminated)`.
+    ///
+    /// * Plain chain: one retry per offset step, `|start − optimal|`.
+    /// * Seeded chain: the walk from the seed races the embedded default
+    ///   schedule; when the default walk (`optimal` steps from offset 0)
+    ///   is strictly shorter, the seed is abandoned — early termination
+    ///   of a hopeless chain — and the default cost is paid. A seed can
+    ///   never lose to a cold start.
+    /// * `predict`: a cold read (default start, unseeded) spends one
+    ///   retry jumping to [`RetryEngine::predicted_offset`], then walks
+    ///   from there — taken only when it beats the plain walk.
+    /// * `speculate`: chains longer than one step sense two offsets per
+    ///   retry (rounded up).
+    fn chain_cost(
+        &self,
+        params: ReadParams,
+        optimal: u8,
+        env: &Environment,
+        block: usize,
+    ) -> (u32, bool) {
+        let walk = u32::from(params.start_offset.abs_diff(optimal));
+        // Cost of the predicted jump (one retry to move there, then the
+        // residual walk), when prediction is on and has something to say.
+        let jump = self
+            .opt
+            .predict
+            .then(|| self.predicted_offset(env, block))
+            .filter(|&p| p > 0)
+            .map(|p| 1 + u32::from(p.abs_diff(optimal)));
+        let (mut cost, mut early_terminated) = if params.seeded {
+            // The seed races every schedule the controller could have
+            // used without it — the embedded default walk and, when
+            // prediction is on, the predicted jump — so a seed can never
+            // lose to a cold start, optimized or not.
+            let mut fallback = u32::from(optimal);
+            if let Some(j) = jump {
+                fallback = fallback.min(j);
+            }
+            if fallback < walk {
+                (fallback, true)
+            } else {
+                (walk, false)
+            }
+        } else {
+            let mut c = walk;
+            // Prediction applies to cold reads only: a warm non-default
+            // start is already the block's own cached optimum.
+            if params.start_offset == 0 {
+                if let Some(j) = jump {
+                    c = c.min(j);
+                }
+            }
+            (c, false)
+        };
+        if self.opt.speculate && cost > 1 {
+            cost = cost.div_ceil(2);
+        }
+        if cost == 0 {
+            early_terminated = false;
+        }
+        (cost, early_terminated)
+    }
+
     /// Executes one page read of `wl` starting from `params.start_offset`.
     ///
     /// `needs_retry` is the outcome of
@@ -188,19 +334,22 @@ impl RetryEngine {
                     params.start_offset
                 },
                 first_try: true,
+                early_terminated: false,
             };
         }
 
         // The retry loop walks offsets away from the starting point until
         // it hits the optimum (Fig. 4: `V_Ref` is adjusted by one offset
-        // per retry).
-        let distance = u32::from(params.start_offset.abs_diff(optimal));
-        let retries = distance;
+        // per retry); seeding and the chain optimizations only shorten
+        // that walk — the chain always ends decoding at the optimum.
+        let (retries, early_terminated) =
+            self.chain_cost(params, optimal, env, wl.block.0 as usize);
         RetryOutcome {
             retries,
             latency_us: t.t_read_us + f64::from(retries) * t.t_retry_us,
             final_offset: optimal,
             first_try: retries == 0,
+            early_terminated,
         }
     }
 
@@ -253,7 +402,15 @@ impl RetryEngine {
             Some(ReadFaultKind::Uncorrectable) => {
                 let mut out = self.read(process, wl, env, params, true, disturbed, thermal_jitter);
                 let full_scan = u32::from(MAX_OFFSET_INDEX) + 1;
-                out.retries = out.retries.max(full_scan);
+                // With early termination on, soft-decision sensing stops
+                // the hopeless scan at half the offset budget.
+                let scan = if self.opt.early_terminate {
+                    out.early_terminated = true;
+                    full_scan / 2
+                } else {
+                    full_scan
+                };
+                out.retries = out.retries.max(scan);
                 out.latency_us = t.t_read_us + f64::from(out.retries) * t.t_retry_us;
                 out.first_try = false;
                 out
@@ -408,4 +565,152 @@ mod tests {
     }
 
     struct NandTimingRef<'a>(&'a RetryEngine);
+
+    #[test]
+    fn seeded_chain_never_loses_to_cold_start() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        for h in 0..48u16 {
+            let wl = g.wl_addr(BlockId(5), h, 0);
+            for jitter in [-1i8, 0, 1] {
+                let cold = engine.read(
+                    &process,
+                    wl,
+                    &env,
+                    ReadParams::default(),
+                    true,
+                    false,
+                    jitter,
+                );
+                for seed in 0..=MAX_OFFSET_INDEX {
+                    let seeded = engine.read(
+                        &process,
+                        wl,
+                        &env,
+                        ReadParams::seeded_from(seed),
+                        true,
+                        false,
+                        jitter,
+                    );
+                    assert!(
+                        seeded.retries <= cold.retries,
+                        "seed {seed} at h {h} jitter {jitter}: {} > {}",
+                        seeded.retries,
+                        cold.retries
+                    );
+                    assert_eq!(seeded.final_offset, cold.final_offset);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_seed_early_terminates_to_the_default_walk() {
+        let (engine, process, mut env) = setup();
+        env.set_aging(AgingState::MidLife);
+        let g = *process.geometry();
+        // Find an h-layer whose optimum is 1: a seed at MAX is hopeless
+        // (walk 6+), the embedded default schedule wins in 1.
+        let wl = (0..48u16)
+            .map(|h| g.wl_addr(BlockId(3), h, 0))
+            .find(|&wl| engine.optimal_offset(&process, wl, &env) == 1)
+            .expect("some h-layer has optimum 1 at midlife");
+        let out = engine.read(
+            &process,
+            wl,
+            &env,
+            ReadParams::seeded_from(MAX_OFFSET_INDEX),
+            true,
+            false,
+            0,
+        );
+        assert_eq!(out.retries, 1, "pays the default walk, not the seed walk");
+        assert!(
+            out.early_terminated,
+            "the hopeless seed chain was abandoned"
+        );
+
+        // A perfect seed decodes first-try and is not an early termination.
+        let exact = engine.read(
+            &process,
+            wl,
+            &env,
+            ReadParams::seeded_from(1),
+            true,
+            false,
+            0,
+        );
+        assert_eq!(exact.retries, 0);
+        assert!(!exact.early_terminated);
+    }
+
+    #[test]
+    fn prediction_shortcuts_cold_walks() {
+        let (mut engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        let wl = (0..48u16)
+            .map(|h| g.wl_addr(BlockId(7), h, 0))
+            .max_by_key(|&wl| engine.optimal_offset(&process, wl, &env))
+            .unwrap();
+        let optimal = engine.optimal_offset(&process, wl, &env);
+        assert!(optimal >= 3, "need a long cold walk to shortcut");
+        let plain = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+        assert_eq!(plain.retries, u32::from(optimal));
+
+        engine.set_opt(RetryOptConfig {
+            predict: true,
+            speculate: false,
+            early_terminate: false,
+        });
+        let predicted = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+        let p = engine.predicted_offset(&env, wl.block.0 as usize);
+        assert!(p > 0, "aged block has a nonzero predicted shift");
+        assert_eq!(
+            predicted.retries,
+            u32::from(optimal).min(1 + u32::from(p.abs_diff(optimal)))
+        );
+        assert!(predicted.retries < plain.retries);
+        // Prediction never touches warm (nonzero-start) or seeded reads.
+        let warm = engine.read(
+            &process,
+            wl,
+            &env,
+            ReadParams::from_offset(optimal),
+            true,
+            false,
+            0,
+        );
+        assert_eq!(warm.retries, 0);
+    }
+
+    #[test]
+    fn speculative_stepping_halves_long_chains() {
+        let (mut engine, process, mut env) = setup();
+        env.set_aging(AgingState::EndOfLife);
+        let g = *process.geometry();
+        let wl = (0..48u16)
+            .map(|h| g.wl_addr(BlockId(7), h, 0))
+            .max_by_key(|&wl| engine.optimal_offset(&process, wl, &env))
+            .unwrap();
+        let plain = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+        assert!(plain.retries > 1);
+        engine.set_opt(RetryOptConfig {
+            predict: false,
+            speculate: true,
+            early_terminate: false,
+        });
+        let spec = engine.read(&process, wl, &env, ReadParams::default(), true, false, 0);
+        assert_eq!(spec.retries, plain.retries.div_ceil(2));
+        assert_eq!(spec.final_offset, plain.final_offset);
+    }
+
+    #[test]
+    fn retry_opt_default_is_all_off() {
+        let opt = RetryOptConfig::default();
+        assert!(!opt.predict && !opt.speculate && !opt.early_terminate);
+        let on = RetryOptConfig::on();
+        assert!(on.predict && on.speculate && on.early_terminate);
+    }
 }

@@ -107,6 +107,19 @@ pub struct FtlStats {
     pub ort_misses: u64,
     /// ORT entries evicted by the capacity-bounded LRU.
     pub ort_evictions: u64,
+    /// ORT lookups (read path and prediction peeks) that fell all the
+    /// way back to the default offset 0 — no cached entry and no
+    /// cross-block cluster seed.
+    pub ort_fallbacks: u64,
+    /// ORT misses answered by the cross-block h-layer offset cluster.
+    pub cluster_seeds: u64,
+    /// Cluster-seeded reads whose decode confirmed the seed exactly.
+    pub cluster_hits: u64,
+    /// Cluster-seeded reads whose decode landed on a different offset.
+    pub cluster_mispredicts: u64,
+    /// Host reads whose hopeless retry chain was cut short (seeded walk
+    /// abandoned for the default schedule, or a shortened full scan).
+    pub early_terminations: u64,
     /// Metadata pages programmed into the reserved checkpoint region by
     /// L2P checkpoint flushes — real NAND wear, counted into total
     /// write amplification.
@@ -171,6 +184,11 @@ impl FtlStats {
         self.ort_hits += other.ort_hits;
         self.ort_misses += other.ort_misses;
         self.ort_evictions += other.ort_evictions;
+        self.ort_fallbacks += other.ort_fallbacks;
+        self.cluster_seeds += other.cluster_seeds;
+        self.cluster_hits += other.cluster_hits;
+        self.cluster_mispredicts += other.cluster_mispredicts;
+        self.early_terminations += other.early_terminations;
         self.ckpt_page_programs += other.ckpt_page_programs;
         self.ckpt_erases += other.ckpt_erases;
     }
@@ -200,6 +218,11 @@ impl FtlStats {
             ("ort_hits", self.ort_hits),
             ("ort_misses", self.ort_misses),
             ("ort_evictions", self.ort_evictions),
+            ("ort_fallbacks", self.ort_fallbacks),
+            ("cluster_seeds", self.cluster_seeds),
+            ("cluster_hits", self.cluster_hits),
+            ("cluster_mispredicts", self.cluster_mispredicts),
+            ("early_terminations", self.early_terminations),
             ("ckpt_page_programs", self.ckpt_page_programs),
             ("ckpt_erases", self.ckpt_erases),
         ] {

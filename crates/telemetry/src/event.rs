@@ -120,6 +120,12 @@ pub enum EventKind {
         retries: u32,
         /// Injected fault kind recovered from, if any.
         fault: Option<&'static str>,
+        /// Whether the starting ΔV_Ref came from the cross-block cluster
+        /// (ORT miss seeded by the h-layer aggregate).
+        seeded: bool,
+        /// Whether the retry chain terminated early (seeded-chain guard
+        /// or the `--retry-opt` early-termination scan).
+        early_term: bool,
     },
     /// GC selected a victim block.
     GcVictim {
@@ -244,6 +250,8 @@ impl TraceEvent {
                 lpn,
                 retries,
                 fault,
+                seeded,
+                early_term,
             } => {
                 let _ = write!(
                     s,
@@ -255,6 +263,7 @@ impl TraceEvent {
                     }
                     None => s.push_str("null"),
                 }
+                let _ = write!(s, ",\"seeded\":{seeded},\"early_term\":{early_term}");
             }
             EventKind::GcVictim {
                 chip,

@@ -8,7 +8,7 @@
 //!             [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]
 //!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
 //!             [--shards N] [--array-stripe PAGES] [--array-threads N]
-//!             [--ort-capacity N] [--trace-file PATH]
+//!             [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off] [--trace-file PATH]
 //!             [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]
 //!             [--series-out PATH] [--sample-interval-us T]
 //! ```
@@ -44,7 +44,14 @@
 //!
 //! `--ort-capacity N` bounds the per-chip offset-reuse table to N entries
 //! with LRU eviction (default: unbounded); hit/miss/eviction counters
-//! show up in the per-FTL output. `--trace-file PATH` replays a trace
+//! show up in the per-FTL output. `--ort-cluster on` enables the
+//! cross-block ΔV_Ref cluster (§4.2.2 closure): ORT misses seed their
+//! starting offset from an EWMA of recently decoded offsets on the same
+//! chip and h-layer, instead of starting at offset 0. `--retry-opt on`
+//! enables the retry-chain optimizations (P/E+retention-conditioned
+//! offset prediction, speculative double-stepping, early-terminated
+//! uncorrectable scans). Both default to off, which reproduces the
+//! pre-cluster pipeline byte-for-byte. `--trace-file PATH` replays a trace
 //! instead of a synthetic workload — either the native `# cubeftl trace
 //! v1` format or an MSR-Cambridge-style CSV (byte offsets folded into
 //! the simulated address space at 16-KB page granularity).
@@ -83,7 +90,7 @@ use cubeftl::harness::{
 };
 use cubeftl::{
     events_to_ndjson, AgingState, EventMask, FaultKind, FaultPlan, FtlKind, MaintConfig,
-    MetricRegistry, SpoTrigger, StandardWorkload, Trace,
+    MetricRegistry, OrtClusterConfig, RetryOptConfig, SpoTrigger, StandardWorkload, Trace,
 };
 use std::process::ExitCode;
 
@@ -143,7 +150,8 @@ fn usage() -> ExitCode {
          \x20                  [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]\n\
          \x20                  [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]\n\
          \x20                  [--shards N] [--array-stripe PAGES] [--array-threads N]\n\
-         \x20                  [--ort-capacity N] [--trace-file PATH]\n\
+         \x20                  [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off]\n\
+         \x20                  [--trace-file PATH]\n\
          \x20                  [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]\n\
          \x20                  [--series-out PATH] [--sample-interval-us T]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort\n\
@@ -322,6 +330,16 @@ fn main() -> ExitCode {
             },
             ("--ort-capacity", Some(v)) => match v.parse::<usize>() {
                 Ok(n) if n >= 1 => cfg.ort_capacity = n,
+                _ => return usage(),
+            },
+            ("--ort-cluster", Some(v)) => match v.as_str() {
+                "on" => cfg.ort_cluster = OrtClusterConfig::on(),
+                "off" => cfg.ort_cluster = OrtClusterConfig::default(),
+                _ => return usage(),
+            },
+            ("--retry-opt", Some(v)) => match v.as_str() {
+                "on" => cfg.retry_opt = RetryOptConfig::on(),
+                "off" => cfg.retry_opt = RetryOptConfig::default(),
                 _ => return usage(),
             },
             ("--trace-file", Some(v)) => trace_file = Some(v.clone()),
@@ -614,6 +632,16 @@ fn print_detail_lines(
             ftl.ort_hits,
             ftl.ort_misses,
             ftl.ort_evictions,
+        );
+    }
+    if ftl.cluster_seeds > 0 {
+        println!(
+            "{:<10} cluster: {} seeded cold reads ({} exact, {} refined), {} early terminations",
+            "", // aligned under the FTL column
+            ftl.cluster_seeds,
+            ftl.cluster_hits,
+            ftl.cluster_mispredicts,
+            ftl.early_terminations,
         );
     }
     if faults_on {

@@ -6,8 +6,8 @@
 //! block count for quick runs — the FTL behaviour is unchanged, only the
 //! physical capacity shrinks).
 
-use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, RecoveryReport};
-use nand3d::{AgingState, FaultPlan};
+use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, OrtClusterConfig, RecoveryReport};
+use nand3d::{AgingState, FaultPlan, RetryOptConfig};
 use ssdarray::{ArrayReport, ArrayShard, SsdArray, StripeRouter};
 use ssdsim::{HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
 use telemetry::{merge_streams, EventMask, Series, TraceEvent};
@@ -43,6 +43,12 @@ pub struct EvalConfig {
     /// paper's unbounded in-DRAM table; smaller values model scarce
     /// controller SRAM with LRU eviction).
     pub ort_capacity: usize,
+    /// Cross-block ΔV_Ref cluster seeding for cold ORT lookups
+    /// (`--ort-cluster`; disabled by default so goldens are unchanged).
+    pub ort_cluster: OrtClusterConfig,
+    /// Retry-chain optimization switches (`--retry-opt`; all off by
+    /// default).
+    pub retry_opt: RetryOptConfig,
 }
 
 impl EvalConfig {
@@ -59,6 +65,8 @@ impl EvalConfig {
             faults: None,
             maint: None,
             ort_capacity: usize::MAX,
+            ort_cluster: OrtClusterConfig::default(),
+            retry_opt: RetryOptConfig::default(),
         }
     }
 
@@ -85,6 +93,8 @@ impl EvalConfig {
             faults: None,
             maint: None,
             ort_capacity: usize::MAX,
+            ort_cluster: OrtClusterConfig::default(),
+            retry_opt: RetryOptConfig::default(),
         }
     }
 
@@ -94,6 +104,8 @@ impl EvalConfig {
         cfg.nand.geometry.blocks_per_chip = self.blocks_per_chip;
         cfg.seed = self.seed;
         cfg.ort_capacity = self.ort_capacity;
+        cfg.ort_cluster = self.ort_cluster;
+        cfg.retry_opt = self.retry_opt;
         cfg
     }
 }

@@ -30,12 +30,12 @@
 //! ```
 
 pub use ftl::{
-    Checkpoint, CheckpointError, Ftl, FtlConfig, FtlKind, MaintConfig, Opm, ProgramOrder,
-    RecoveryReport, Wam,
+    Checkpoint, CheckpointError, Ftl, FtlConfig, FtlKind, MaintConfig, Opm, OrtClusterConfig,
+    ProgramOrder, RecoveryReport, Wam,
 };
 pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
-    NandConfig, OobStatus, ProgramParams, ReadParams, TargetedFault, WlAddr, WlOob,
+    NandConfig, OobStatus, ProgramParams, ReadParams, RetryOptConfig, TargetedFault, WlAddr, WlOob,
 };
 pub use ssdarray::{ArrayReport, ArrayRunOutcome, ArrayShard, SsdArray, StripeRouter};
 pub use ssdsim::{

@@ -1,8 +1,11 @@
 //! Property-based tests on the core data structures and invariants.
 
 use cubeftl::{FtlConfig, FtlDriver, Geometry, ProgramOrder};
-use ftl::{Checkpoint, Ftl, FtlKind, Mapping, Ppn};
-use nand3d::{BlockId, FaultKind, FaultPlan, OobStatus, WlOob};
+use ftl::{Checkpoint, Ftl, FtlKind, Mapping, OffsetLookup, Opm, OrtClusterConfig, Ppn};
+use nand3d::{
+    BlockId, CalibratedModel, Environment, FaultKind, FaultPlan, OobStatus, ProcessModel,
+    ReadParams, RetryEngine, RetryOptConfig, WlOob,
+};
 use proptest::prelude::*;
 use ssdsim::{HostContext, WriteBuffer};
 use std::collections::{HashMap, HashSet};
@@ -318,6 +321,142 @@ proptest! {
         if !blob.is_empty() {
             prop_assert!(Checkpoint::decode(&blob[..blob.len() - 1]).is_err());
         }
+    }
+
+    /// §4.2.2 closure: a cluster-seeded retry chain never exceeds the
+    /// cold-start chain for the same read under the same engine
+    /// configuration — for arbitrary wear, retention, layer, seed
+    /// offset, jitter, disturbance and optimization switches — and both
+    /// chains decode at the same final offset.
+    #[test]
+    fn seeded_retry_chain_never_exceeds_cold_start(
+        pe in 0u32..3_000,
+        months_tenths in 0u32..121,
+        block in 0u32..8,
+        h in 0u16..48,
+        seed_off in 0u8..8,
+        jitter in -1i8..2,
+        disturbed in prop::bool::ANY,
+        optimized in prop::bool::ANY,
+    ) {
+        let model = CalibratedModel::default();
+        let g = Geometry::paper();
+        let process = ProcessModel::new(g, model.reliability, 7);
+        let mut env = Environment::new(g.blocks_per_chip as usize, 3);
+        env.set_aging_raw(pe, f64::from(months_tenths) / 10.0);
+        let mut engine = RetryEngine::new(model);
+        if optimized {
+            engine.set_opt(RetryOptConfig::on());
+        }
+        // Jitter only occurs under retention; mirror the chip's sampling.
+        let jitter = if env.effective_retention_months_of(block as usize) <= 0.0 { 0 } else { jitter };
+        let wl = g.wl_addr(BlockId(block), h, 0);
+        let cold = engine.read(&process, wl, &env, ReadParams::default(), true, disturbed, jitter);
+        let seeded = engine.read(
+            &process, wl, &env, ReadParams::seeded_from(seed_off), true, disturbed, jitter,
+        );
+        prop_assert!(
+            seeded.retries <= cold.retries,
+            "seed {} lost to the cold start: {} > {} retries",
+            seed_off, seeded.retries, cold.retries
+        );
+        prop_assert_eq!(seeded.final_offset, cold.final_offset);
+    }
+
+    /// Cluster seeding follows the ORT key space exactly: WLs of one
+    /// (block, h-layer) share that block's own entry, *other* blocks on
+    /// the same h-layer get the cluster seed, other h-layers and other
+    /// chips get nothing.
+    #[test]
+    fn cluster_seed_follows_the_ort_key_space(
+        blocks in 2u32..6,
+        hlayers in 2u16..12,
+        wls in 2u16..6,
+        h_seed in 0u16..12,
+        block_seed in 0u32..6,
+        v_seed in 0u16..6,
+        offset in 1u8..8,
+    ) {
+        let g = Geometry {
+            blocks_per_chip: blocks,
+            hlayers_per_block: hlayers,
+            wls_per_hlayer: wls,
+            pages_per_wl: 3,
+            page_size: 16 * 1024,
+        };
+        let h = h_seed % hlayers;
+        let v = v_seed % wls;
+        let block_a = block_seed % blocks;
+        let block_b = (block_a + 1) % blocks;
+        let mut opm = Opm::new(&g, 2);
+        opm.set_cluster(OrtClusterConfig { enabled: true, min_samples: 1 });
+        opm.update_read_offset(0, g.wl_addr(BlockId(block_a), h, 0), offset);
+        // Same block + h-layer, any WL index: the block's own ORT entry.
+        prop_assert_eq!(
+            opm.lookup_offset(0, g.wl_addr(BlockId(block_a), h, v)),
+            OffsetLookup { offset, seeded: false }
+        );
+        // A different block on the same h-layer: the cluster seed.
+        prop_assert_eq!(
+            opm.lookup_offset(0, g.wl_addr(BlockId(block_b), h, v)),
+            OffsetLookup { offset, seeded: true }
+        );
+        // A different h-layer of the same block: cold default.
+        prop_assert_eq!(
+            opm.lookup_offset(0, g.wl_addr(BlockId(block_a), (h + 1) % hlayers, v)),
+            OffsetLookup { offset: 0, seeded: false }
+        );
+        // The other chip's cluster is isolated.
+        prop_assert_eq!(
+            opm.lookup_offset(1, g.wl_addr(BlockId(block_b), h, v)),
+            OffsetLookup { offset: 0, seeded: false }
+        );
+    }
+
+    /// A bounded ORT with the cluster on is a pure function of its
+    /// input sequence: replaying arbitrary interleavings of decodes and
+    /// lookups reproduces every answer and every counter, and the table
+    /// never exceeds its capacity.
+    #[test]
+    fn bounded_ort_with_cluster_replays_deterministically(
+        ops in prop::collection::vec((0u32..4, 0u16..6, 0u8..8, prop::bool::ANY), 1..200),
+        cap in 1usize..6,
+        min_samples in 1u32..4,
+    ) {
+        let g = Geometry {
+            blocks_per_chip: 4,
+            hlayers_per_block: 6,
+            wls_per_hlayer: 3,
+            pages_per_wl: 3,
+            page_size: 16 * 1024,
+        };
+        let run = || {
+            let mut opm = Opm::with_ort_capacity(&g, 2, cap);
+            opm.set_cluster(OrtClusterConfig { enabled: true, min_samples });
+            let mut answers = Vec::new();
+            for &(block, h, off, decode) in &ops {
+                let chip = (block % 2) as usize;
+                let wl = g.wl_addr(BlockId(block), h, 0);
+                if decode {
+                    opm.update_read_offset(chip, wl, off);
+                } else {
+                    let l = opm.lookup_offset(chip, wl);
+                    answers.push((l.offset, l.seeded));
+                }
+                assert!(
+                    opm.ort_entries(chip) <= cap,
+                    "ORT grew past its capacity: {} > {cap}",
+                    opm.ort_entries(chip)
+                );
+            }
+            (
+                answers,
+                opm.ort_counters(),
+                opm.cluster_counters(),
+                opm.ort_fallbacks(),
+            )
+        };
+        prop_assert_eq!(run(), run());
     }
 
     /// Per-WL OOB records survive their fixed-width spare-area encoding

@@ -1,0 +1,309 @@
+//! §4.2.2-closure acceptance suite: the v2 read pipeline (cross-block
+//! ΔV_Ref cluster seeding + retry-chain optimization) end to end.
+//!
+//! Locks in the three contracts of the pipeline:
+//!
+//! * **conservative off-switch** — `--ort-cluster off --retry-opt off`
+//!   (the defaults) reproduce the pre-cluster pipeline bit for bit,
+//!   pinned by the same golden constants as `determinism.rs`;
+//! * **the NumRetry bar** — under an SRAM-bounded ORT the v2 pipeline
+//!   removes ≥66% of NumRetry at the aged EndOfLife state, and never
+//!   regresses fresh or mid-life states;
+//! * **determinism** — the retry-chain NDJSON trace is byte-identical
+//!   across double runs, across array worker-thread counts, and under
+//!   both bounded and unbounded `--ort-capacity`, with a golden
+//!   snapshot (`tests/data/golden_retry.ndjson`, regenerate with
+//!   `UPDATE_GOLDEN=1 cargo test --test retry_cluster`).
+
+use cubeftl::harness::{
+    run_array_eval_traced, run_eval, run_eval_traced, run_spo_eval, ArrayEvalConfig, EvalConfig,
+    SpoConfig, TelemetrySpec,
+};
+use cubeftl::{
+    events_to_ndjson, AgingState, EventMask, FtlKind, OrtClusterConfig, RetryOptConfig,
+    StandardWorkload,
+};
+
+/// The smoke config with the ORT bounded to model scarce controller
+/// SRAM — LRU eviction keeps producing the cold lookups the cluster
+/// targets — and enough read traffic to warm the cluster.
+fn bounded_cfg(requests: u64) -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = requests;
+    cfg.ort_capacity = 4;
+    cfg
+}
+
+/// `bounded_cfg` with the full v2 pipeline on.
+fn v2_cfg(requests: u64) -> EvalConfig {
+    let mut cfg = bounded_cfg(requests);
+    cfg.ort_cluster = OrtClusterConfig::on();
+    cfg.retry_opt = RetryOptConfig::on();
+    cfg
+}
+
+fn retry_tel() -> TelemetrySpec {
+    TelemetrySpec {
+        events: EventMask::READ_RETRY,
+        sample_interval_us: None,
+    }
+}
+
+/// NumRetry of one Rocks run at `aging` under `cfg`.
+fn num_retry(cfg: &EvalConfig, aging: AgingState) -> u64 {
+    run_eval(FtlKind::Cube, StandardWorkload::Rocks, aging, cfg)
+        .ftl
+        .read_retries
+}
+
+#[test]
+fn cluster_off_reproduces_the_pre_pr_golden() {
+    // The defaults (cluster off, retry-opt off) must keep the golden
+    // smoke report of determinism.rs intact — same constants, same
+    // pipeline, bit for bit.
+    let cfg = EvalConfig::smoke();
+    assert!(!cfg.ort_cluster.enabled, "the cluster must default to off");
+    assert_eq!(cfg.retry_opt, RetryOptConfig::default());
+    let r = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+    );
+    assert_eq!(r.completed, 2_000);
+    assert_eq!((r.reads, r.writes, r.trims), (999, 939, 62));
+    assert_eq!(r.ftl.host_wl_programs, 312);
+    assert_eq!(r.ftl.gc_page_moves, 0);
+    assert_eq!(r.ftl.read_retries, 0);
+    assert_eq!(r.ftl.safety_reprograms, 0);
+
+    // An explicit `--ort-cluster off --retry-opt off` is the same
+    // configuration, not merely a similar one: the full report (every
+    // counter, every latency sample) matches the default run exactly.
+    let mut explicit_off = EvalConfig::smoke();
+    explicit_off.ort_cluster = OrtClusterConfig::default();
+    explicit_off.retry_opt = RetryOptConfig::default();
+    let r2 = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &explicit_off,
+    );
+    assert_eq!(
+        format!("{r:?}"),
+        format!("{r2:?}"),
+        "explicit off-switches diverged from the defaults"
+    );
+}
+
+#[test]
+fn cold_start_vs_cluster_seeded_numretry_across_states() {
+    let baseline = bounded_cfg(15_000);
+    let v2 = v2_cfg(15_000);
+
+    // Fresh: nothing retries, so there is nothing to seed or optimize —
+    // the v2 pipeline must not disturb a retry-free run.
+    assert_eq!(num_retry(&baseline, AgingState::Fresh), 0);
+    assert_eq!(num_retry(&v2, AgingState::Fresh), 0);
+
+    // MidLife: retries exist and v2 must already help.
+    let base_mid = num_retry(&baseline, AgingState::MidLife);
+    let v2_mid = num_retry(&v2, AgingState::MidLife);
+    assert!(base_mid > 0, "mid-life must produce retries");
+    assert!(
+        v2_mid < base_mid,
+        "v2 must reduce mid-life NumRetry ({v2_mid} vs {base_mid})"
+    );
+
+    // EndOfLife: the tentpole bar — ≥66% of NumRetry removed.
+    let base_eol = num_retry(&baseline, AgingState::EndOfLife);
+    let v2_eol = num_retry(&v2, AgingState::EndOfLife);
+    let reduction = 1.0 - v2_eol as f64 / base_eol.max(1) as f64;
+    assert!(
+        reduction >= 0.66,
+        "v2 must cut NumRetry by >= 66% at EndOfLife, got {:.1}% ({base_eol} -> {v2_eol})",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn cluster_seeding_marks_the_trace_and_feeds_the_counters() {
+    // The seeded/early_term event tags and the aggregate counters must
+    // tell the same story: seeded retry events appear iff the cluster
+    // seeded lookups, and the trace's NumRetry equals the counter.
+    let cfg = v2_cfg(15_000);
+    let (report, out) = run_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Rocks,
+        AgingState::EndOfLife,
+        &cfg,
+        &retry_tel(),
+    );
+    let mut num = 0u64;
+    let mut seeded = 0u64;
+    for e in &out.events {
+        if let cubeftl::EventKind::ReadRetry {
+            retries, seeded: s, ..
+        } = e.kind
+        {
+            num += u64::from(retries);
+            seeded += u64::from(s);
+        }
+    }
+    assert_eq!(num, report.ftl.read_retries, "trace vs counter NumRetry");
+    assert!(seeded > 0, "aged + bounded ORT must produce seeded retries");
+    assert!(
+        report.ftl.cluster_seeds >= seeded,
+        "every seeded retry event starts from a seeded lookup ({seeded} events, {} seeds)",
+        report.ftl.cluster_seeds
+    );
+    assert!(
+        report.ftl.cluster_hits + report.ftl.cluster_mispredicts > 0,
+        "seeded outcomes must be scored"
+    );
+}
+
+#[test]
+fn post_spo_boot_reseeds_from_the_rebuilt_cluster() {
+    // After a power cut the ORT boots empty and the cluster is rebuilt
+    // from live decodes — the resumed run must then seed its cold
+    // lookups again, and the whole crash path stays deterministic with
+    // the v2 pipeline on.
+    let cfg = v2_cfg(2_000);
+    let spo = SpoConfig::at_ops(1_100);
+    let run = || {
+        run_spo_eval(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::EndOfLife,
+            &cfg,
+            &spo,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(a.fired(), "the armed trigger must fire");
+    assert!(a.lost_lpns.is_empty(), "no host-acknowledged loss");
+    let resumed = a.resumed.as_ref().expect("workload had a remainder");
+    assert!(
+        resumed.ftl.cluster_seeds > 0,
+        "the rebuilt cluster must seed cold post-SPO lookups"
+    );
+    assert_eq!(
+        format!("{:?}", a.recovery),
+        format!("{:?}", b.recovery),
+        "recovery reports diverged with the v2 pipeline on"
+    );
+    assert_eq!(
+        format!("{:?}", a.resumed),
+        format!("{:?}", b.resumed),
+        "post-recovery resumed runs diverged with the v2 pipeline on"
+    );
+}
+
+/// Golden-file comparison with `UPDATE_GOLDEN=1` regeneration (same
+/// convention as `tests/telemetry.rs`).
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        golden, actual,
+        "{name} drifted from the golden snapshot; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_retry_trace_is_stable_and_double_run_identical() {
+    // A short aged v2 run keeps the committed snapshot small while still
+    // covering seeded, unseeded and early-terminated chains.
+    let cfg = v2_cfg(800);
+    let trace = |cfg: &EvalConfig| {
+        let (_, out) = run_eval_traced(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::MidLife,
+            cfg,
+            &retry_tel(),
+        );
+        events_to_ndjson(&out.events)
+    };
+    let a = trace(&cfg);
+    assert_eq!(a, trace(&cfg), "double run diverged");
+    check_golden("golden_retry.ndjson", &a);
+}
+
+/// Shard count under test: `CUBEFTL_SHARDS` if set (CI runs the suite
+/// once with 4, matching `tests/array.rs`), else 2 to keep the default
+/// run fast.
+fn shards_under_test() -> usize {
+    std::env::var("CUBEFTL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(2)
+}
+
+#[test]
+fn retry_trace_is_thread_count_invariant() {
+    // N shards at 1 vs N worker threads with the v2 pipeline on: the
+    // concatenated retry trace must be byte-identical — per-shard
+    // clusters are isolated, so fan-out order cannot leak in.
+    let shards = shards_under_test();
+    let cfg = v2_cfg(4_000);
+    let run = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(shards);
+        arr.threads = threads;
+        run_array_eval_traced(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::EndOfLife,
+            &cfg,
+            &arr,
+            &retry_tel(),
+        )
+    };
+    let (ra, ta) = run(1);
+    let (rb, tb) = run(shards);
+    assert_eq!(
+        events_to_ndjson(&ta.events),
+        events_to_ndjson(&tb.events),
+        "array retry trace diverged across thread counts"
+    );
+    assert_eq!(
+        format!("{:?}", ra.merged),
+        format!("{:?}", rb.merged),
+        "merged report diverged across thread counts"
+    );
+}
+
+#[test]
+fn retry_trace_is_deterministic_at_any_ort_capacity() {
+    // Bounded and unbounded tables each reproduce their own trace
+    // byte-for-byte — and the traces differ from each other, proving
+    // the capacity knob actually changes eviction behaviour.
+    let run = |capacity: usize| {
+        let mut cfg = v2_cfg(6_000);
+        cfg.ort_capacity = capacity;
+        let (_, out) = run_eval_traced(
+            FtlKind::Cube,
+            StandardWorkload::Rocks,
+            AgingState::EndOfLife,
+            &cfg,
+            &retry_tel(),
+        );
+        events_to_ndjson(&out.events)
+    };
+    let bounded = run(4);
+    assert_eq!(bounded, run(4), "bounded double run diverged");
+    let unbounded = run(usize::MAX);
+    assert_eq!(unbounded, run(usize::MAX), "unbounded double run diverged");
+    assert_ne!(
+        bounded, unbounded,
+        "capacity 4 and unbounded must evict differently under load"
+    );
+}
