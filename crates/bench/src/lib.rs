@@ -11,6 +11,7 @@
 //!   topology and FTL behaviour at laptop runtimes.
 
 use cubeftl::harness::EvalConfig;
+use cubeftl::MetricRegistry;
 use nand3d::{NandChip, NandConfig};
 
 /// Seed used by every figure binary (reproducible output).
@@ -49,6 +50,24 @@ pub fn eval_config_from_args() -> EvalConfig {
         }
     }
     cfg
+}
+
+/// Writes a `BENCH_<name>.json` perf artifact: the registry exported
+/// through the metrics exporter (name-sorted NDJSON, one object per
+/// line — the schema of every other telemetry export). This seeds the
+/// perf trajectory ROADMAP item 4 asks for: each bench binary registers
+/// its headline numbers plus a `bench.wall_ms` gauge, CI uploads the
+/// files, and successive runs form the baseline for regression gates.
+///
+/// The file lands in `$BENCH_JSON_DIR` when set, else the current
+/// directory. Returns the path written.
+pub fn write_bench_json(name: &str, reg: &MetricRegistry) -> std::path::PathBuf {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_owned());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, reg.to_ndjson())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\nperf export written to {}", path.display());
+    path
 }
 
 /// A minimal fixed-width text-table printer for figure output.

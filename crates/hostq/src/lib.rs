@@ -1,0 +1,40 @@
+//! # hostq — NVMe-style multi-queue host front-end with per-tenant QoS
+//!
+//! The paper evaluates under single-stream closed-loop hosts; the
+//! ROADMAP north star is a production SSD serving heavy multi-tenant
+//! traffic. This crate supplies the missing host interface: N
+//! submission/completion queue pairs, per-tenant submission queues fed
+//! by seeded open-loop arrival processes, a work-conserving
+//! deficit-weighted-round-robin scheduler, admission control under
+//! overload, and per-tenant SLO tracking.
+//!
+//! ## Determinism
+//!
+//! Everything is integer-or-seeded: the scheduler runs Q8.8 fixed-point
+//! deficit counters (no floats in any scheduling decision), arrival
+//! processes derive from the master seed via
+//! [`tenant_seed`](workloads::tenant_seed), and queue arbitration is a
+//! flattened walk in (queue, tenant) order — byte-equivalent to a
+//! two-level DWRR whose queue quantum is the sum of its member tenant
+//! quanta, so global service shares stay weight-proportional. A run is
+//! a pure function of (config, seed): byte-identical across repeats,
+//! worker-thread counts and engine step slicing.
+//!
+//! ## Pieces
+//!
+//! * [`DwrrScheduler`] — the integer DWRR core (also used standalone in
+//!   property tests).
+//! * [`HostQueueFront`] — the [`ssdsim::HostFront`] implementation: the
+//!   arrival heap, bounded submission queues with deterministic
+//!   shedding, the in-flight token slab, and per-tenant latency/SLO
+//!   accounting.
+//! * [`QosReport`] — per-tenant and per-class outcome summary with
+//!   shard-ordered merge and bounded-cardinality metric registration.
+
+pub mod front;
+pub mod report;
+pub mod sched;
+
+pub use front::{split_arrival_budget, split_even_budget, HostQueueConfig, HostQueueFront};
+pub use report::{ClassSummary, QosReport, TenantSummary};
+pub use sched::DwrrScheduler;

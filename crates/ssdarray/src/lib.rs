@@ -33,7 +33,9 @@ pub mod stripe;
 pub use report::ArrayReport;
 pub use stripe::StripeRouter;
 
-use ssdsim::{FtlDriver, HostRequest, SimReport, SpoEvent, SpoTrigger, SsdSim, StepOutcome};
+use ssdsim::{
+    FtlDriver, HostFront, HostRequest, SimReport, SpoEvent, SpoTrigger, SsdSim, StepOutcome,
+};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -195,6 +197,135 @@ where
 type Finished<F, W> = (ArrayShard<F, W>, SimReport, Option<SpoEvent>);
 /// What a worker sends home: a [`Finished`] tagged with its shard index.
 type Done<F, W> = (usize, ArrayShard<F, W>, SimReport, Option<SpoEvent>);
+
+/// One shard of a front-driven array: a device plus the host front-end
+/// (e.g. `hostq`'s multi-queue QoS front) that feeds it open-loop.
+pub struct FrontShard<F, H> {
+    /// The shard's device simulator.
+    pub sim: SsdSim,
+    /// The shard's FTL.
+    pub ftl: F,
+    /// The shard's host front-end (its tenant subset).
+    pub front: H,
+    /// Cap on host requests the device issues this run.
+    pub requests: u64,
+}
+
+/// Results of one front-driven array run.
+#[derive(Debug, Clone)]
+pub struct FrontRunOutcome {
+    /// The merged array-wide report.
+    pub report: ArrayReport,
+    /// Per-shard reports, indexed by shard.
+    pub shard_reports: Vec<SimReport>,
+}
+
+/// The front-driven array engine: [`SsdArray`]'s fan-out/fan-in
+/// discipline (pre-computed shard inputs, index-slot collection, merge
+/// strictly in shard order) over [`SsdSim::run_step_front`]. After
+/// [`FrontArray::run`] the shards sit back in index order, so the
+/// caller can drain per-shard front state (QoS reports, telemetry)
+/// shard-ordered.
+pub struct FrontArray<F, H> {
+    shards: Vec<FrontShard<F, H>>,
+    threads: usize,
+}
+
+impl<F, H> FrontArray<F, H>
+where
+    F: FtlDriver + Send,
+    H: HostFront + Send,
+{
+    /// An array over `shards`, one worker thread per shard by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shard list.
+    pub fn new(shards: Vec<FrontShard<F, H>>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let threads = shards.len();
+        FrontArray { shards, threads }
+    }
+
+    /// Caps the worker-thread count (clamped to `1..=shards`). Purely a
+    /// resource knob: any count produces the same merged report.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, self.shards.len());
+        self
+    }
+
+    /// The shards, in index order (drain fronts after a run).
+    pub fn shards(&self) -> &[FrontShard<F, H>] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards, in index order.
+    pub fn shards_mut(&mut self) -> &mut [FrontShard<F, H>] {
+        &mut self.shards
+    }
+
+    /// Runs every shard to drain and merges the results in shard order.
+    pub fn run(&mut self) -> FrontRunOutcome {
+        let n = self.shards.len();
+        let threads = self.threads.clamp(1, n);
+
+        let (job_tx, job_rx) = mpsc::channel::<(usize, FrontShard<F, H>)>();
+        for job in self.shards.drain(..).enumerate() {
+            job_tx.send(job).expect("queue is open");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+
+        let (done_tx, done_rx) = mpsc::channel::<(usize, FrontShard<F, H>, SimReport)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let job_rx = &job_rx;
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    let job = job_rx.lock().expect("queue lock").try_recv();
+                    let Ok((idx, mut shard)) = job else { break };
+                    let report = run_front_shard(&mut shard);
+                    done_tx.send((idx, shard, report)).expect("collector");
+                });
+            }
+        });
+        drop(done_tx);
+
+        let mut slots: Vec<Option<(FrontShard<F, H>, SimReport)>> = (0..n).map(|_| None).collect();
+        for (idx, shard, report) in done_rx.iter() {
+            debug_assert!(slots[idx].is_none(), "shard {idx} finished twice");
+            slots[idx] = Some((shard, report));
+        }
+
+        let mut shard_reports = Vec::with_capacity(n);
+        for slot in slots {
+            let (shard, report) = slot.expect("every shard completes");
+            self.shards.push(shard);
+            shard_reports.push(report);
+        }
+
+        FrontRunOutcome {
+            report: ArrayReport::merge(&shard_reports),
+            shard_reports,
+        }
+    }
+}
+
+/// Simulates one front-driven shard to drain in bounded event slices.
+fn run_front_shard<F, H>(shard: &mut FrontShard<F, H>) -> SimReport
+where
+    F: FtlDriver,
+    H: HostFront,
+{
+    shard.sim.run_front_begin(shard.requests);
+    while shard
+        .sim
+        .run_step_front(&mut shard.ftl, &mut shard.front, STEP_EVENTS)
+        == StepOutcome::Running
+    {}
+    shard.sim.run_front_end(&shard.ftl)
+}
 
 /// Simulates one shard to completion in bounded event slices.
 fn run_shard<F, W>(shard: &mut ArrayShard<F, W>) -> (SimReport, Option<SpoEvent>)

@@ -144,6 +144,22 @@ impl ArrayReport {
             &format!("{prefix}.write_latency_us"),
             self.write_latency.histogram(),
         );
+        reg.gauge(
+            &format!("{prefix}.read_p99_us"),
+            self.read_latency.percentile(99.0),
+        );
+        reg.gauge(
+            &format!("{prefix}.read_p999_us"),
+            self.read_latency.percentile(99.9),
+        );
+        reg.gauge(
+            &format!("{prefix}.write_p99_us"),
+            self.write_latency.percentile(99.0),
+        );
+        reg.gauge(
+            &format!("{prefix}.write_p999_us"),
+            self.write_latency.percentile(99.9),
+        );
         self.ftl.register_metrics(reg, &format!("{prefix}.ftl"));
         for (s, (iops, completed)) in self
             .per_shard_iops

@@ -1,0 +1,62 @@
+//! The host front-end interface: an open-loop, scheduler-driven request
+//! source for [`SsdSim`](crate::SsdSim)'s front stepping mode.
+//!
+//! The legacy closed-loop mode pulls requests straight from an iterator
+//! whenever the device has queue room. A [`HostFront`] instead models
+//! the host side of an NVMe-style interface: requests *arrive* at
+//! scheduled instants, wait in per-tenant submission queues, and a
+//! scheduler decides which queued request the device pulls next. The
+//! `hostq` crate provides the multi-queue, multi-tenant implementation;
+//! this trait keeps `ssdsim` free of any policy.
+//!
+//! ## Contract (determinism by construction)
+//!
+//! * [`HostFront::advance`] must consume **every** arrival at or before
+//!   `now_us` (admitting or shedding it), so that a repeated call at an
+//!   unchanged time is a no-op — the engine relies on this to keep
+//!   `run_step_front` slice boundaries idempotent.
+//! * [`HostFront::next_arrival_us`] must be non-decreasing between
+//!   `advance` calls and strictly advance past consumed arrivals.
+//! * [`HostFront::pop`] must be work-conserving: it returns a request
+//!   whenever any submission queue is non-empty. Returning `None` with
+//!   backlogged work would live-lock the engine's arrival loop.
+//! * Tokens identify one in-flight request: the engine passes the token
+//!   back exactly once via [`HostFront::complete`] when the device
+//!   finishes the request.
+
+use crate::request::HostRequest;
+
+/// One scheduled dispatch from the front: the request plus an opaque
+/// token the engine echoes back on completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontRequest {
+    /// The host request to issue.
+    pub req: HostRequest,
+    /// Opaque per-in-flight-request token (the front's in-flight slot).
+    pub token: u32,
+}
+
+/// An open-loop host front-end: arrival admission, queueing/scheduling,
+/// and completion accounting. See the module docs for the contract.
+pub trait HostFront {
+    /// The earliest arrival instant not yet consumed by
+    /// [`HostFront::advance`], if any arrival remains.
+    fn next_arrival_us(&self) -> Option<f64>;
+
+    /// Consumes every arrival at or before `now_us`: each is either
+    /// admitted to its submission queue or deterministically shed
+    /// (admission control). Idempotent at an unchanged `now_us`.
+    fn advance(&mut self, now_us: f64);
+
+    /// Schedules the next admitted request for dispatch at `now_us`.
+    /// Must return `Some` whenever any submission queue is non-empty.
+    fn pop(&mut self, now_us: f64) -> Option<FrontRequest>;
+
+    /// The device completed the in-flight request identified by `token`
+    /// at `now_us`.
+    fn complete(&mut self, token: u32, now_us: f64);
+
+    /// Whether the front can never produce another request: all arrival
+    /// processes exhausted and every submission queue empty.
+    fn exhausted(&self) -> bool;
+}

@@ -22,12 +22,14 @@
 
 pub mod buffer;
 pub mod driver;
+pub mod front;
 pub mod request;
 pub mod ssd;
 pub mod stats;
 
 pub use buffer::WriteBuffer;
 pub use driver::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite};
+pub use front::{FrontRequest, HostFront};
 pub use request::{HostOp, HostRequest};
 pub use ssd::{
     ChipStats, InFlightFlush, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim,

@@ -14,6 +14,7 @@
 
 use crate::buffer::WriteBuffer;
 use crate::driver::{FtlDriver, HostContext};
+use crate::front::HostFront;
 use crate::request::{HostOp, HostRequest};
 use crate::stats::LatencyRecorder;
 use rand::rngs::StdRng;
@@ -322,6 +323,22 @@ impl SimReport {
             &format!("{prefix}.write_latency_us"),
             self.write_latency.histogram(),
         );
+        reg.gauge(
+            &format!("{prefix}.read_p99_us"),
+            self.read_latency.percentile(99.0),
+        );
+        reg.gauge(
+            &format!("{prefix}.read_p999_us"),
+            self.read_latency.percentile(99.9),
+        );
+        reg.gauge(
+            &format!("{prefix}.write_p99_us"),
+            self.write_latency.percentile(99.0),
+        );
+        reg.gauge(
+            &format!("{prefix}.write_p999_us"),
+            self.write_latency.percentile(99.9),
+        );
         reg.gauge(&format!("{prefix}.wa_host"), self.wa_host().unwrap_or(0.0));
         reg.gauge(
             &format!("{prefix}.wa_total"),
@@ -418,6 +435,9 @@ struct InFlightRequest {
     lpn: u64,
     /// Span length in pages.
     pages: u32,
+    /// Front-end token echoed back on completion (front mode only; 0 on
+    /// the legacy closed-loop path).
+    token: u32,
 }
 
 #[derive(Debug)]
@@ -478,6 +498,12 @@ pub struct SsdSim {
     trace: Collector,
     /// Virtual-time series sampler (`None` = sampling off).
     sampler: Option<SamplerState>,
+    /// Whether the run is driven by a [`HostFront`] (open-loop front
+    /// mode) instead of the legacy closed-loop workload iterator.
+    front_mode: bool,
+    /// Completions awaiting delivery to the front: `(token, t_us)` in
+    /// completion order. Only populated in front mode.
+    front_done: Vec<(u32, f64)>,
 }
 
 /// State of the periodic registry sampler: the next virtual-time
@@ -542,6 +568,8 @@ impl SsdSim {
             event_count: 0,
             trace: Collector::disabled(),
             sampler: None,
+            front_mode: false,
+            front_done: Vec::new(),
             config,
         }
     }
@@ -815,6 +843,129 @@ impl SsdSim {
         (report, spo_event)
     }
 
+    /// Arms an open-loop run driven by a [`HostFront`] instead of a
+    /// workload iterator. Pair with [`SsdSim::run_step_front`] and
+    /// [`SsdSim::run_front_end`]. SPO triggers are not supported in
+    /// front mode.
+    pub fn run_front_begin(&mut self, max_requests: u64) {
+        self.run_begin(max_requests, None);
+        self.front_mode = true;
+    }
+
+    /// Advances an open-loop front-driven run by at most `max_events`
+    /// steps (device events and arrival time-jumps both count). Like
+    /// [`SsdSim::run_step`], the outcome is a pure function of the
+    /// front, the FTL and the configuration: the polls at a slice
+    /// boundary are idempotent at an unchanged simulated time, so any
+    /// slicing yields byte-identical results.
+    ///
+    /// The loop alternates two sources of progress: device events from
+    /// the heap, and time-jumps to the front's next arrival whenever
+    /// that arrival precedes every pending event *and* the device has
+    /// queue room (otherwise the arrival is consumed naturally once
+    /// event processing moves `now` past it). Completions are handed
+    /// back to the front before new work is pulled, so the front's
+    /// latency accounting always sees completion-before-dispatch order
+    /// at equal timestamps.
+    pub fn run_step_front<F, H>(
+        &mut self,
+        ftl: &mut F,
+        front: &mut H,
+        max_events: u64,
+    ) -> StepOutcome
+    where
+        F: FtlDriver + ?Sized,
+        H: HostFront + ?Sized,
+    {
+        debug_assert!(self.front_mode, "run_front_begin must arm front mode");
+        self.deliver_front_completions(front);
+        self.front_fill(front, ftl);
+        self.try_maint(ftl);
+        let mut sliced = 0u64;
+        while sliced < max_events {
+            let next_event_t = self.events.peek().map(|e| e.t);
+            let next_arrival = if self.can_issue() {
+                front.next_arrival_us()
+            } else {
+                None
+            };
+            let jump_to = match (next_event_t, next_arrival) {
+                (None, None) => return StepOutcome::Drained,
+                (Some(te), Some(ta)) if ta < te => Some(ta),
+                (None, Some(ta)) => Some(ta),
+                _ => None,
+            };
+            sliced += 1;
+            if let Some(ta) = jump_to {
+                // Device idle (or next event later than the arrival):
+                // jump virtual time forward to the arrival instant and
+                // let the front admit it.
+                self.sample_until(ta, ftl);
+                self.now = self.now.max(ta);
+                self.front_fill(front, ftl);
+                self.try_maint(ftl);
+                continue;
+            }
+            let ev = self.events.pop().expect("peeked event exists");
+            debug_assert!(ev.t >= self.now - 1e-9, "time went backwards");
+            self.sample_until(ev.t, ftl);
+            self.event_count += 1;
+            self.now = ev.t;
+            match ev.kind {
+                EventKind::WriteAccepted { req } => self.finish_request(req),
+                EventKind::ReadPartServed { req } => {
+                    self.requests[req].remaining_pages -= 1;
+                    if self.requests[req].remaining_pages == 0 {
+                        self.finish_request(req);
+                    }
+                }
+                EventKind::ChipIdle { chip } => self.chip_op_done(chip, ftl),
+            }
+            self.deliver_front_completions(front);
+            self.front_fill(front, ftl);
+            self.try_maint(ftl);
+        }
+        StepOutcome::Running
+    }
+
+    /// Finalizes a front-driven run and returns its report.
+    pub fn run_front_end<F: FtlDriver + ?Sized>(&mut self, ftl: &F) -> SimReport {
+        debug_assert!(
+            self.front_done.is_empty(),
+            "front completions left undelivered"
+        );
+        self.run_end(ftl).0
+    }
+
+    /// Hands buffered completions back to the front in completion order
+    /// at their recorded completion instants.
+    fn deliver_front_completions<H: HostFront + ?Sized>(&mut self, front: &mut H) {
+        for (token, t) in self.front_done.drain(..) {
+            front.complete(token, t);
+        }
+    }
+
+    /// Whether the device can accept another host request right now.
+    fn can_issue(&self) -> bool {
+        self.outstanding < self.config.queue_depth
+            && (self.requests.len() as u64) < self.issue_limit
+    }
+
+    /// Advances the front to `now` (consuming arrivals) and pulls
+    /// scheduled requests while the device has queue room. Idempotent
+    /// at an unchanged `now`.
+    fn front_fill<F, H>(&mut self, front: &mut H, ftl: &mut F)
+    where
+        F: FtlDriver + ?Sized,
+        H: HostFront + ?Sized,
+    {
+        front.advance(self.now);
+        while self.can_issue() {
+            let Some(fr) = front.pop(self.now) else { break };
+            self.issue(fr.req, fr.token, ftl);
+        }
+    }
+
     /// Captures the device state at the instant of the power cut: the
     /// interrupted flush batches (current + queued per chip, in chip
     /// order), the PLP buffer dump and the acknowledged-write ledger.
@@ -897,6 +1048,8 @@ impl SsdSim {
         self.spo_rng = None;
         self.spo_event = None;
         self.event_count = 0;
+        self.front_mode = false;
+        self.front_done.clear();
         self.trace.reset();
         if let Some(s) = &mut self.sampler {
             s.next_us = s.interval_us;
@@ -932,11 +1085,11 @@ impl SsdSim {
             && (self.requests.len() as u64) < self.issue_limit
         {
             let Some(req) = workload.next() else { break };
-            self.issue(req, ftl);
+            self.issue(req, 0, ftl);
         }
     }
 
-    fn issue<F: FtlDriver + ?Sized>(&mut self, req: HostRequest, ftl: &mut F) {
+    fn issue<F: FtlDriver + ?Sized>(&mut self, req: HostRequest, token: u32, ftl: &mut F) {
         assert!(
             req.op != HostOp::Write || (req.n_pages as usize) <= self.config.buffer_pages,
             "request larger than the write buffer"
@@ -952,6 +1105,7 @@ impl SsdSim {
             done: false,
             lpn: req.lpn,
             pages: req.n_pages,
+            token,
         });
         self.outstanding += 1;
 
@@ -1027,7 +1181,10 @@ impl SsdSim {
         debug_assert!(!r.done, "request completed twice");
         r.done = true;
         let latency = self.now - r.arrival_us;
-        let (op, lpn) = (r.op, r.lpn);
+        let (op, lpn, token) = (r.op, r.lpn, r.token);
+        if self.front_mode {
+            self.front_done.push((token, self.now));
+        }
         match op {
             HostOp::Write => {
                 self.write_latency.record(latency);

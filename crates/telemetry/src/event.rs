@@ -24,13 +24,17 @@ impl EventMask {
     pub const SPO: EventMask = EventMask(1 << 6);
     /// OPM leader monitor / §4.1.4 demotion transitions.
     pub const OPM: EventMask = EventMask(1 << 7);
+    /// Host front-end queue transitions (admission shed, backpressure).
+    pub const HOSTQ: EventMask = EventMask(1 << 8);
+    /// Per-tenant SLO attainment summaries.
+    pub const SLO: EventMask = EventMask(1 << 9);
     /// Every category.
-    pub const ALL: EventMask = EventMask(0xff);
+    pub const ALL: EventMask = EventMask(0x3ff);
     /// No category (the disabled collector).
     pub const NONE: EventMask = EventMask(0);
 
     /// Name table used by [`EventMask::parse`] and `--trace-events`.
-    pub const NAMES: [(&'static str, EventMask); 8] = [
+    pub const NAMES: [(&'static str, EventMask); 10] = [
         ("host", Self::HOST_IO),
         ("ispp", Self::ISPP),
         ("retry", Self::READ_RETRY),
@@ -39,6 +43,8 @@ impl EventMask {
         ("ckpt", Self::CKPT),
         ("spo", Self::SPO),
         ("opm", Self::OPM),
+        ("hostq", Self::HOSTQ),
+        ("slo", Self::SLO),
     ];
 
     /// Whether every bit of `other` is enabled here.
@@ -173,6 +179,35 @@ pub enum EventKind {
         /// (§4.1.4 safety-check demotion).
         action: &'static str,
     },
+    /// A host front-end queue transition: an arrival was shed by
+    /// admission control (submission queue at its depth bound).
+    HostQueue {
+        /// Submission queue index.
+        queue: u32,
+        /// Tenant the arrival belonged to.
+        tenant: u32,
+        /// `"shed"` (the only transition traced today; backpressure
+        /// accounting lives in the metric registry).
+        action: &'static str,
+        /// Queue occupancy at the instant of the transition.
+        depth: u32,
+    },
+    /// End-of-run SLO attainment for one tenant (emitted for the
+    /// bounded-cardinality reporting set only).
+    TenantSlo {
+        /// Tenant id.
+        tenant: u32,
+        /// Requests completed for this tenant.
+        completed: u64,
+        /// Arrivals shed for this tenant.
+        shed: u64,
+        /// p99 read latency in µs (0 when the tenant issued no reads).
+        read_p99_us: f64,
+        /// p99 write latency in µs (0 when the tenant issued no writes).
+        write_p99_us: f64,
+        /// SLO violations counted against this tenant.
+        violations: u64,
+    },
 }
 
 impl EventKind {
@@ -187,6 +222,8 @@ impl EventKind {
             EventKind::Checkpoint { .. } => EventMask::CKPT,
             EventKind::Spo { .. } => EventMask::SPO,
             EventKind::Opm { .. } => EventMask::OPM,
+            EventKind::HostQueue { .. } => EventMask::HOSTQ,
+            EventKind::TenantSlo { .. } => EventMask::SLO,
         }
     }
 }
@@ -308,6 +345,33 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     "\"opm\",\"chip\":{chip},\"layer\":{layer},\"action\":\"{action}\""
+                );
+            }
+            EventKind::HostQueue {
+                queue,
+                tenant,
+                action,
+                depth,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"host_queue\",\"queue\":{queue},\"tenant\":{tenant},\"action\":\"{action}\",\"depth\":{depth}"
+                );
+            }
+            EventKind::TenantSlo {
+                tenant,
+                completed,
+                shed,
+                read_p99_us,
+                write_p99_us,
+                violations,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"tenant_slo\",\"tenant\":{tenant},\"completed\":{completed},\"shed\":{shed},\
+                     \"read_p99_us\":{},\"write_p99_us\":{},\"violations\":{violations}",
+                    fmt_num(*read_p99_us),
+                    fmt_num(*write_p99_us)
                 );
             }
         }

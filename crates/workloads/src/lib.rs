@@ -31,12 +31,16 @@
 pub mod filebench;
 pub mod kv;
 pub mod shard;
+pub mod tenants;
 pub mod trace;
 pub mod zipf;
 
 pub use filebench::{FilebenchKind, FilebenchWorkload};
 pub use kv::{MongoWorkload, RocksWorkload};
 pub use shard::shard_seed;
+pub use tenants::{
+    build_population, tenant_seed, TenantClass, TenantMix, TenantProfile, UniformTenantWorkload,
+};
 pub use trace::{Trace, TraceReplay};
 pub use zipf::Zipfian;
 

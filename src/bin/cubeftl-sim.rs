@@ -9,6 +9,9 @@
 //!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
 //!             [--shards N] [--array-stripe PAGES] [--array-threads N]
 //!             [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off] [--trace-file PATH]
+//!             [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]
+//!             [--qos-arrival-us T] [--qos-equal-arrivals] [--qos-slo-read-us T]
+//!             [--qos-slo-write-us T] [--qos-trace PATH]
 //!             [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]
 //!             [--series-out PATH] [--sample-interval-us T]
 //! ```
@@ -56,11 +59,31 @@
 //! v1` format or an MSR-Cambridge-style CSV (byte offsets folded into
 //! the simulated address space at 16-KB page granularity).
 //!
+//! `--queues N` / `--tenants N` (either > 1) engage the NVMe-style
+//! multi-queue QoS front-end (`crates/hostq`): the closed loop is
+//! replaced by a population of seeded open-loop tenants spread over N
+//! submission/completion queue pairs and scheduled by an integer
+//! deficit-weighted-round-robin arbiter. `--tenant-weights A,B,C` cycles
+//! DWRR weights over tenant ids (the largest weight is the *protected*
+//! class, the smallest *best-effort*); `--qos-sq-depth` bounds each
+//! tenant's submission queue (beyond it arrivals are deterministically
+//! shed); `--qos-arrival-us` sets the aggregate mean inter-arrival gap
+//! (rates are weight-proportional per tenant, or uniform with
+//! `--qos-equal-arrivals`);
+//! `--qos-slo-read-us`/`--qos-slo-write-us` arm per-op latency SLOs
+//! (violations counted per tenant); `--qos-trace PATH` replays a
+//! recorded trace as tenant 0's stream instead of its synthetic
+//! generator (single-device runs only). With `--shards`, tenant `t`
+//! routes to shard `t % shards` and results merge in shard order — the
+//! per-tenant outcome is byte-identical at any `--array-threads` count.
+//! With `--queues 1 --tenants 1` (the default) the front-end is
+//! disengaged and runs take the legacy closed-loop path untouched.
+//!
 //! The telemetry flags export deterministic, virtual-timestamped run
 //! data (see `crates/telemetry`): `--trace-out PATH` writes the
 //! structured event trace as NDJSON, filtered by `--trace-events SPEC`
 //! (`all`, `none`, or a comma list of `host,ispp,retry,gc,maint,ckpt,
-//! spo,opm`; default `all`); `--series-out PATH` writes a time series
+//! spo,opm,hostq,slo`; default `all`); `--series-out PATH` writes a time series
 //! sampled every `--sample-interval-us T` of virtual time (CSV when the
 //! path ends in `.csv`, NDJSON otherwise); `--metrics-out PATH` writes
 //! the end-of-run metric registry (named counters, gauges and latency
@@ -79,18 +102,21 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --array-stripe 64
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --spo-at-us 80000
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-file tests/data/sample_trace.csv
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --queues 4 --tenants 64 --tenant-weights 8,4,2,1
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --queues 8 --tenants 32 --qos-slo-read-us 5000
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-out run.ndjson --trace-events ispp,retry,gc
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --series-out run.csv --sample-interval-us 5000 --metrics-out metrics.ndjson
 //! ```
 
 use cubeftl::harness::{
-    run_array_eval_traced, run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_spo_eval,
-    run_trace_eval, ArrayEvalConfig, ArrayEvalReport, ArraySpoConfig, EvalConfig, SpoConfig,
-    TelemetrySpec,
+    run_array_eval_traced, run_array_qos_eval, run_array_spo_eval, run_array_trace_eval,
+    run_eval_traced, run_qos_eval, run_spo_eval, run_trace_eval, ArrayEvalConfig, ArraySpoConfig,
+    EvalConfig, QosSpec, SpoConfig, TelemetrySpec,
 };
 use cubeftl::{
-    events_to_ndjson, AgingState, EventMask, FaultKind, FaultPlan, FtlKind, MaintConfig,
-    MetricRegistry, OrtClusterConfig, RetryOptConfig, SpoTrigger, StandardWorkload, Trace,
+    events_to_ndjson, AgingState, ArrayReport, EventMask, FaultKind, FaultPlan, FtlKind,
+    MaintConfig, MetricRegistry, OrtClusterConfig, QosReport, RetryOptConfig, SpoTrigger,
+    StandardWorkload, Trace,
 };
 use std::process::ExitCode;
 
@@ -152,10 +178,13 @@ fn usage() -> ExitCode {
          \x20                  [--shards N] [--array-stripe PAGES] [--array-threads N]\n\
          \x20                  [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off]\n\
          \x20                  [--trace-file PATH]\n\
+         \x20                  [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]\n\
+         \x20                  [--qos-arrival-us T] [--qos-equal-arrivals] [--qos-slo-read-us T]\n\
+         \x20                  [--qos-slo-write-us T] [--qos-trace PATH]\n\
          \x20                  [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]\n\
          \x20                  [--series-out PATH] [--sample-interval-us T]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort\n\
-         \x20 SPEC:  all|none|comma list of host,ispp,retry,gc,maint,ckpt,spo,opm"
+         \x20 SPEC:  all|none|comma list of host,ispp,retry,gc,maint,ckpt,spo,opm,hostq,slo"
     );
     ExitCode::FAILURE
 }
@@ -178,6 +207,11 @@ fn main() -> ExitCode {
     let mut stripe_pages: u64 = 64;
     let mut array_threads: usize = 0;
     let mut trace_file: Option<String> = None;
+    let mut qos = QosSpec::off();
+    let mut qos_trace_file: Option<String> = None;
+    // QoS knobs are inert with one queue and one tenant; reject that
+    // combination instead of silently ignoring the flags.
+    let mut qos_knob_seen = false;
     let mut trace_out: Option<String> = None;
     let mut trace_events: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -191,6 +225,12 @@ fn main() -> ExitCode {
         match flag {
             "--maint" => {
                 maint.get_or_insert_with(MaintConfig::default_on);
+                i += 1;
+                continue;
+            }
+            "--qos-equal-arrivals" => {
+                qos.equal_arrivals = true;
+                qos_knob_seen = true;
                 i += 1;
                 continue;
             }
@@ -343,6 +383,59 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             ("--trace-file", Some(v)) => trace_file = Some(v.clone()),
+            ("--queues", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => qos.queues = n,
+                _ => return usage(),
+            },
+            ("--tenants", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => qos.tenants = n,
+                _ => return usage(),
+            },
+            ("--tenant-weights", Some(v)) => {
+                let weights: Option<Vec<u32>> = v
+                    .split(',')
+                    .map(|w| w.trim().parse::<u32>().ok().filter(|&w| w >= 1))
+                    .collect();
+                match weights {
+                    Some(w) if !w.is_empty() => {
+                        qos.weights = w;
+                        qos_knob_seen = true;
+                    }
+                    _ => return usage(),
+                }
+            }
+            ("--qos-sq-depth", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    qos.sq_depth = n;
+                    qos_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--qos-arrival-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => {
+                    qos.arrival_interval_us = t;
+                    qos_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--qos-slo-read-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => {
+                    qos.slo_read_us = Some(t);
+                    qos_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--qos-slo-write-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => {
+                    qos.slo_write_us = Some(t);
+                    qos_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--qos-trace", Some(v)) => {
+                qos_trace_file = Some(v.clone());
+                qos_knob_seen = true;
+            }
             ("--trace-out", Some(v)) => trace_out = Some(v.clone()),
             ("--trace-events", Some(v)) => trace_events = Some(v.clone()),
             ("--metrics-out", Some(v)) => metrics_out = Some(v.clone()),
@@ -448,6 +541,49 @@ fn main() -> ExitCode {
         eprintln!("--trace-file cannot be combined with a sudden power-off");
         return ExitCode::FAILURE;
     }
+    if qos_knob_seen && !qos.engaged() {
+        eprintln!("QoS flags need the front-end engaged: pass --queues > 1 or --tenants > 1");
+        return ExitCode::FAILURE;
+    }
+    if qos.engaged() {
+        if trace.is_some() {
+            eprintln!(
+                "--trace-file replays a single closed-loop stream; with the QoS \
+                 front-end use --qos-trace PATH (replayed as tenant 0)"
+            );
+            return ExitCode::FAILURE;
+        }
+        if spo_trigger.is_some() {
+            eprintln!("the QoS front-end cannot be combined with a sudden power-off");
+            return ExitCode::FAILURE;
+        }
+        if shards > 1 {
+            if qos_trace_file.is_some() {
+                eprintln!("--qos-trace replays on one device: drop --shards");
+                return ExitCode::FAILURE;
+            }
+            if (qos.tenants as usize) < shards {
+                eprintln!("every shard needs a tenant: use --tenants >= --shards");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &qos_trace_file {
+            match load_trace(path) {
+                Ok(t) => {
+                    println!(
+                        "qos trace {path}: {} requests ({}) as tenant 0",
+                        t.len(),
+                        t.label()
+                    );
+                    qos.trace = Some(t);
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     if telemetry_on && (trace.is_some() || spo_trigger.is_some()) {
         eprintln!(
             "telemetry output (--trace-out/--series-out/--metrics-out) is only \
@@ -482,6 +618,31 @@ fn main() -> ExitCode {
                 arr.threads
             }
         );
+        if qos.engaged() {
+            println!(
+                "qos: {} queues, {} tenants (weights {:?}), sq depth {}, arrival {} µs\n",
+                qos.queues, qos.tenants, qos.weights, qos.sq_depth, qos.arrival_interval_us
+            );
+            print_table_header();
+            for kind in kinds {
+                let (mut r, tel_out) =
+                    run_array_qos_eval(kind, workload, aging, &cfg, &arr, &qos, &tel);
+                print_array_row(&mut r.merged, cfg.maint.is_some(), cfg.faults.is_some());
+                print_qos_summary(&r.qos);
+                let write =
+                    write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+                        let mut reg = MetricRegistry::new();
+                        r.merged.register_metrics(&mut reg, "array");
+                        r.qos.register_metrics(&mut reg);
+                        reg
+                    });
+                if let Err(e) = write {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
         print_table_header();
         for kind in kinds {
             let (mut r, tel_out) = match &trace {
@@ -491,10 +652,34 @@ fn main() -> ExitCode {
                 ),
                 None => run_array_eval_traced(kind, workload, aging, &cfg, &arr, &tel),
             };
-            print_array_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+            print_array_row(&mut r.merged, cfg.maint.is_some(), cfg.faults.is_some());
             let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
                 let mut reg = MetricRegistry::new();
                 r.merged.register_metrics(&mut reg, "array");
+                reg
+            });
+            if let Err(e) = write {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if qos.engaged() {
+        println!(
+            "qos: {} queues, {} tenants (weights {:?}), sq depth {}, arrival {} µs\n",
+            qos.queues, qos.tenants, qos.weights, qos.sq_depth, qos.arrival_interval_us
+        );
+        print_table_header();
+        for kind in kinds {
+            let (mut r, tel_out) = run_qos_eval(kind, workload, aging, &cfg, &qos, &tel);
+            print_report_row(&mut r.sim, cfg.maint.is_some(), cfg.faults.is_some());
+            print_qos_summary(&r.qos);
+            let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+                let mut reg = MetricRegistry::new();
+                r.sim.register_metrics(&mut reg, "ssd");
+                r.qos.register_metrics(&mut reg);
                 reg
             });
             if let Err(e) = write {
@@ -671,6 +856,7 @@ fn print_report_row(r: &mut cubeftl::SimReport, maint_on: bool, faults_on: bool)
         fmt_wa(r.wa_host()),
         fmt_wa(r.wa_total()),
     );
+    print_latency_split(&r.read_latency, &r.write_latency);
     let (mqd, busy, bg) = (
         r.max_queue_depth(),
         r.mean_busy_fraction(),
@@ -679,8 +865,21 @@ fn print_report_row(r: &mut cubeftl::SimReport, maint_on: bool, faults_on: bool)
     print_detail_lines(&r.ftl, mqd, busy, bg, maint_on, faults_on);
 }
 
-fn print_array_row(r: &mut ArrayEvalReport, maint_on: bool, faults_on: bool) {
-    let m = &mut r.merged;
+/// The read-vs-write tail split: the headline table keeps its historic
+/// columns (p50/p99 read, p90 write); this detail line carries the full
+/// p99/p999 split for both directions.
+fn print_latency_split(read: &cubeftl::LatencyRecorder, write: &cubeftl::LatencyRecorder) {
+    println!(
+        "{:<10} latency: rd p99 {:.3} / p999 {:.3} ms, wr p99 {:.3} / p999 {:.3} ms",
+        "", // aligned under the FTL column
+        read.percentile(99.0) / 1000.0,
+        read.percentile(99.9) / 1000.0,
+        write.percentile(99.0) / 1000.0,
+        write.percentile(99.9) / 1000.0,
+    );
+}
+
+fn print_array_row(m: &mut ArrayReport, maint_on: bool, faults_on: bool) {
     println!(
         "{:<10} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>9} {:>6} {:>6}",
         m.ftl_name,
@@ -693,6 +892,7 @@ fn print_array_row(r: &mut ArrayEvalReport, maint_on: bool, faults_on: bool) {
         fmt_wa(m.wa_host()),
         fmt_wa(m.wa_total()),
     );
+    print_latency_split(&m.read_latency, &m.write_latency);
     let per_shard: Vec<String> = m.per_shard_iops.iter().map(|i| format!("{i:.0}")).collect();
     println!(
         "{:<10} shards: [{}] IOPS, makespan {:.1} ms, {} requests total",
@@ -713,6 +913,81 @@ fn print_array_row(r: &mut ArrayEvalReport, maint_on: bool, faults_on: bool) {
     };
     let bg = m.chip_stats.iter().map(|c| c.maint_ops).sum();
     print_detail_lines(&m.ftl, mqd.unwrap_or(0), busy, bg, maint_on, faults_on);
+}
+
+/// The per-tenant QoS outcome: population totals, per-class aggregates,
+/// and a per-tenant table bounded to the
+/// [`QosReport::MAX_TENANT_DETAIL`] lowest global ids (the rest is
+/// covered by the class rows).
+fn print_qos_summary(qos: &QosReport) {
+    if qos.tenants.is_empty() {
+        return;
+    }
+    let total = qos.total();
+    let offered = total.admitted + total.shed;
+    let shed_pct = if offered > 0 {
+        total.shed as f64 / offered as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "{:<10} qos: {} tenants, {} admitted, {} shed ({:.1}%), {} SLO violations",
+        "", // aligned under the FTL column
+        qos.tenants.len(),
+        total.admitted,
+        total.shed,
+        shed_pct,
+        total.violations,
+    );
+    for (class, s) in qos.by_class() {
+        println!(
+            "{:<10}   {:<11} {:>5} tenants {:>9} done {:>7} shed  rd p99 {:>9.3} ms  \
+             wr p99 {:>9.3} ms  {:>5} viol",
+            "",
+            class.label(),
+            s.tenants,
+            s.completed,
+            s.shed,
+            s.read_latency.percentile(99.0) / 1000.0,
+            s.write_latency.percentile(99.0) / 1000.0,
+            s.violations,
+        );
+    }
+    println!(
+        "{:<10}   {:>6} {:>4} {:<11} {:>9} {:>7} {:>9} {:>12} {:>12} {:>5}",
+        "",
+        "tenant",
+        "wt",
+        "class",
+        "admitted",
+        "shed",
+        "completed",
+        "rd p99 (ms)",
+        "wr p99 (ms)",
+        "viol"
+    );
+    for t in qos.tenants.iter().take(QosReport::MAX_TENANT_DETAIL) {
+        println!(
+            "{:<10}   {:>6} {:>4} {:<11} {:>9} {:>7} {:>9} {:>12.3} {:>12.3} {:>5}",
+            "",
+            t.id,
+            t.weight,
+            t.class.label(),
+            t.admitted,
+            t.shed,
+            t.completed,
+            t.read_latency.percentile(99.0) / 1000.0,
+            t.write_latency.percentile(99.0) / 1000.0,
+            t.violations,
+        );
+    }
+    if qos.tenants.len() > QosReport::MAX_TENANT_DETAIL {
+        println!(
+            "{:<10}   ... {} more tenants folded into the class aggregates",
+            "",
+            qos.tenants.len() - QosReport::MAX_TENANT_DETAIL,
+        );
+    }
 }
 
 /// The array-wide crash experiment: every shard cut at the same virtual

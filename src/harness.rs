@@ -7,11 +7,16 @@
 //! physical capacity shrinks).
 
 use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, OrtClusterConfig, RecoveryReport};
+use hostq::{split_arrival_budget, split_even_budget, HostQueueConfig, HostQueueFront, QosReport};
 use nand3d::{AgingState, FaultPlan, RetryOptConfig};
-use ssdarray::{ArrayReport, ArrayShard, SsdArray, StripeRouter};
-use ssdsim::{HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim};
+use ssdarray::{ArrayReport, ArrayShard, FrontArray, FrontShard, SsdArray, StripeRouter};
+use ssdsim::{
+    HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
+};
 use telemetry::{merge_streams, EventMask, Series, TraceEvent};
-use workloads::{shard_seed, StandardWorkload, Trace};
+use workloads::{
+    build_population, shard_seed, StandardWorkload, TenantMix, TenantProfile, Trace, Workload,
+};
 
 /// Scale and length of one evaluation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -801,6 +806,288 @@ pub fn run_array_spo_eval(
         resumed,
         checkpoints_taken,
     }
+}
+
+/// Multi-queue QoS front-end switches on top of an [`EvalConfig`].
+///
+/// With one queue and one tenant ([`QosSpec::off`], or `--queues 1
+/// --tenants 1`) the spec is *not engaged*: evaluation routes through
+/// the exact legacy closed-loop path, so all pre-existing goldens
+/// reproduce byte-for-byte by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosSpec {
+    /// Submission/completion queue pairs (`--queues`).
+    pub queues: u32,
+    /// Tenant population size (`--tenants`).
+    pub tenants: u32,
+    /// DWRR weight cycle over tenant ids (`--tenant-weights`).
+    pub weights: Vec<u32>,
+    /// Per-tenant submission queue depth bound (`--qos-sq-depth`).
+    pub sq_depth: usize,
+    /// Aggregate mean inter-arrival time, µs (`--qos-arrival-us`).
+    pub arrival_interval_us: f64,
+    /// Equal per-tenant arrival rates instead of weight-proportional
+    /// ones (`--qos-equal-arrivals`): offered load is uniform while
+    /// service stays weight-differentiated, so overload sheds
+    /// best-effort tenants while the protected class keeps up.
+    pub equal_arrivals: bool,
+    /// Read-latency SLO, µs (`--qos-slo-read-us`).
+    pub slo_read_us: Option<f64>,
+    /// Write-latency SLO, µs (`--qos-slo-write-us`).
+    pub slo_write_us: Option<f64>,
+    /// Tenant stream personality override. `None` = every tenant runs
+    /// the evaluation cell's [`StandardWorkload`].
+    pub mix: Option<TenantMix>,
+    /// Optional recorded trace replayed by tenant 0 instead of its
+    /// synthetic stream (`--qos-trace`; single-device runs only).
+    pub trace: Option<Trace>,
+}
+
+impl QosSpec {
+    /// The disengaged spec (legacy single-stream behaviour).
+    pub fn off() -> Self {
+        QosSpec {
+            queues: 1,
+            tenants: 1,
+            weights: vec![1],
+            sq_depth: 16,
+            arrival_interval_us: 2.0,
+            equal_arrivals: false,
+            slo_read_us: None,
+            slo_write_us: None,
+            mix: None,
+            trace: None,
+        }
+    }
+
+    /// Whether the multi-queue front-end is engaged. Disengaged runs
+    /// take the legacy closed-loop path untouched.
+    pub fn engaged(&self) -> bool {
+        self.queues > 1 || self.tenants > 1
+    }
+
+    /// The front configuration this spec implies.
+    fn front_config(&self) -> HostQueueConfig {
+        HostQueueConfig {
+            queues: self.queues,
+            sq_depth: self.sq_depth,
+            arrival_interval_us: self.arrival_interval_us,
+            weighted_arrivals: !self.equal_arrivals,
+            slo_read_us: self.slo_read_us,
+            slo_write_us: self.slo_write_us,
+        }
+    }
+
+    /// Splits the run's request budget into per-tenant arrival budgets,
+    /// matching the arrival-rate mode.
+    fn budgets(&self, total: u64, profiles: &[TenantProfile]) -> Vec<u64> {
+        if self.equal_arrivals {
+            split_even_budget(total, profiles.len())
+        } else {
+            split_arrival_budget(total, profiles)
+        }
+    }
+
+    /// Builds the tenant population for one evaluation cell.
+    fn population(&self, workload: StandardWorkload, seed: u64) -> Vec<TenantProfile> {
+        let mix = self.mix.unwrap_or(TenantMix::Standard(workload));
+        build_population(self.tenants, &self.weights, Some(mix), seed)
+    }
+
+    /// Builds tenant streams over `space` pages, honouring the tenant-0
+    /// trace override.
+    fn streams(&self, profiles: &[TenantProfile], space: u64) -> Vec<Box<dyn Workload + Send>> {
+        profiles
+            .iter()
+            .map(|p| -> Box<dyn Workload + Send> {
+                match (&self.trace, p.id) {
+                    (Some(trace), 0) => {
+                        let folded = fold_requests(trace.requests(), space);
+                        Box::new(Trace::from_requests(trace.label(), folded).replay())
+                    }
+                    _ => p.build_stream(space),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::off()
+    }
+}
+
+/// Results of one QoS evaluation: the device report plus the per-tenant
+/// outcome. `qos.tenants` is empty when the spec was not engaged.
+#[derive(Debug, Clone)]
+pub struct QosEvalReport {
+    /// The device-side report.
+    pub sim: SimReport,
+    /// Per-tenant QoS outcomes (empty when disengaged).
+    pub qos: QosReport,
+}
+
+/// Runs one evaluation cell through the multi-queue QoS front-end: the
+/// tenant population arrives open-loop, per-tenant submission queues
+/// shed beyond their depth bound, and the Q8.8 DWRR scheduler dispatches
+/// to the device. A disengaged spec routes through the exact legacy
+/// closed-loop path ([`run_eval_traced_custom`]).
+pub fn run_qos_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    qos: &QosSpec,
+    tel: &TelemetrySpec,
+) -> (QosEvalReport, TelemetryOutput) {
+    if !qos.engaged() {
+        let (sim, telemetry) =
+            run_eval_traced_custom(kind, workload, aging, cfg, cfg.ftl_config(), tel);
+        return (
+            QosEvalReport {
+                sim,
+                qos: QosReport::default(),
+            },
+            telemetry,
+        );
+    }
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.reset_stats();
+    sim.enable_telemetry(tel.events, 0, tel.sample_interval_us);
+    ftl.enable_telemetry(tel.events, 0);
+
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    let space = prefill.max(1024);
+    let profiles = qos.population(workload, cfg.seed);
+    let streams = qos.streams(&profiles, space);
+    let budgets = qos.budgets(cfg.requests, &profiles);
+    let mut front = HostQueueFront::new(qos.front_config(), profiles, streams, budgets);
+    front.enable_telemetry(tel.events, 0);
+
+    sim.run_front_begin(u64::MAX);
+    while sim.run_step_front(&mut ftl, &mut front, u64::MAX) == StepOutcome::Running {}
+    let report = sim.run_front_end(&ftl);
+    let qos_report = front.report();
+    let telemetry = TelemetryOutput {
+        events: merge_streams(
+            merge_streams(sim.take_trace(), ftl.take_trace()),
+            front.take_trace(),
+        ),
+        series: sim.take_series(),
+    };
+    (
+        QosEvalReport {
+            sim: report,
+            qos: qos_report,
+        },
+        telemetry,
+    )
+}
+
+/// Results of one sharded QoS evaluation.
+#[derive(Debug, Clone)]
+pub struct ArrayQosEvalReport {
+    /// The merged array-wide device report.
+    pub merged: ArrayReport,
+    /// Per-shard device reports, indexed by shard.
+    pub shards: Vec<SimReport>,
+    /// The merged per-tenant QoS outcome (empty when disengaged).
+    pub qos: QosReport,
+}
+
+/// Runs one QoS evaluation cell on a sharded array. Tenant `t` routes
+/// to shard `t % shards` (global tenant ids are preserved on each
+/// shard); every shard runs its own front over its tenant subset, and
+/// fan-in merges device reports, QoS outcomes and telemetry strictly in
+/// shard order — byte-identical at any worker-thread count. A
+/// disengaged spec routes through the legacy array path.
+pub fn run_array_qos_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    qos: &QosSpec,
+    tel: &TelemetrySpec,
+) -> (ArrayQosEvalReport, TelemetryOutput) {
+    assert!(arr.shards >= 1, "need at least one shard");
+    if !qos.engaged() {
+        let (r, telemetry) = run_array_eval_traced(kind, workload, aging, cfg, arr, tel);
+        return (
+            ArrayQosEvalReport {
+                merged: r.merged,
+                shards: r.shards,
+                qos: QosReport::default(),
+            },
+            telemetry,
+        );
+    }
+    assert!(
+        qos.trace.is_none(),
+        "per-tenant trace replay is single-device only"
+    );
+    let all_profiles = qos.population(workload, cfg.seed);
+    let budgets = qos.budgets(cfg.requests, &all_profiles);
+    let shards = (0..arr.shards)
+        .map(|s| {
+            let (mut sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            ftl.reset_stats();
+            sim.enable_telemetry(tel.events, s as u32, tel.sample_interval_us);
+            ftl.enable_telemetry(tel.events, s as u32);
+            let space = prefill.max(1024);
+            // This shard's tenant subset, with global ids intact.
+            let (profiles, shard_budgets): (Vec<_>, Vec<_>) = all_profiles
+                .iter()
+                .zip(&budgets)
+                .filter(|(p, _)| p.id as usize % arr.shards == s)
+                .map(|(p, b)| (*p, *b))
+                .unzip();
+            assert!(
+                !profiles.is_empty(),
+                "shard {s} has no tenants: use at least as many tenants as shards"
+            );
+            let streams = profiles.iter().map(|p| p.build_stream(space)).collect();
+            let mut front =
+                HostQueueFront::new(qos.front_config(), profiles, streams, shard_budgets);
+            front.enable_telemetry(tel.events, s as u32);
+            FrontShard {
+                sim,
+                ftl,
+                front,
+                requests: u64::MAX,
+            }
+        })
+        .collect();
+    let mut array = FrontArray::new(shards).with_threads(arr.engine_threads());
+    let out = array.run();
+    // Sequence point: shards sit back in index order. Drain QoS reports
+    // and telemetry shard by shard.
+    let mut qos_reports = Vec::new();
+    let mut events = Vec::new();
+    let mut series = Series::new(tel.sample_interval_us.unwrap_or(0.0));
+    for shard in array.shards_mut() {
+        qos_reports.push(shard.front.report());
+        events.extend(merge_streams(
+            merge_streams(shard.sim.take_trace(), shard.ftl.take_trace()),
+            shard.front.take_trace(),
+        ));
+        series.extend(&shard.sim.take_series());
+    }
+    (
+        ArrayQosEvalReport {
+            merged: out.report,
+            shards: out.shard_reports,
+            qos: QosReport::merge(qos_reports),
+        },
+        TelemetryOutput { events, series },
+    )
 }
 
 /// Runs the three-FTL comparison of Fig. 17 for one workload and aging

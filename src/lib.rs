@@ -33,19 +33,28 @@ pub use ftl::{
     Checkpoint, CheckpointError, Ftl, FtlConfig, FtlKind, MaintConfig, Opm, OrtClusterConfig,
     ProgramOrder, RecoveryReport, Wam,
 };
+pub use hostq::{
+    split_arrival_budget, split_even_budget, ClassSummary, DwrrScheduler, HostQueueConfig,
+    HostQueueFront, QosReport, TenantSummary,
+};
 pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
     NandConfig, OobStatus, ProgramParams, ReadParams, RetryOptConfig, TargetedFault, WlAddr, WlOob,
 };
-pub use ssdarray::{ArrayReport, ArrayRunOutcome, ArrayShard, SsdArray, StripeRouter};
+pub use ssdarray::{
+    ArrayReport, ArrayRunOutcome, ArrayShard, FrontArray, FrontShard, SsdArray, StripeRouter,
+};
 pub use ssdsim::{
-    ChipStats, FtlDriver, FtlStats, HostRequest, MaintSchedule, MaintWork, SimReport, SpoEvent,
-    SpoTrigger, SsdConfig, SsdSim, StepOutcome,
+    ChipStats, FrontRequest, FtlDriver, FtlStats, HostFront, HostRequest, LatencyRecorder,
+    MaintSchedule, MaintWork, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
 pub use telemetry::{
     events_to_ndjson, merge_streams, EventKind, EventMask, LogHistogram, MetricRegistry, SampleRow,
     Series, TraceEvent,
 };
-pub use workloads::{shard_seed, StandardWorkload, Trace, TraceReplay, Workload};
+pub use workloads::{
+    build_population, shard_seed, tenant_seed, StandardWorkload, TenantClass, TenantMix,
+    TenantProfile, Trace, TraceReplay, UniformTenantWorkload, Workload,
+};
 
 pub mod harness;

@@ -1,0 +1,334 @@
+//! End-to-end guarantees of the multi-queue QoS front-end
+//! (`crates/hostq`): the off-switch reproduces the legacy closed-loop
+//! path byte-for-byte, engaged runs are byte-identical across repeats
+//! and worker-thread counts, overload differentiates service by class,
+//! recorded traces replay as tenant streams, and the DWRR core holds
+//! its scheduling invariants under property testing.
+//!
+//! The thread-invariance test honours `CUBEFTL_QOS_THREADS` (the second
+//! worker-thread count to compare against single-threaded; default 4)
+//! so CI can pin different counts.
+
+use cubeftl::harness::{
+    run_array_eval_traced, run_array_qos_eval, run_eval_traced, run_qos_eval, ArrayEvalConfig,
+    EvalConfig, QosSpec, TelemetrySpec,
+};
+use cubeftl::{
+    events_to_ndjson, AgingState, DwrrScheduler, FtlKind, StandardWorkload, TenantMix, Trace,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+const KIND: FtlKind = FtlKind::Cube;
+const WORKLOAD: StandardWorkload = StandardWorkload::Mail;
+
+fn smoke(requests: u64) -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = requests;
+    cfg
+}
+
+/// An engaged spec: 8 queues, 32 tenants, a 4-step weight cycle.
+fn engaged_spec() -> QosSpec {
+    QosSpec {
+        queues: 8,
+        tenants: 32,
+        weights: vec![8, 4, 2, 1],
+        ..QosSpec::off()
+    }
+}
+
+#[test]
+fn disengaged_spec_is_byte_identical_to_the_legacy_path() {
+    // `--queues 1 --tenants 1` must not merely approximate the old
+    // behaviour — it must route through the identical code path, so
+    // every pre-existing golden reproduces byte-for-byte.
+    let cfg = smoke(2_000);
+    let tel = TelemetrySpec::all(2_000.0);
+    let (legacy, legacy_tel) = run_eval_traced(KIND, WORKLOAD, AgingState::Fresh, &cfg, &tel);
+    let (qos, qos_tel) = run_qos_eval(
+        KIND,
+        WORKLOAD,
+        AgingState::Fresh,
+        &cfg,
+        &QosSpec::off(),
+        &tel,
+    );
+    assert_eq!(format!("{legacy:?}"), format!("{:?}", qos.sim));
+    assert_eq!(
+        events_to_ndjson(&legacy_tel.events),
+        events_to_ndjson(&qos_tel.events)
+    );
+    assert_eq!(legacy_tel.series.to_csv(), qos_tel.series.to_csv());
+    assert!(qos.qos.tenants.is_empty(), "disengaged run has no tenants");
+}
+
+#[test]
+fn disengaged_array_spec_is_byte_identical_to_the_legacy_path() {
+    let cfg = smoke(1_200);
+    let arr = ArrayEvalConfig::new(4);
+    let tel = TelemetrySpec::all(1_000.0);
+    let (legacy, legacy_tel) =
+        run_array_eval_traced(KIND, WORKLOAD, AgingState::Fresh, &cfg, &arr, &tel);
+    let (qos, qos_tel) = run_array_qos_eval(
+        KIND,
+        WORKLOAD,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+        &QosSpec::off(),
+        &tel,
+    );
+    assert_eq!(format!("{:?}", legacy.merged), format!("{:?}", qos.merged));
+    assert_eq!(
+        events_to_ndjson(&legacy_tel.events),
+        events_to_ndjson(&qos_tel.events)
+    );
+    assert!(qos.qos.tenants.is_empty());
+}
+
+#[test]
+fn engaged_double_run_is_byte_identical() {
+    let cfg = smoke(2_500);
+    let mut spec = engaged_spec();
+    spec.slo_read_us = Some(5_000.0);
+    let tel = TelemetrySpec::all(2_000.0);
+    let run = || run_qos_eval(KIND, WORKLOAD, AgingState::Fresh, &cfg, &spec, &tel);
+    let (ra, ta) = run();
+    let (rb, tb) = run();
+    assert_eq!(format!("{:?}", ra.sim), format!("{:?}", rb.sim));
+    assert_eq!(format!("{:?}", ra.qos), format!("{:?}", rb.qos));
+    assert_eq!(events_to_ndjson(&ta.events), events_to_ndjson(&tb.events));
+    assert_eq!(ta.series.to_csv(), tb.series.to_csv());
+    assert!(ra.qos.total().completed > 0, "the run must serve requests");
+}
+
+#[test]
+fn sharded_qos_run_is_worker_thread_invariant() {
+    // 4 shards × 8 queues × 32 tenants at 1 worker thread vs N
+    // (CUBEFTL_QOS_THREADS, default 4): device reports, per-tenant
+    // outcomes, traces and series must all be byte-identical — shard
+    // fan-in follows shard order, never completion order.
+    let threads_b: usize = std::env::var("CUBEFTL_QOS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let cfg = smoke(2_400);
+    let spec = engaged_spec();
+    let tel = TelemetrySpec::all(2_000.0);
+    let run = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(4);
+        arr.threads = threads;
+        run_array_qos_eval(KIND, WORKLOAD, AgingState::MidLife, &cfg, &arr, &spec, &tel)
+    };
+    let (ra, ta) = run(1);
+    let (rb, tb) = run(threads_b);
+    assert_eq!(format!("{:?}", ra.merged), format!("{:?}", rb.merged));
+    assert_eq!(format!("{:?}", ra.qos), format!("{:?}", rb.qos));
+    assert_eq!(events_to_ndjson(&ta.events), events_to_ndjson(&tb.events));
+    assert_eq!(ta.series.to_csv(), tb.series.to_csv());
+    // Every tenant appears exactly once after the shard merge.
+    let ids: Vec<u32> = ra.qos.tenants.iter().map(|t| t.id).collect();
+    assert_eq!(ids, (0..32).collect::<Vec<u32>>());
+}
+
+#[test]
+fn overload_differentiates_service_by_class() {
+    // Uniform single-page streams under heavy overload: the submission
+    // queues saturate, so completions track DWRR service shares and the
+    // protected class sees a lower queueing tail than best-effort.
+    let cfg = smoke(6_000);
+    let spec = QosSpec {
+        queues: 4,
+        tenants: 8,
+        weights: vec![8, 4, 2, 1],
+        mix: Some(TenantMix::Uniform),
+        ..QosSpec::off()
+    };
+    let (r, _) = run_qos_eval(
+        KIND,
+        WORKLOAD,
+        AgingState::Fresh,
+        &cfg,
+        &spec,
+        &TelemetrySpec::off(),
+    );
+    let total = r.qos.total();
+    assert!(total.shed > 0, "the run must actually overload");
+    let by_class: std::collections::HashMap<_, _> = r.qos.by_class().into_iter().collect();
+    let protected = &by_class[&cubeftl::TenantClass::Protected];
+    let best_effort = &by_class[&cubeftl::TenantClass::BestEffort];
+    // Per-tenant service: protected tenants carry 8× the weight of
+    // best-effort ones (both classes have the same tenant count here).
+    assert_eq!(protected.tenants, best_effort.tenants);
+    assert!(
+        protected.completed > 4 * best_effort.completed,
+        "protected service ({}) must dominate best-effort ({})",
+        protected.completed,
+        best_effort.completed
+    );
+    assert!(
+        protected.read_latency.percentile(99.0) < best_effort.read_latency.percentile(99.0),
+        "the protected read tail must beat best-effort"
+    );
+}
+
+#[test]
+fn recorded_traces_replay_as_tenant_zero() {
+    // Each committed MSR-style CSV parses and replays as tenant 0's
+    // stream; the remaining tenants stay synthetic. Double runs are
+    // byte-identical.
+    let dir = format!("{}/tests/data/traces", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("trace corpus directory")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 2, "the trace corpus must have several files");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("read trace CSV");
+        let trace = Trace::from_msr_csv(&text, 16 * 1024, 1 << 40)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(trace.len() >= 16, "{}: trace too short", path.display());
+        let cfg = smoke(600);
+        let spec = QosSpec {
+            tenants: 4,
+            weights: vec![4, 1],
+            trace: Some(trace.clone()),
+            ..QosSpec::off()
+        };
+        let tel = TelemetrySpec::off();
+        let run = || run_qos_eval(KIND, WORKLOAD, AgingState::Fresh, &cfg, &spec, &tel);
+        let (ra, _) = run();
+        let (rb, _) = run();
+        assert_eq!(format!("{:?}", ra.qos), format!("{:?}", rb.qos));
+        // Tenant 0 completed something and never more than the trace
+        // (plus nothing synthetic leaked into it).
+        let t0 = &ra.qos.tenants[0];
+        assert!(t0.completed > 0, "{}: tenant 0 idle", path.display());
+        assert!(
+            t0.admitted + t0.shed <= trace.len() as u64,
+            "{}: tenant 0 over-ran its trace",
+            path.display()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// DWRR scheduler properties
+// ---------------------------------------------------------------------
+
+/// Drives a scheduler over synthetic backlogs, returning per-tenant
+/// serve counts. Backlogs refill to stay saturated when `saturate`.
+fn drive(
+    sched: &mut DwrrScheduler,
+    backlog: &mut [VecDeque<u32>],
+    picks: usize,
+    saturate: bool,
+) -> Vec<u64> {
+    let mut served = vec![0u64; backlog.len()];
+    for _ in 0..picks {
+        let Some(t) = sched.pick(&mut |t| {
+            backlog[t as usize]
+                .front()
+                .map(|&pages| DwrrScheduler::cost(pages))
+        }) else {
+            break;
+        };
+        let pages = backlog[t as usize].pop_front().expect("picked a backlog");
+        if saturate {
+            backlog[t as usize].push_back(pages);
+        }
+        served[t as usize] += 1;
+    }
+    served
+}
+
+proptest! {
+    /// Work conservation: while any backlog is non-empty, `pick` never
+    /// returns `None`, and it drains every queue to exhaustion.
+    #[test]
+    fn dwrr_is_work_conserving(
+        weights in prop::collection::vec(1u32..17, 1..8),
+        lens in prop::collection::vec(0usize..12, 1..8),
+        pages in 1u32..16,
+    ) {
+        let n = weights.len().min(lens.len());
+        let weights = &weights[..n];
+        let mut backlog: Vec<VecDeque<u32>> = lens[..n]
+            .iter()
+            .map(|&l| std::iter::repeat_n(pages, l).collect())
+            .collect();
+        let total: usize = backlog.iter().map(|q| q.len()).sum();
+        let order: Vec<u32> = (0..n as u32).collect();
+        let mut s = DwrrScheduler::new(weights, order);
+        let served = drive(&mut s, &mut backlog, total + 8, false);
+        prop_assert_eq!(served.iter().sum::<u64>() as usize, total,
+            "every queued request must be served");
+        prop_assert!(backlog.iter().all(|q| q.is_empty()));
+        prop_assert_eq!(s.pick(&mut |_| None), None);
+    }
+
+    /// Weight proportionality: with every tenant saturated at uniform
+    /// cost, long-run service shares match weight shares within ±5%.
+    #[test]
+    fn dwrr_service_is_weight_proportional(
+        weights in prop::collection::vec(1u32..17, 2..8),
+        pages in 1u32..8,
+    ) {
+        let n = weights.len();
+        let mut backlog: Vec<VecDeque<u32>> =
+            (0..n).map(|_| VecDeque::from(vec![pages])).collect();
+        let order: Vec<u32> = (0..n as u32).collect();
+        let mut s = DwrrScheduler::new(&weights, order);
+        let w_total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        // Long horizon: every tenant expects >= 64 serves, so ±1 serve
+        // of round-boundary quantization stays well inside ±5%.
+        let picks = (w_total as usize) * 64;
+        let served = drive(&mut s, &mut backlog, picks, true);
+        let total: u64 = served.iter().sum();
+        prop_assert!(total > 0);
+        for (i, &got) in served.iter().enumerate() {
+            let expect = total as f64 * f64::from(weights[i]) / w_total as f64;
+            let err = (got as f64 - expect).abs() / expect;
+            prop_assert!(err <= 0.05,
+                "tenant {i} (weight {}): served {got}, expected {expect:.1} (err {err:.3})",
+                weights[i]);
+        }
+    }
+
+    /// Replay bijectivity: the same pick sequence over the same
+    /// backlogs leaves an identical state fingerprint and identical
+    /// serve order — scheduler state is a pure function of its inputs.
+    #[test]
+    fn dwrr_replay_reaches_an_identical_fingerprint(
+        weights in prop::collection::vec(1u32..17, 1..8),
+        lens in prop::collection::vec(1usize..24, 1..8),
+        pages in 1u32..16,
+    ) {
+        let n = weights.len().min(lens.len());
+        let weights = &weights[..n];
+        let run = || {
+            let mut backlog: Vec<VecDeque<u32>> = lens[..n]
+                .iter()
+                .map(|&l| std::iter::repeat_n(pages, l).collect())
+            .collect();
+            let order: Vec<u32> = (0..n as u32).collect();
+            let mut s = DwrrScheduler::new(weights, order);
+            let mut picks = Vec::new();
+            while let Some(t) = s.pick(&mut |t| {
+                backlog[t as usize]
+                    .front()
+                    .map(|&p| DwrrScheduler::cost(p))
+            }) {
+                backlog[t as usize].pop_front();
+                picks.push(t);
+            }
+            (picks, s.fingerprint())
+        };
+        let (picks_a, fp_a) = run();
+        let (picks_b, fp_b) = run();
+        prop_assert_eq!(picks_a, picks_b);
+        prop_assert_eq!(fp_a, fp_b);
+    }
+}
