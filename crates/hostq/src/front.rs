@@ -263,6 +263,16 @@ impl HostQueueFront {
         self.tenants.iter().map(|t| t.shed).sum()
     }
 
+    /// Arrivals shed per submission queue so far, indexed by queue
+    /// (tenant sheds attributed to the queue the tenant maps to).
+    pub fn queue_shed(&self) -> Vec<u64> {
+        let mut shed = vec![0u64; self.cfg.queues as usize];
+        for t in &self.tenants {
+            shed[t.queue as usize] += t.shed;
+        }
+        shed
+    }
+
     /// Builds the per-tenant outcome report and emits one
     /// [`EventKind::TenantSlo`] trace event per tenant in the bounded
     /// reporting set (the [`QosReport::MAX_TENANT_DETAIL`] lowest
@@ -286,7 +296,7 @@ impl HostQueueFront {
                 );
             }
         }
-        QosReport::from_tenants(by_id.iter().map(|&i| {
+        let mut report = QosReport::from_tenants(by_id.iter().map(|&i| {
             let t = &self.tenants[i];
             TenantSummary {
                 id: t.profile.id,
@@ -300,7 +310,9 @@ impl HostQueueFront {
                 write_latency: t.write_latency.clone(),
                 violations: t.violations,
             }
-        }))
+        }));
+        report.queue_shed = self.queue_shed();
+        report
     }
 
     fn admit(&mut self, local: u32, t_us: f64) {

@@ -66,6 +66,10 @@ impl ClassSummary {
 pub struct QosReport {
     /// Per-tenant outcomes, ascending global id.
     pub tenants: Vec<TenantSummary>,
+    /// Arrivals shed per submission queue, indexed by queue (empty when
+    /// the front did not attribute sheds to queues — e.g. reports built
+    /// directly from tenant summaries).
+    pub queue_shed: Vec<u64>,
 }
 
 impl QosReport {
@@ -81,6 +85,7 @@ impl QosReport {
     pub fn from_tenants(tenants: impl Iterator<Item = TenantSummary>) -> Self {
         let report = QosReport {
             tenants: tenants.collect(),
+            queue_shed: Vec::new(),
         };
         debug_assert!(
             report.tenants.windows(2).all(|w| w[0].id < w[1].id),
@@ -94,13 +99,27 @@ impl QosReport {
     /// must appear on exactly one shard, so the merge is a stable
     /// id-sorted interleave and independent of thread scheduling.
     pub fn merge(shards: Vec<QosReport>) -> QosReport {
+        // Queue indices are global (tenant id % queues), so the per-
+        // queue shed counts sum elementwise across shards.
+        let mut queue_shed: Vec<u64> = Vec::new();
+        for r in &shards {
+            if r.queue_shed.len() > queue_shed.len() {
+                queue_shed.resize(r.queue_shed.len(), 0);
+            }
+            for (q, shed) in r.queue_shed.iter().enumerate() {
+                queue_shed[q] += shed;
+            }
+        }
         let mut all: Vec<TenantSummary> = shards.into_iter().flat_map(|r| r.tenants).collect();
         all.sort_by_key(|t| t.id);
         debug_assert!(
             all.windows(2).all(|w| w[0].id < w[1].id),
             "a tenant id appeared on more than one shard"
         );
-        QosReport { tenants: all }
+        QosReport {
+            tenants: all,
+            queue_shed,
+        }
     }
 
     /// Population-wide totals.
@@ -155,6 +174,9 @@ impl QosReport {
                 &format!("{p}.write_p99_us"),
                 sum.write_latency.percentile(99.0),
             );
+        }
+        for (q, shed) in self.queue_shed.iter().enumerate() {
+            reg.counter(&format!("qos.queue{q}.shed"), *shed);
         }
         for t in self.tenants.iter().take(Self::MAX_TENANT_DETAIL) {
             let p = format!("qos.tenant.{}", t.id);
@@ -217,6 +239,23 @@ mod tests {
         let classes = m.by_class();
         assert_eq!(classes.len(), 3);
         assert_eq!(classes[2].1.tenants, 2);
+    }
+
+    #[test]
+    fn queue_shed_merges_elementwise_and_registers() {
+        let mut a =
+            QosReport::from_tenants(vec![tenant(0, 1, TenantClass::Standard, 1)].into_iter());
+        a.queue_shed = vec![3, 0, 7];
+        let mut b =
+            QosReport::from_tenants(vec![tenant(1, 1, TenantClass::Standard, 1)].into_iter());
+        b.queue_shed = vec![1, 5, 2];
+        let m = QosReport::merge(vec![a, b]);
+        assert_eq!(m.queue_shed, vec![4, 5, 9]);
+        let mut reg = MetricRegistry::new();
+        m.register_metrics(&mut reg);
+        let nd = reg.to_ndjson();
+        assert!(nd.contains("\"qos.queue0.shed\""));
+        assert!(nd.contains("\"qos.queue2.shed\""));
     }
 
     #[test]

@@ -27,14 +27,17 @@
 //! step boundaries are idempotent, so even the slice budget does not
 //! leak into the results.
 
+pub mod parity;
 pub mod report;
 pub mod stripe;
 
-pub use report::ArrayReport;
+pub use parity::{page_fingerprint, xor_parity, PageRole, ParityRouter};
+pub use report::{ArrayReport, ResilienceReport};
 pub use stripe::StripeRouter;
 
 use ssdsim::{
-    FtlDriver, HostFront, HostRequest, SimReport, SpoEvent, SpoTrigger, SsdSim, StepOutcome,
+    FtlDriver, HostFront, HostRequest, RebuildOp, RebuildSchedule, SimReport, SpoEvent, SpoTrigger,
+    SsdSim, StepOutcome,
 };
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -42,6 +45,19 @@ use std::sync::Mutex;
 /// Events simulated per [`SsdSim::run_step`] slice. Purely a scheduling
 /// granularity: results are identical for any positive value.
 const STEP_EVENTS: u64 = 4096;
+
+/// A background rebuild assignment for one shard: the pacing schedule
+/// plus the ordered op list ([`SsdSim::arm_rebuild`]). The engine arms
+/// it right after `run_begin` (which resets any previously armed
+/// queue), so callers can attach rebuild work to a shard before
+/// handing the array to [`SsdArray::run`].
+#[derive(Debug, Clone)]
+pub struct RebuildPlan {
+    /// Unit size / idle-gap pacing for the rebuild service.
+    pub sched: RebuildSchedule,
+    /// Ordered rebuild ops (survivor reads or spare writes).
+    pub ops: Vec<RebuildOp>,
+}
 
 /// One shard: a complete simulated device plus its workload substream.
 pub struct ArrayShard<F, W> {
@@ -55,6 +71,8 @@ pub struct ArrayShard<F, W> {
     pub requests: u64,
     /// Optional sudden-power-off trigger armed on this shard.
     pub spo: Option<SpoTrigger>,
+    /// Optional background rebuild work, armed once at the next run.
+    pub rebuild: Option<RebuildPlan>,
 }
 
 /// Results of one array run, per shard and merged.
@@ -334,6 +352,12 @@ where
     W: Iterator<Item = HostRequest>,
 {
     shard.sim.run_begin(shard.requests, shard.spo);
+    // Arm after run_begin: the reset inside run_begin clears any prior
+    // rebuild queue. `take` so a later resume run does not re-arm the
+    // same ops (remainders travel via `SsdSim::take_rebuild_pending`).
+    if let Some(plan) = shard.rebuild.take() {
+        shard.sim.arm_rebuild(plan.sched, plan.ops);
+    }
     while shard
         .sim
         .run_step(&mut shard.ftl, &mut shard.workload, STEP_EVENTS)
@@ -417,6 +441,7 @@ mod tests {
                     workload: mixed_stream(s as u64 + 1),
                     requests,
                     spo: None,
+                    rebuild: None,
                 })
                 .collect(),
         )

@@ -172,3 +172,84 @@ impl ArrayReport {
         }
     }
 }
+
+/// Resilience outcome of a failure-injection run: what the degraded
+/// path served, what the rebuild moved, and what (if anything) was
+/// lost. All counters are derived at the deterministic phase barriers,
+/// so the report is byte-identical at any worker-thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Whether rotating parity was enabled for the run.
+    pub parity: bool,
+    /// The failed shard, when a failure was injected.
+    pub failed_shard: Option<u32>,
+    /// Virtual time of the failure injection, µs.
+    pub fail_at_us: f64,
+    /// Spare shard that absorbed the rebuild, if one was provisioned.
+    pub spare_shard: Option<u32>,
+    /// Lost data pages served to the host by XOR reconstruction.
+    pub degraded_reads: u64,
+    /// Survivor fragment reads issued to serve those (≈ `(S−1)×`).
+    pub degraded_fragment_reads: u64,
+    /// Durable pages of the failed shard reconstructed onto the spare.
+    pub rebuild_pages: u64,
+    /// Survivor fragment reads issued by the rebuild.
+    pub rebuild_reads: u64,
+    /// Virtual time the spare finished absorbing the rebuild, µs.
+    pub rebuild_time_us: f64,
+    /// Dead-shard host writes redirected to the spare.
+    pub redirected_writes: u64,
+    /// Host-acknowledged durable pages that could NOT be recovered
+    /// (non-zero only with parity off — the loss the tentpole audit
+    /// proves parity eliminates).
+    pub lost_pages: u64,
+    /// Per-shard survivor fragment reads served for degraded host
+    /// reads, indexed by shard (0 on the failed shard itself).
+    pub per_shard_degraded_reads: Vec<u64>,
+    /// Per-shard survivor fragment reads served for the rebuild,
+    /// indexed by shard.
+    pub per_shard_rebuild_reads: Vec<u64>,
+}
+
+impl ResilienceReport {
+    /// Registers the resilience counters under `{prefix}.resilience`:
+    /// run-wide counters plus per-shard failure/degraded-read/rebuild
+    /// detail (`{prefix}.shard{s}.*`).
+    pub fn register_metrics(&self, reg: &mut telemetry::MetricRegistry, prefix: &str) {
+        let p = format!("{prefix}.resilience");
+        reg.counter(&format!("{p}.parity"), u64::from(self.parity));
+        if let Some(f) = self.failed_shard {
+            reg.counter(&format!("{p}.failed_shard"), u64::from(f));
+            reg.gauge(&format!("{p}.fail_at_us"), self.fail_at_us);
+        }
+        if let Some(s) = self.spare_shard {
+            reg.counter(&format!("{p}.spare_shard"), u64::from(s));
+        }
+        reg.counter(&format!("{p}.degraded_reads"), self.degraded_reads);
+        reg.counter(
+            &format!("{p}.degraded_fragment_reads"),
+            self.degraded_fragment_reads,
+        );
+        reg.counter(&format!("{p}.rebuild_pages"), self.rebuild_pages);
+        reg.counter(&format!("{p}.rebuild_reads"), self.rebuild_reads);
+        reg.gauge(&format!("{p}.rebuild_time_us"), self.rebuild_time_us);
+        reg.counter(&format!("{p}.redirected_writes"), self.redirected_writes);
+        reg.counter(&format!("{p}.lost_pages"), self.lost_pages);
+        let shards = self
+            .per_shard_degraded_reads
+            .len()
+            .max(self.per_shard_rebuild_reads.len());
+        for s in 0..shards {
+            let failed = self.failed_shard == Some(s as u32);
+            reg.counter(&format!("{prefix}.shard{s}.failed"), u64::from(failed));
+            reg.counter(
+                &format!("{prefix}.shard{s}.degraded_fragment_reads"),
+                self.per_shard_degraded_reads.get(s).copied().unwrap_or(0),
+            );
+            reg.counter(
+                &format!("{prefix}.shard{s}.rebuild_reads"),
+                self.per_shard_rebuild_reads.get(s).copied().unwrap_or(0),
+            );
+        }
+    }
+}

@@ -32,7 +32,7 @@ pub use driver::{FtlDriver, FtlStats, HostContext, MaintWork, PageRead, WlWrite}
 pub use front::{FrontRequest, HostFront};
 pub use request::{HostOp, HostRequest};
 pub use ssd::{
-    ChipStats, InFlightFlush, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim,
-    StepOutcome,
+    ChipStats, InFlightFlush, MaintSchedule, RebuildOp, RebuildProgress, RebuildSchedule,
+    SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
 pub use stats::LatencyRecorder;

@@ -357,6 +357,70 @@ impl SimReport {
     }
 }
 
+/// Pacing of the background rebuild service: how many rebuild page
+/// operations one unit may dispatch, and the host-priority gap between
+/// units. Mirrors [`MaintSchedule`]'s idle-window discipline — rebuild
+/// ops only ever start on idle chips, and after each unit the service
+/// backs off by `gap_us` so host traffic reclaims the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildSchedule {
+    /// Page operations dispatched per rebuild unit (bounded burst).
+    pub batch_pages: u32,
+    /// Minimum virtual µs between the end of one unit and the start of
+    /// the next.
+    pub gap_us: f64,
+}
+
+impl RebuildSchedule {
+    /// The default pacing: 8-page units, 200 µs host-priority gap
+    /// (matching [`MaintSchedule::on`]).
+    pub fn on() -> Self {
+        RebuildSchedule {
+            batch_pages: 8,
+            gap_us: 200.0,
+        }
+    }
+}
+
+/// One background rebuild page operation against this device's local
+/// space. Survivor shards run `Read`s (fragment fetches for XOR
+/// reconstruction); the spare shard runs `Write`s (programming the
+/// reconstructed pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildOp {
+    /// Read the page mapped at this local LPN.
+    Read(u64),
+    /// Program reconstructed data at this local LPN.
+    Write(u64),
+}
+
+/// Progress of the background rebuild service on one device. Not part
+/// of [`SimReport`] — read it through [`SsdSim::rebuild_progress`]
+/// after the run, so reports of rebuild-free runs stay byte-identical
+/// to every pre-rebuild golden.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebuildProgress {
+    /// Fragment reads completed.
+    pub reads_done: u64,
+    /// Reconstruction writes completed.
+    pub writes_done: u64,
+    /// Read ops skipped because the local page was never mapped
+    /// (nothing durable to fetch).
+    pub skipped: u64,
+    /// Virtual time the queue fully drained, µs (0.0 if it never did).
+    pub done_at_us: f64,
+    /// `(t_us, cumulative ops)` checkpoint per completed rebuild unit —
+    /// the rebuild curve the bench plots against the idle-window budget.
+    pub curve: Vec<(f64, u64)>,
+}
+
+impl RebuildProgress {
+    /// Total rebuild ops accounted for (reads + writes + skips).
+    pub fn ops_done(&self) -> u64 {
+        self.reads_done + self.writes_done + self.skipped
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     /// A buffered write request completes at the host interface.
@@ -365,6 +429,10 @@ enum EventKind {
     ReadPartServed { req: usize },
     /// A chip finished its current operation.
     ChipIdle { chip: usize },
+    /// Rebuild-service poll timer: keeps the event loop alive while
+    /// rebuild work is pending but nothing else is in flight (e.g.
+    /// after the host workload drained, between paced units).
+    RebuildTick,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -409,6 +477,12 @@ enum ChipOp {
     /// A background maintenance operation. Data moves stay on-chip, so
     /// no bus transfer is charged.
     Maint {
+        nand_us: f64,
+    },
+    /// A background rebuild page operation. The page crosses the device
+    /// boundary (survivor fragment out, reconstructed page in), so one
+    /// page of bus transfer is charged like a host read.
+    Rebuild {
         nand_us: f64,
     },
 }
@@ -504,6 +578,23 @@ pub struct SsdSim {
     /// Completions awaiting delivery to the front: `(token, t_us)` in
     /// completion order. Only populated in front mode.
     front_done: Vec<(u32, f64)>,
+    /// Pacing of the background rebuild service (`None` = rebuild off,
+    /// the zero-cost default path).
+    rebuild_sched: Option<RebuildSchedule>,
+    /// Pending rebuild page operations, dispatched front-to-back.
+    rebuild_queue: VecDeque<RebuildOp>,
+    /// Rebuild ops currently executing on chips (one unit at a time:
+    /// the next unit starts only after this reaches zero again).
+    rebuild_inflight: u32,
+    /// Earliest time the next rebuild unit may start.
+    rebuild_allowed_at: f64,
+    /// Whether a [`EventKind::RebuildTick`] is already in the heap
+    /// (dedupes the liveness timer).
+    rebuild_tick_armed: bool,
+    /// Round-robin cursor for placing rebuild writes on chips.
+    rebuild_chip: usize,
+    /// Progress accounting for the current run's rebuild service.
+    rebuild_progress: RebuildProgress,
 }
 
 /// State of the periodic registry sampler: the next virtual-time
@@ -570,6 +661,13 @@ impl SsdSim {
             sampler: None,
             front_mode: false,
             front_done: Vec::new(),
+            rebuild_sched: None,
+            rebuild_queue: VecDeque::new(),
+            rebuild_inflight: 0,
+            rebuild_allowed_at: 0.0,
+            rebuild_tick_armed: false,
+            rebuild_chip: 0,
+            rebuild_progress: RebuildProgress::default(),
             config,
         }
     }
@@ -731,6 +829,58 @@ impl SsdSim {
         };
     }
 
+    /// Arms the background rebuild service for the current run: `ops`
+    /// are dispatched front-to-back in units of at most
+    /// `sched.batch_pages`, each op starting only on an idle chip and
+    /// each unit separated by `sched.gap_us` of host-priority backoff.
+    /// Rebuild work keeps the event loop alive past the host workload,
+    /// so a run drains only once the queue is empty.
+    ///
+    /// Call **after** [`SsdSim::run_begin`] — arming belongs to one run
+    /// and is cleared by the next `run_begin`. The op list is computed
+    /// by the caller before the run starts, so the service itself is a
+    /// pure function of `(ops, sched, workload, ftl)` and byte-identity
+    /// across step budgets and thread counts is preserved.
+    pub fn arm_rebuild(
+        &mut self,
+        sched: RebuildSchedule,
+        ops: impl IntoIterator<Item = RebuildOp>,
+    ) {
+        assert!(sched.batch_pages > 0, "rebuild unit must move pages");
+        assert!(
+            sched.gap_us >= 0.0 && sched.gap_us.is_finite(),
+            "rebuild gap must be a finite non-negative time"
+        );
+        self.rebuild_sched = Some(sched);
+        self.rebuild_queue = ops.into_iter().collect();
+        self.rebuild_inflight = 0;
+        self.rebuild_allowed_at = 0.0;
+        self.rebuild_tick_armed = false;
+        self.rebuild_chip = 0;
+        self.rebuild_progress = RebuildProgress::default();
+    }
+
+    /// Progress of the current run's rebuild service (all-zero when
+    /// rebuild was never armed).
+    pub fn rebuild_progress(&self) -> &RebuildProgress {
+        &self.rebuild_progress
+    }
+
+    /// Rebuild ops still pending (not yet dispatched).
+    pub fn rebuild_pending(&self) -> usize {
+        self.rebuild_queue.len()
+    }
+
+    /// Drains the pending rebuild queue — used to carry unfinished
+    /// rebuild work across a power cut into the recovery run (the next
+    /// [`SsdSim::run_begin`] would otherwise discard it).
+    pub fn take_rebuild_pending(&mut self) -> Vec<RebuildOp> {
+        self.rebuild_sched = None;
+        self.rebuild_inflight = 0;
+        self.rebuild_tick_armed = false;
+        self.rebuild_queue.drain(..).collect()
+    }
+
     /// Advances the armed run by at most `max_events` simulation events.
     /// The outcome is a pure function of the workload, the FTL and the
     /// configuration: slicing a run into any sequence of budgets yields
@@ -746,6 +896,7 @@ impl SsdSim {
         }
         self.fill_queue(workload, ftl);
         self.try_maint(ftl);
+        self.try_rebuild(ftl);
         let mut sliced = 0u64;
         while sliced < max_events {
             let Some(&ev) = self.events.peek() else {
@@ -788,9 +939,11 @@ impl SsdSim {
                     }
                 }
                 EventKind::ChipIdle { chip } => self.chip_op_done(chip, ftl),
+                EventKind::RebuildTick => self.rebuild_tick_armed = false,
             }
             self.fill_queue(workload, ftl);
             self.try_maint(ftl);
+            self.try_rebuild(ftl);
             match self.spo {
                 Some(SpoTrigger::AtOps(n)) if self.completed >= n => {
                     self.spo_event = Some(self.spo_snapshot());
@@ -920,6 +1073,9 @@ impl SsdSim {
                     }
                 }
                 EventKind::ChipIdle { chip } => self.chip_op_done(chip, ftl),
+                // Rebuild is only armed on legacy closed-loop runs; a
+                // stray tick in front mode is a harmless no-op.
+                EventKind::RebuildTick => self.rebuild_tick_armed = false,
             }
             self.deliver_front_completions(front);
             self.front_fill(front, ftl);
@@ -1050,6 +1206,13 @@ impl SsdSim {
         self.event_count = 0;
         self.front_mode = false;
         self.front_done.clear();
+        self.rebuild_sched = None;
+        self.rebuild_queue.clear();
+        self.rebuild_inflight = 0;
+        self.rebuild_allowed_at = 0.0;
+        self.rebuild_tick_armed = false;
+        self.rebuild_chip = 0;
+        self.rebuild_progress = RebuildProgress::default();
         self.trace.reset();
         if let Some(s) = &mut self.sampler {
             s.next_us = s.interval_us;
@@ -1235,14 +1398,15 @@ impl SsdSim {
         };
         let bus = chip % self.config.buses;
         let pages = match &op {
-            ChipOp::Read { .. } => 1.0,
+            ChipOp::Read { .. } | ChipOp::Rebuild { .. } => 1.0,
             ChipOp::Flush { lpns, .. } => lpns.iter().filter(|&&l| l != u64::MAX).count() as f64,
             ChipOp::Maint { .. } => 0.0,
         };
         let nand_us = match &op {
             ChipOp::Read { nand_us, .. }
             | ChipOp::Flush { nand_us, .. }
-            | ChipOp::Maint { nand_us } => *nand_us,
+            | ChipOp::Maint { nand_us }
+            | ChipOp::Rebuild { nand_us } => *nand_us,
         };
         let done = if pages > 0.0 {
             let transfer = pages * self.config.t_xfer_page_us;
@@ -1293,9 +1457,44 @@ impl SsdSim {
                 // for at least the configured gap.
                 self.chips[chip].maint_allowed_at = self.now + self.config.maint.min_gap_us;
             }
+            ChipOp::Rebuild { .. } => self.rebuild_op_done(),
         }
         self.start_next_op(chip);
         self.try_flush(ftl);
+    }
+
+    /// One rebuild page op finished on a chip. When it was the last of
+    /// its unit, close the unit: checkpoint the progress curve, start
+    /// the host-priority gap, and keep the liveness timer armed while
+    /// work remains.
+    fn rebuild_op_done(&mut self) {
+        debug_assert!(self.rebuild_inflight > 0, "rebuild completion unaccounted");
+        self.rebuild_inflight -= 1;
+        if self.rebuild_inflight > 0 {
+            return;
+        }
+        let gap = self
+            .rebuild_sched
+            .as_ref()
+            .map_or(0.0, |s| s.gap_us.max(1.0));
+        self.rebuild_allowed_at = self.now + gap;
+        self.rebuild_progress
+            .curve
+            .push((self.now, self.rebuild_progress.ops_done()));
+        if self.rebuild_queue.is_empty() {
+            self.rebuild_progress.done_at_us = self.now;
+        } else {
+            self.arm_rebuild_tick(self.rebuild_allowed_at);
+        }
+    }
+
+    /// Pushes the rebuild liveness timer unless one is already pending.
+    fn arm_rebuild_tick(&mut self, at: f64) {
+        if self.rebuild_tick_armed {
+            return;
+        }
+        self.rebuild_tick_armed = true;
+        self.push_event(at.max(self.now), EventKind::RebuildTick);
     }
 
     fn retry_stalled_writes(&mut self) {
@@ -1373,6 +1572,105 @@ impl SsdSim {
                 }
             }
         }
+    }
+
+    /// Dispatches the next rebuild unit when the service is armed, no
+    /// unit is in flight, the host-priority gap has elapsed, and an
+    /// idle window is open (at least one chip has nothing queued — the
+    /// maintenance scheduler's idleness signal). The unit then
+    /// dispatches atomically: each op makes exactly one FTL call, so
+    /// FTL side effects cannot depend on how often a slice boundary
+    /// re-polls the service — the precondition checks are state-only.
+    /// Counters account ops at dispatch; the unit closes (and the
+    /// curve checkpoints) when the last of its ops completes.
+    fn try_rebuild<F: FtlDriver + ?Sized>(&mut self, ftl: &mut F) {
+        let Some(sched) = self.rebuild_sched else {
+            return;
+        };
+        if self.rebuild_queue.is_empty() || self.rebuild_inflight > 0 {
+            return;
+        }
+        if self.now < self.rebuild_allowed_at {
+            self.arm_rebuild_tick(self.rebuild_allowed_at);
+            return;
+        }
+        let idle_window = self.chips.iter().any(|c| !c.busy && c.queue.is_empty());
+        if !idle_window {
+            // Device saturated by host work: back off by the gap. The
+            // timer lands strictly in the future (gap ≥ 1 µs), so a
+            // blocked poll cannot spin at one timestamp; chip-idle
+            // events re-poll sooner anyway.
+            self.arm_rebuild_tick(self.now + sched.gap_us.max(1.0));
+            return;
+        }
+        let mut dispatched = 0u32;
+        while dispatched < sched.batch_pages {
+            let Some(op) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            dispatched += 1;
+            match op {
+                RebuildOp::Read(lpn) => {
+                    let ctx = self.ctx();
+                    match ftl.read_page(lpn, &ctx) {
+                        Some(pr) => {
+                            self.rebuild_inflight += 1;
+                            self.rebuild_progress.reads_done += 1;
+                            self.enqueue_chip_op(
+                                pr.chip,
+                                ChipOp::Rebuild {
+                                    nand_us: pr.nand_us,
+                                },
+                            );
+                        }
+                        None => {
+                            // Never-mapped page: nothing durable to
+                            // fetch — account and move on.
+                            self.rebuild_progress.skipped += 1;
+                        }
+                    }
+                }
+                RebuildOp::Write(lpn) => {
+                    let chip = self.pick_rebuild_chip();
+                    let ctx = self.ctx();
+                    let w = ftl.write_wl(chip, [lpn, u64::MAX, u64::MAX], &ctx);
+                    self.rebuild_inflight += 1;
+                    self.rebuild_progress.writes_done += 1;
+                    self.enqueue_chip_op(chip, ChipOp::Rebuild { nand_us: w.nand_us });
+                }
+            }
+        }
+        if dispatched > 0 && self.rebuild_inflight == 0 {
+            // The whole unit was skips: close it here, nothing will
+            // complete on a chip.
+            self.rebuild_allowed_at = self.now + sched.gap_us.max(1.0);
+            self.rebuild_progress
+                .curve
+                .push((self.now, self.rebuild_progress.ops_done()));
+            if self.rebuild_queue.is_empty() {
+                self.rebuild_progress.done_at_us = self.now;
+            } else {
+                self.arm_rebuild_tick(self.rebuild_allowed_at);
+            }
+        }
+    }
+
+    /// The chip for the next rebuild write: the first idle chip from
+    /// the round-robin cursor when one exists (preferring the idle
+    /// window), else plain round-robin — reconstruction load spreads
+    /// over the spare's chips either way.
+    fn pick_rebuild_chip(&mut self) -> usize {
+        let n = self.chips.len();
+        for i in 0..n {
+            let chip = (self.rebuild_chip + i) % n;
+            if !self.chips[chip].busy && self.chips[chip].queue.is_empty() {
+                self.rebuild_chip = (chip + 1) % n;
+                return chip;
+            }
+        }
+        let chip = self.rebuild_chip % n;
+        self.rebuild_chip = (chip + 1) % n;
+        chip
     }
 
     /// Emits a sample row for every interval threshold at or below `t`.
@@ -1918,5 +2216,81 @@ mod tests {
         let report = sim.run(&mut ftl, std::iter::empty(), 0);
         assert_eq!(report.completed, 0);
         assert_eq!(report.iops, 0.0);
+    }
+
+    #[test]
+    fn rebuild_service_drains_past_the_workload_and_is_slice_invariant() {
+        let run_with = |max_events: u64| {
+            let cfg = SsdConfig::small();
+            let mut sim = SsdSim::new(cfg);
+            let mut ftl = StubFtl::new(cfg.chips);
+            sim.prefill(&mut ftl, 0..120);
+            sim.run_begin(60, None);
+            let ops = (0..50u64)
+                .map(RebuildOp::Read)
+                .chain([RebuildOp::Read(9_999)]) // never mapped: skipped
+                .chain((5_000..5_030u64).map(RebuildOp::Write));
+            sim.arm_rebuild(
+                RebuildSchedule {
+                    batch_pages: 4,
+                    gap_us: 50.0,
+                },
+                ops,
+            );
+            let mut workload = (0..60u64).map(|i| HostRequest::read(i % 120));
+            while sim.run_step(&mut ftl, &mut workload, max_events) == StepOutcome::Running {}
+            let progress = sim.rebuild_progress().clone();
+            let (report, _) = sim.run_end(&ftl);
+            (format!("{report:?}"), progress)
+        };
+        let (report_a, prog) = run_with(u64::MAX);
+        assert_eq!(prog.reads_done, 50);
+        assert_eq!(prog.skipped, 1);
+        assert_eq!(prog.writes_done, 30);
+        assert_eq!(prog.ops_done(), 81);
+        assert!(
+            prog.done_at_us > 0.0,
+            "queue must drain even after the host workload ends"
+        );
+        assert!(!prog.curve.is_empty());
+        assert!(
+            prog.curve
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1),
+            "rebuild curve must be monotonic"
+        );
+        assert_eq!(prog.curve.last().unwrap().1, 81);
+        // Step-slice budgets must not leak into results or progress.
+        let (report_b, prog_b) = run_with(7);
+        assert_eq!(report_a, report_b);
+        assert_eq!(prog, prog_b);
+    }
+
+    #[test]
+    fn rebuild_gap_paces_units() {
+        let done_at = |gap_us: f64| {
+            let cfg = SsdConfig::small();
+            let mut sim = SsdSim::new(cfg);
+            let mut ftl = StubFtl::new(cfg.chips);
+            sim.prefill(&mut ftl, 0..60);
+            sim.run_begin(0, None);
+            sim.arm_rebuild(
+                RebuildSchedule {
+                    batch_pages: 2,
+                    gap_us,
+                },
+                (0..40u64).map(RebuildOp::Read),
+            );
+            let mut workload = std::iter::empty();
+            while sim.run_step(&mut ftl, &mut workload, u64::MAX) == StepOutcome::Running {}
+            assert_eq!(sim.rebuild_progress().reads_done, 40);
+            sim.rebuild_progress().done_at_us
+        };
+        let fast = done_at(10.0);
+        let slow = done_at(2_000.0);
+        assert!(
+            slow > fast,
+            "larger host-priority gap must stretch the rebuild ({fast} vs {slow})"
+        );
     }
 }

@@ -28,13 +28,17 @@ impl EventMask {
     pub const HOSTQ: EventMask = EventMask(1 << 8);
     /// Per-tenant SLO attainment summaries.
     pub const SLO: EventMask = EventMask(1 << 9);
+    /// Whole-shard failure and degraded-mode reconstruction reads.
+    pub const DEGRADED: EventMask = EventMask(1 << 10);
+    /// Background rebuild units onto a spare shard.
+    pub const REBUILD: EventMask = EventMask(1 << 11);
     /// Every category.
-    pub const ALL: EventMask = EventMask(0x3ff);
+    pub const ALL: EventMask = EventMask(0xfff);
     /// No category (the disabled collector).
     pub const NONE: EventMask = EventMask(0);
 
     /// Name table used by [`EventMask::parse`] and `--trace-events`.
-    pub const NAMES: [(&'static str, EventMask); 10] = [
+    pub const NAMES: [(&'static str, EventMask); 12] = [
         ("host", Self::HOST_IO),
         ("ispp", Self::ISPP),
         ("retry", Self::READ_RETRY),
@@ -45,6 +49,8 @@ impl EventMask {
         ("opm", Self::OPM),
         ("hostq", Self::HOSTQ),
         ("slo", Self::SLO),
+        ("degraded", Self::DEGRADED),
+        ("rebuild", Self::REBUILD),
     ];
 
     /// Whether every bit of `other` is enabled here.
@@ -208,6 +214,35 @@ pub enum EventKind {
         /// SLO violations counted against this tenant.
         violations: u64,
     },
+    /// A whole-shard failure boundary (injection, detection at the
+    /// barrier, or rebuild-complete restoration of full redundancy).
+    ShardFail {
+        /// Array index of the failed shard.
+        failed: u32,
+        /// `"inject"`, `"detect"` or `"restored"`.
+        phase: &'static str,
+        /// Phase detail: durable pages at stake (detect), rebuilt
+        /// pages (restored), or the failure time in µs (inject).
+        detail: u64,
+    },
+    /// A degraded-mode read: a lost page served by XOR-reconstructing
+    /// it from the surviving shards' pages of the same stripe row.
+    DegradedRead {
+        /// Global data LPN reconstructed.
+        lpn: u64,
+        /// Surviving fragments read to rebuild it (S − 1).
+        fragments: u32,
+    },
+    /// One bounded background rebuild unit ran against the spare.
+    RebuildUnit {
+        /// Spare shard serving as rebuild target.
+        spare: u32,
+        /// `"read"` (survivor fragment reads) or `"write"` (spare
+        /// reconstruction writes).
+        action: &'static str,
+        /// Pages moved by this unit.
+        pages: u64,
+    },
 }
 
 impl EventKind {
@@ -224,6 +259,8 @@ impl EventKind {
             EventKind::Opm { .. } => EventMask::OPM,
             EventKind::HostQueue { .. } => EventMask::HOSTQ,
             EventKind::TenantSlo { .. } => EventMask::SLO,
+            EventKind::ShardFail { .. } | EventKind::DegradedRead { .. } => EventMask::DEGRADED,
+            EventKind::RebuildUnit { .. } => EventMask::REBUILD,
         }
     }
 }
@@ -372,6 +409,32 @@ impl TraceEvent {
                      \"read_p99_us\":{},\"write_p99_us\":{},\"violations\":{violations}",
                     fmt_num(*read_p99_us),
                     fmt_num(*write_p99_us)
+                );
+            }
+            EventKind::ShardFail {
+                failed,
+                phase,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"shard_fail\",\"failed\":{failed},\"phase\":\"{phase}\",\"detail\":{detail}"
+                );
+            }
+            EventKind::DegradedRead { lpn, fragments } => {
+                let _ = write!(
+                    s,
+                    "\"degraded_read\",\"lpn\":{lpn},\"fragments\":{fragments}"
+                );
+            }
+            EventKind::RebuildUnit {
+                spare,
+                action,
+                pages,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"rebuild_unit\",\"spare\":{spare},\"action\":\"{action}\",\"pages\":{pages}"
                 );
             }
         }
@@ -559,6 +622,43 @@ mod tests {
         let merged = merge_streams(a, b);
         let order: Vec<(f64, u32)> = merged.iter().map(|e| (e.t_us, e.shard)).collect();
         assert_eq!(order, vec![(1.0, 0), (1.0, 1), (2.0, 1), (5.0, 0)]);
+    }
+
+    #[test]
+    fn resilience_categories_parse_and_serialize() {
+        let m = EventMask::parse("degraded,rebuild").unwrap();
+        assert!(m.contains(EventMask::DEGRADED));
+        assert!(m.contains(EventMask::REBUILD));
+        assert!(EventMask::ALL.contains(m));
+        let mut c = Collector::enabled(m, 3);
+        c.emit(
+            10.0,
+            EventKind::ShardFail {
+                failed: 1,
+                phase: "detect",
+                detail: 512,
+            },
+        );
+        c.emit(
+            11.0,
+            EventKind::DegradedRead {
+                lpn: 42,
+                fragments: 3,
+            },
+        );
+        c.emit(
+            12.0,
+            EventKind::RebuildUnit {
+                spare: 4,
+                action: "write",
+                pages: 64,
+            },
+        );
+        let lines = events_to_ndjson(&c.take());
+        assert!(lines.contains("\"kind\":\"shard_fail\",\"failed\":1,\"phase\":\"detect\""));
+        assert!(lines.contains("\"kind\":\"degraded_read\",\"lpn\":42,\"fragments\":3"));
+        assert!(lines
+            .contains("\"kind\":\"rebuild_unit\",\"spare\":4,\"action\":\"write\",\"pages\":64"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!             [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]
 //!             [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]
 //!             [--shards N] [--array-stripe PAGES] [--array-threads N]
+//!             [--array-parity] [--fail-shard ID@US | --fail-seed N] [--spare-shards N]
+//!             [--rebuild-batch PAGES] [--rebuild-gap-us T]
 //!             [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off] [--trace-file PATH]
 //!             [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]
 //!             [--qos-arrival-us T] [--qos-equal-arrivals] [--qos-slo-read-us T]
@@ -44,6 +46,18 @@
 //! byte-identical merged report at any thread count. Combined with a
 //! power cut, the array demands `--spo-at-us`: every shard is cut at the
 //! same virtual instant and recovered independently.
+//!
+//! `--array-parity` adds RAID-5-style rotating cross-shard XOR parity to
+//! the array (one parity page per stripe row, rotated left-symmetric).
+//! `--fail-shard ID@US` kills a whole shard at a virtual instant (or
+//! `--fail-seed N` derives a deterministic failure plan from a seed);
+//! the surviving shards serve degraded reads by fan-out reconstruction
+//! while a background rebuild — paced by the idle-window scheduler,
+//! `--rebuild-batch` pages per unit with a `--rebuild-gap-us` host
+//! priority gap — repopulates a blank spare (`--spare-shards 1`). Adding
+//! `--spo-at-us` composes an array-wide power cut into the degraded
+//! phase. The run exits non-zero unless the audit proves zero
+//! host-acknowledged loss.
 //!
 //! `--ort-capacity N` bounds the per-chip offset-reuse table to N entries
 //! with LRU eviction (default: unbounded); hit/miss/eviction counters
@@ -101,6 +115,7 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --spo-at 40000 --ckpt-interval 128
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --array-stripe 64
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --spo-at-us 80000
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --array-parity --fail-shard 1@30000 --spare-shards 1
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-file tests/data/sample_trace.csv
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --queues 4 --tenants 64 --tenant-weights 8,4,2,1
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --queues 8 --tenants 32 --qos-slo-read-us 5000
@@ -109,9 +124,10 @@
 //! ```
 
 use cubeftl::harness::{
-    run_array_eval_traced, run_array_qos_eval, run_array_spo_eval, run_array_trace_eval,
-    run_eval_traced, run_qos_eval, run_spo_eval, run_trace_eval, ArrayEvalConfig, ArraySpoConfig,
-    EvalConfig, QosSpec, SpoConfig, TelemetrySpec,
+    run_array_eval, run_array_eval_traced, run_array_failure_eval, run_array_qos_eval,
+    run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_qos_eval, run_spo_eval,
+    run_trace_eval, ArrayEvalConfig, ArrayFailureConfig, ArraySpoConfig, EvalConfig, FailSpec,
+    QosSpec, SpoConfig, TelemetrySpec,
 };
 use cubeftl::{
     events_to_ndjson, AgingState, ArrayReport, EventMask, FaultKind, FaultPlan, FtlKind,
@@ -176,6 +192,8 @@ fn usage() -> ExitCode {
          \x20                  [--maint-remonitor-pe N] [--maint-wear-limit N] [--maint-scrub-batch N]\n\
          \x20                  [--spo-at N | --spo-at-us T | --spo-rate P] [--spo-seed N] [--ckpt-interval N]\n\
          \x20                  [--shards N] [--array-stripe PAGES] [--array-threads N]\n\
+         \x20                  [--array-parity] [--fail-shard ID@US | --fail-seed N] [--spare-shards N]\n\
+         \x20                  [--rebuild-batch PAGES] [--rebuild-gap-us T]\n\
          \x20                  [--ort-capacity N] [--ort-cluster on|off] [--retry-opt on|off]\n\
          \x20                  [--trace-file PATH]\n\
          \x20                  [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]\n\
@@ -206,6 +224,12 @@ fn main() -> ExitCode {
     let mut shards: usize = 1;
     let mut stripe_pages: u64 = 64;
     let mut array_threads: usize = 0;
+    let mut array_parity = false;
+    let mut fail_spec: Option<FailSpec> = None;
+    let mut fail_seed: Option<u64> = None;
+    let mut spare_shards: usize = 0;
+    let mut rebuild_batch: Option<u32> = None;
+    let mut rebuild_gap_us: Option<f64> = None;
     let mut trace_file: Option<String> = None;
     let mut qos = QosSpec::off();
     let mut qos_trace_file: Option<String> = None;
@@ -231,6 +255,11 @@ fn main() -> ExitCode {
             "--qos-equal-arrivals" => {
                 qos.equal_arrivals = true;
                 qos_knob_seen = true;
+                i += 1;
+                continue;
+            }
+            "--array-parity" => {
+                array_parity = true;
                 i += 1;
                 continue;
             }
@@ -367,6 +396,29 @@ fn main() -> ExitCode {
             ("--array-threads", Some(v)) => match v.parse::<usize>() {
                 Ok(n) => array_threads = n,
                 Err(_) => return usage(),
+            },
+            ("--fail-shard", Some(v)) => match FailSpec::parse(v) {
+                Ok(f) => fail_spec = Some(f),
+                Err(e) => {
+                    eprintln!("--fail-shard: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            ("--fail-seed", Some(v)) => match v.parse::<u64>() {
+                Ok(n) => fail_seed = Some(n),
+                Err(_) => return usage(),
+            },
+            ("--spare-shards", Some(v)) => match v.parse::<usize>() {
+                Ok(n) => spare_shards = n,
+                Err(_) => return usage(),
+            },
+            ("--rebuild-batch", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => rebuild_batch = Some(n),
+                _ => return usage(),
+            },
+            ("--rebuild-gap-us", Some(v)) => match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 && t.is_finite() => rebuild_gap_us = Some(t),
+                _ => return usage(),
             },
             ("--ort-capacity", Some(v)) => match v.parse::<usize>() {
                 Ok(n) if n >= 1 => cfg.ort_capacity = n,
@@ -584,7 +636,50 @@ fn main() -> ExitCode {
             }
         }
     }
-    if telemetry_on && (trace.is_some() || spo_trigger.is_some()) {
+    let resilience_engaged = array_parity
+        || fail_spec.is_some()
+        || fail_seed.is_some()
+        || spare_shards > 0
+        || rebuild_batch.is_some()
+        || rebuild_gap_us.is_some();
+    if resilience_engaged {
+        if shards <= 1 {
+            eprintln!(
+                "array resilience flags (--array-parity/--fail-shard/--fail-seed/\
+                 --spare-shards/--rebuild-*) need an array: pass --shards > 1"
+            );
+            return ExitCode::FAILURE;
+        }
+        if fail_spec.is_some() && fail_seed.is_some() {
+            eprintln!("--fail-shard and --fail-seed are exclusive: pick one");
+            return ExitCode::FAILURE;
+        }
+        if let Some(f) = &fail_spec {
+            if f.shard >= shards {
+                eprintln!(
+                    "--fail-shard {}: the array has shards 0..{}",
+                    f.shard, shards
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if qos.engaged() {
+            eprintln!("array resilience cannot be combined with the QoS front-end");
+            return ExitCode::FAILURE;
+        }
+        if trace.is_some() {
+            eprintln!("array resilience cannot be combined with --trace-file");
+            return ExitCode::FAILURE;
+        }
+        if series_out.is_some() {
+            eprintln!(
+                "failure runs emit barrier-stamped events, not sampled series: \
+                 use --trace-out/--metrics-out (drop --series-out)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if telemetry_on && (trace.is_some() || (spo_trigger.is_some() && !resilience_engaged)) {
         eprintln!(
             "telemetry output (--trace-out/--series-out/--metrics-out) is only \
              available in the standard run modes (no --trace-file, no SPO)"
@@ -598,6 +693,40 @@ fn main() -> ExitCode {
             stripe_pages,
             threads: array_threads,
         };
+        if resilience_engaged {
+            let mut fc = ArrayFailureConfig::off();
+            fc.parity = array_parity;
+            fc.fail = fail_spec;
+            fc.spare_shards = spare_shards;
+            if let Some(b) = rebuild_batch {
+                fc.rebuild.batch_pages = b;
+            }
+            if let Some(g) = rebuild_gap_us {
+                fc.rebuild.gap_us = g;
+            }
+            fc.ckpt_interval_host_wls = ckpt_interval;
+            if let Some(trigger) = spo_trigger {
+                let SpoTrigger::AtTimeUs(cut_at_us) = trigger else {
+                    eprintln!(
+                        "--shards cuts the whole array at one virtual instant: \
+                         use --spo-at-us (not --spo-at or --spo-rate)"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                fc.spo_cut_at_us = Some(cut_at_us);
+            }
+            return run_array_failure(
+                kinds,
+                workload,
+                aging,
+                &cfg,
+                &arr,
+                fc,
+                fail_seed,
+                &trace_out,
+                &metrics_out,
+            );
+        }
         if let Some(trigger) = spo_trigger {
             let SpoTrigger::AtTimeUs(cut_at_us) = trigger else {
                 eprintln!(
@@ -987,6 +1116,164 @@ fn print_qos_summary(qos: &QosReport) {
             "",
             qos.tenants.len() - QosReport::MAX_TENANT_DETAIL,
         );
+    }
+}
+
+/// The array resilience experiment: rotating parity, an optional
+/// whole-shard failure (explicit `--fail-shard` or a seeded plan),
+/// degraded reads on the survivors, and a deterministic background
+/// rebuild onto the spare — optionally composed with an array-wide SPO
+/// cut mid-rebuild. Exits non-zero if the audit finds any
+/// host-acknowledged loss.
+#[allow(clippy::too_many_arguments)]
+fn run_array_failure(
+    kinds: Vec<FtlKind>,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    mut fc: ArrayFailureConfig,
+    fail_seed: Option<u64>,
+    trace_out: &Option<String>,
+    metrics_out: &Option<String>,
+) -> ExitCode {
+    println!(
+        "array resilience: parity {}, {} spare shard(s), rebuild batch {} pages / gap {:.0} µs{}\n",
+        if fc.parity { "on" } else { "off" },
+        fc.spare_shards,
+        fc.rebuild.batch_pages,
+        fc.rebuild.gap_us,
+        fc.spo_cut_at_us
+            .map(|t| format!(", SPO cut at {:.1} ms into the degraded phase", t / 1000.0))
+            .unwrap_or_default(),
+    );
+    let mut lost = false;
+    for kind in kinds {
+        if let Some(seed) = fail_seed {
+            // The seeded plan needs the healthy makespan; probe it with a
+            // plain array run (deterministic, so the plan is too). The
+            // failure lands inside every shard's run: use the shortest.
+            let probe = run_array_eval(kind, workload, aging, cfg, arr);
+            let makespan = probe
+                .shards
+                .iter()
+                .map(|s| s.sim_time_us)
+                .fold(f64::INFINITY, f64::min);
+            let f = FailSpec::seeded(seed, arr.shards, makespan);
+            println!(
+                "seeded failure plan (seed {seed}): shard {} dies at {:.1} ms",
+                f.shard,
+                f.at_us / 1000.0
+            );
+            fc.fail = Some(f);
+        }
+        let r = run_array_failure_eval(kind, workload, aging, cfg, arr, &fc);
+        println!("{}:", r.healthy.ftl_name);
+        match (&fc.fail, r.resilience.failed_shard) {
+            (Some(f), Some(s)) => {
+                println!(
+                    "  failure  shard {s} died at {:.1} ms; {} requests completed before, \
+                     {} durable data pages on the dead shard ({} array-acked, {} unprotected)",
+                    f.at_us / 1000.0,
+                    r.healthy.completed,
+                    r.audit.durable_data_pages,
+                    r.audit.acked_pages,
+                    r.audit.unprotected_pages,
+                );
+            }
+            _ => {
+                println!(
+                    "  failure  none injected; healthy run: {} requests at {:.0} aggregate IOPS",
+                    r.healthy.completed, r.healthy.iops,
+                );
+            }
+        }
+        if let Some(d) = &r.degraded {
+            println!(
+                "  degraded {} requests on the survivors: {} degraded reads \
+                 ({} survivor fragment reads), {} writes redirected, {} dropped",
+                d.completed,
+                r.resilience.degraded_reads,
+                r.resilience.degraded_fragment_reads,
+                r.resilience.redirected_writes,
+                r.audit.dropped_requests,
+            );
+        }
+        if let Some(spare) = r.resilience.spare_shard {
+            println!(
+                "  rebuild  {} pages onto spare shard {spare} in {:.1} ms \
+                 ({} survivor reads, idle-window paced)",
+                r.resilience.rebuild_pages,
+                r.resilience.rebuild_time_us / 1000.0,
+                r.resilience.rebuild_reads,
+            );
+        }
+        if let Some(cut) = fc.spo_cut_at_us {
+            let fired = r.recoveries.iter().flatten().count();
+            let torn: u64 = r
+                .recoveries
+                .iter()
+                .flatten()
+                .map(|rec| rec.torn_wls_quarantined)
+                .sum();
+            let replayed: u64 = r
+                .recoveries
+                .iter()
+                .flatten()
+                .map(|rec| rec.oob_records_replayed)
+                .sum();
+            println!(
+                "  spo      composed cut at {:.1} ms hit {fired} shard(s): \
+                 {torn} torn WLs quarantined, {replayed} OOB records replayed",
+                cut / 1000.0,
+            );
+            if let Some(res) = &r.resumed {
+                println!(
+                    "  resumed  {} remaining requests at {:.0} aggregate IOPS",
+                    res.completed, res.iops,
+                );
+            }
+        }
+        if r.audit.zero_loss && r.spo_lost_lpns.is_empty() {
+            println!(
+                "  audit    zero host-acknowledged loss: {}/{} acked pages rebuilt and mapped\n",
+                r.audit.rebuilt_mapped_pages, r.audit.acked_pages,
+            );
+        } else {
+            lost = true;
+            println!(
+                "  audit    LOST {} host-acknowledged pages, {} SPO-lost LPNs{}\n",
+                r.audit.lost_pages,
+                r.spo_lost_lpns.len(),
+                if fc.parity {
+                    ""
+                } else {
+                    " — parity off, the dead shard is unrecoverable"
+                },
+            );
+        }
+        let tel_out = cubeftl::harness::TelemetryOutput {
+            events: r.events.clone(),
+            series: Default::default(),
+        };
+        let write = write_telemetry(trace_out, &None, metrics_out, &tel_out, || {
+            let mut reg = MetricRegistry::new();
+            r.healthy.register_metrics(&mut reg, "array");
+            if let Some(d) = &r.degraded {
+                d.register_metrics(&mut reg, "degraded");
+            }
+            r.resilience.register_metrics(&mut reg, "array");
+            reg
+        });
+        if let Err(e) = write {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if lost {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -9,11 +9,16 @@
 use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, OrtClusterConfig, RecoveryReport};
 use hostq::{split_arrival_budget, split_even_budget, HostQueueConfig, HostQueueFront, QosReport};
 use nand3d::{AgingState, FaultPlan, RetryOptConfig};
-use ssdarray::{ArrayReport, ArrayShard, FrontArray, FrontShard, SsdArray, StripeRouter};
-use ssdsim::{
-    HostRequest, MaintSchedule, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
+use ssdarray::{
+    ArrayReport, ArrayShard, FrontArray, FrontShard, PageRole, ParityRouter, RebuildPlan,
+    ResilienceReport, SsdArray, StripeRouter,
 };
-use telemetry::{merge_streams, EventMask, Series, TraceEvent};
+use ssdsim::{
+    HostOp, HostRequest, MaintSchedule, RebuildOp, RebuildProgress, RebuildSchedule, SimReport,
+    SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
+};
+use std::collections::BTreeSet;
+use telemetry::{merge_streams, Collector, EventKind, EventMask, Series, TraceEvent};
 use workloads::{
     build_population, shard_seed, StandardWorkload, TenantMix, TenantProfile, Trace, Workload,
 };
@@ -538,6 +543,7 @@ pub fn run_array_eval_traced(
                 workload: stream,
                 requests: budgets[s],
                 spo: None,
+                rebuild: None,
             }
         })
         .collect();
@@ -651,6 +657,7 @@ pub fn run_array_trace_eval(
                 workload: local.into_iter(),
                 requests,
                 spo: None,
+                rebuild: None,
             }
         })
         .collect();
@@ -733,6 +740,7 @@ pub fn run_array_spo_eval(
                 workload: stream,
                 requests: budgets[s],
                 spo: Some(SpoTrigger::AtTimeUs(spo.cut_at_us)),
+                rebuild: None,
             }
         })
         .collect();
@@ -805,6 +813,675 @@ pub fn run_array_spo_eval(
         lost_lpns,
         resumed,
         checkpoints_taken,
+    }
+}
+
+/// A whole-shard failure injection: which shard dies, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailSpec {
+    /// The shard that fails.
+    pub shard: usize,
+    /// Virtual time of the failure, µs (must be positive).
+    pub at_us: f64,
+}
+
+impl FailSpec {
+    /// Parses the CLI form `<shard>@<us>` (e.g. `--fail-shard 1@3000`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (shard, at) = s
+            .split_once('@')
+            .ok_or_else(|| format!("expected <shard>@<us>, got '{s}'"))?;
+        let shard = shard
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("bad shard id '{shard}': {e}"))?;
+        let at_us = at
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("bad failure time '{at}': {e}"))?;
+        if !(at_us > 0.0 && at_us.is_finite()) {
+            return Err(format!("failure time must be positive, got {at_us}"));
+        }
+        Ok(FailSpec { shard, at_us })
+    }
+
+    /// A seeded failure plan: the victim shard and the cut instant are
+    /// drawn deterministically from `seed` (splitmix64), the instant
+    /// landing in the 30–70 % band of `makespan_us` (a probe run's
+    /// shortest shard makespan) so the failure reliably hits mid-run.
+    pub fn seeded(seed: u64, shards: usize, makespan_us: f64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let shard = (z % shards.max(1) as u64) as usize;
+        let frac = 0.3 + 0.4 * ((z >> 8) % 1000) as f64 / 1000.0;
+        FailSpec {
+            shard,
+            at_us: (makespan_us * frac).max(1.0),
+        }
+    }
+}
+
+/// Array-resilience switches on top of an [`ArrayEvalConfig`]: rotating
+/// cross-shard parity, whole-shard failure injection, hot spares and
+/// the background rebuild pacing. Everything off ([`ArrayFailureConfig::off`])
+/// routes requests exactly like the plain [`StripeRouter`] and runs a
+/// single healthy phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayFailureConfig {
+    /// Rotating cross-shard XOR parity (RAID-5-style, one parity stripe
+    /// per row).
+    pub parity: bool,
+    /// Optional whole-shard failure injection.
+    pub fail: Option<FailSpec>,
+    /// Hot spares provisioned beyond the array (the first absorbs the
+    /// rebuild and the dead shard's redirected writes; additional
+    /// spares stand by cold).
+    pub spare_shards: usize,
+    /// Background rebuild pacing (unit size, host-priority gap).
+    pub rebuild: RebuildSchedule,
+    /// Optional array-wide sudden-power-off cut during the degraded
+    /// phase, µs into that phase — composes the failure with the
+    /// existing SPO machinery.
+    pub spo_cut_at_us: Option<f64>,
+    /// Checkpoint cadence (host WLs) when an SPO cut is composed.
+    pub ckpt_interval_host_wls: u64,
+}
+
+impl ArrayFailureConfig {
+    /// Everything off: plain striping, no failure, no spare.
+    pub fn off() -> Self {
+        ArrayFailureConfig {
+            parity: false,
+            fail: None,
+            spare_shards: 0,
+            rebuild: RebuildSchedule::on(),
+            spo_cut_at_us: None,
+            ckpt_interval_host_wls: 64,
+        }
+    }
+
+    /// Whether any resilience feature is engaged.
+    pub fn engaged(&self) -> bool {
+        self.parity || self.fail.is_some() || self.spare_shards > 0 || self.spo_cut_at_us.is_some()
+    }
+}
+
+/// The zero-host-acknowledged-loss audit of one failure-injection run.
+///
+/// "Array-acknowledged" means both legs of a write were durable at the
+/// failure instant: the data page on the (now dead) shard *and* its
+/// row's parity page on the surviving parity holder. Pages whose data
+/// leg was durable but whose parity leg had not yet landed are counted
+/// `unprotected` — a real array would not have acknowledged them to the
+/// host, so they are not loss.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureAudit {
+    /// Durable data pages on the failed shard at the failure instant
+    /// (mapped or PLP-buffered, within the routed region).
+    pub durable_data_pages: u64,
+    /// Of those, array-acknowledged (parity leg also durable).
+    pub acked_pages: u64,
+    /// Of those, data-leg-only durable (array had not acked them yet).
+    pub unprotected_pages: u64,
+    /// Array-acknowledged pages mapped on the spare after the rebuild.
+    pub rebuilt_mapped_pages: u64,
+    /// Dead-shard requests with no redirect target (reads with parity
+    /// off, writes without a spare).
+    pub dropped_requests: u64,
+    /// Array-acknowledged pages that are neither on the spare nor
+    /// reconstructable from survivors — with parity off, every durable
+    /// data page. **Must be 0 with parity on.**
+    pub lost_pages: u64,
+    /// `lost_pages == 0`.
+    pub zero_loss: bool,
+}
+
+/// Outcome of one [`run_array_failure_eval`] experiment.
+#[derive(Debug, Clone)]
+pub struct ArrayFailureReport {
+    /// The merged healthy phase (up to the failure instant, or the full
+    /// run when no failure is injected).
+    pub healthy: ArrayReport,
+    /// Per-shard healthy-phase reports, indexed by shard.
+    pub shard_healthy: Vec<SimReport>,
+    /// The merged degraded phase (survivors plus the spare in the dead
+    /// shard's slot), `None` when no failure was injected.
+    pub degraded: Option<ArrayReport>,
+    /// The merged post-SPO-recovery resume phase, when an SPO cut was
+    /// composed and fired.
+    pub resumed: Option<ArrayReport>,
+    /// Per-participant SPO recovery reports for the composed cut,
+    /// indexed like the degraded phase (`None` where no cut landed).
+    pub recoveries: Vec<Option<RecoveryReport>>,
+    /// Host-acknowledged `(shard id, local LPN)` pairs lost to the
+    /// composed SPO cut. **Must be empty.**
+    pub spo_lost_lpns: Vec<(usize, u64)>,
+    /// Resilience counters (degraded reads, rebuild traffic, loss).
+    pub resilience: ResilienceReport,
+    /// The spare's combined rebuild progress (reads/writes/curve).
+    pub rebuild: RebuildProgress,
+    /// The zero-loss audit.
+    pub audit: FailureAudit,
+    /// Degraded/rebuild trace events emitted at the phase barriers
+    /// (timestamps of degraded-phase events are offset by the failure
+    /// instant, since each phase's virtual clock restarts at zero).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Sums two [`RebuildProgress`] snapshots from consecutive phases,
+/// shifting the second phase's timestamps by `offset_us`.
+fn combine_progress(a: &RebuildProgress, b: &RebuildProgress, offset_us: f64) -> RebuildProgress {
+    let mut curve = a.curve.clone();
+    curve.extend(
+        b.curve
+            .iter()
+            .map(|&(t, n)| (offset_us + t, a.ops_done() + n)),
+    );
+    RebuildProgress {
+        reads_done: a.reads_done + b.reads_done,
+        writes_done: a.writes_done + b.writes_done,
+        skipped: a.skipped + b.skipped,
+        done_at_us: if b.ops_done() > 0 || b.done_at_us > 0.0 {
+            offset_us + b.done_at_us
+        } else {
+            a.done_at_us
+        },
+        curve,
+    }
+}
+
+/// Runs the array-resilience experiment: a global host stream is routed
+/// through the rotating-parity router ([`ParityRouter`]; plain striping
+/// when parity is off), the array runs healthy until the failure
+/// instant (every shard stopped at the same virtual time), then a
+/// deterministic barrier computes the dead shard's durable ledger,
+/// redirects its unissued remainder (reads become survivor fragment
+/// reads for XOR reconstruction; writes and trims move to the hot
+/// spare), arms the background rebuild (survivors read fragments, the
+/// spare programs reconstructed pages — paced by the idle-window
+/// scheduler with a host-priority gap), and runs the degraded phase. An
+/// optional SPO cut composes on top, with per-shard crash recovery and
+/// a final resume phase.
+///
+/// Every fan-out is pre-computed at a barrier and every fan-in is in
+/// shard order, so the whole report is byte-identical at any worker
+/// thread count. Each phase's virtual clock restarts at zero
+/// (per-device runs are self-contained); phase-relative times are
+/// offset by the failure instant where the report needs one timeline.
+pub fn run_array_failure_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    fc: &ArrayFailureConfig,
+) -> ArrayFailureReport {
+    assert!(arr.shards >= 1, "need at least one shard");
+    if let Some(f) = &fc.fail {
+        assert!(f.shard < arr.shards, "failed shard out of range");
+        assert!(f.at_us > 0.0, "the failure must be after time zero");
+        assert!(
+            fc.parity || fc.spare_shards > 0 || arr.shards >= 1,
+            "a failure needs parity or a spare to be survivable"
+        );
+    }
+    let s_total = arr.shards;
+    let router = ParityRouter::new(s_total, arr.stripe_pages, fc.parity);
+
+    // Prepare every shard first to learn the shard-local capacity (as
+    // in `run_array_trace_eval`): the routed region is whole rows.
+    let mut prepared: Vec<(SsdSim, Ftl)> = Vec::with_capacity(s_total);
+    let mut local_limit = u64::MAX;
+    let mut prefill_local = 0;
+    for s in 0..s_total {
+        let (sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+        if fc.spo_cut_at_us.is_some() {
+            ftl.enable_checkpointing(fc.ckpt_interval_host_wls);
+        }
+        ftl.reset_stats();
+        local_limit = local_limit.min(ftl.logical_pages());
+        prefill_local = prefill;
+        prepared.push((sim, ftl));
+    }
+    let p = arr.stripe_pages;
+    let rows = local_limit / p;
+    assert!(
+        rows >= 1,
+        "stripe of {p} pages exceeds the shard-local space of {local_limit} pages"
+    );
+    let d = router.data_shards() as u64;
+    let local_used = rows * p;
+    let global_data_pages = rows * p * d;
+
+    // Draw the global stream over the prefilled rows (every shard
+    // prefills local `0..prefill`, so rows below `prefill/P` are fully
+    // resident on data and parity shards alike).
+    let hot_rows = (prefill_local / p).clamp(1, rows);
+    let hot_global = (hot_rows * p * d).max(1024).min(global_data_pages);
+    let stream: Vec<HostRequest> = workload
+        .build(hot_global, cfg.seed)
+        .take(usize::try_from(cfg.requests).expect("requests fit"))
+        .collect();
+    let stream = fold_requests(&stream, global_data_pages);
+
+    // Route fragment-by-fragment, keeping the global order: the flat
+    // list drives the remainder redirection at the failure barrier, the
+    // per-shard vectors drive the healthy phase.
+    let routed: Vec<(usize, HostRequest)> = stream.iter().flat_map(|r| router.split(*r)).collect();
+    let mut per_shard: Vec<Vec<HostRequest>> = vec![Vec::new(); s_total];
+    for &(s, req) in &routed {
+        per_shard[s].push(req);
+    }
+    let budgets: Vec<u64> = per_shard.iter().map(|v| v.len() as u64).collect();
+
+    // ---- Healthy phase: run to the failure instant (or drain). ----
+    let trigger = fc.fail.map(|f| SpoTrigger::AtTimeUs(f.at_us));
+    let shards: Vec<ArrayShard<Ftl, std::vec::IntoIter<HostRequest>>> = prepared
+        .into_iter()
+        .enumerate()
+        .map(|(s, (sim, ftl))| ArrayShard {
+            sim,
+            ftl,
+            workload: std::mem::take(&mut per_shard[s]).into_iter(),
+            requests: budgets[s],
+            spo: trigger,
+            rebuild: None,
+        })
+        .collect();
+    let mut array = SsdArray::new(shards).with_threads(arr.engine_threads());
+    let out = array.run();
+
+    let Some(fail) = fc.fail else {
+        return ArrayFailureReport {
+            healthy: out.report,
+            shard_healthy: out.shard_reports,
+            degraded: None,
+            resumed: None,
+            recoveries: Vec::new(),
+            spo_lost_lpns: Vec::new(),
+            resilience: ResilienceReport {
+                parity: fc.parity,
+                ..ResilienceReport::default()
+            },
+            rebuild: RebuildProgress::default(),
+            audit: FailureAudit {
+                zero_loss: true,
+                ..FailureAudit::default()
+            },
+            events: Vec::new(),
+        };
+    };
+    let failed = fail.shard;
+
+    // ---- Failure barrier (sequence point: every shard stopped). ----
+    let parts: Vec<(SsdSim, Ftl)> = array
+        .into_shards()
+        .into_iter()
+        .map(|sh| (sh.sim, sh.ftl))
+        .collect();
+    let issued: Vec<u64> = (0..s_total)
+        .map(|s| out.spo_events[s].as_ref().map_or(budgets[s], |e| e.issued))
+        .collect();
+    let buffered: Vec<BTreeSet<u64>> = (0..s_total)
+        .map(|s| {
+            out.spo_events[s]
+                .as_ref()
+                .map_or_else(BTreeSet::new, |e| e.buffered_lpns.iter().copied().collect())
+        })
+        .collect();
+
+    // The dead shard's durable ledger over the routed region, split by
+    // page role; live parity stripes (any survivor data in the row)
+    // join the rebuild so the spare restores full redundancy.
+    let mut durable_data: Vec<u64> = Vec::new();
+    let mut parity_locals: Vec<u64> = Vec::new();
+    for l in 0..local_used {
+        let durable = parts[failed].1.is_mapped(l) || buffered[failed].contains(&l);
+        match router.page_at(failed, l) {
+            PageRole::Data(_) if durable => durable_data.push(l),
+            PageRole::Parity { .. } => {
+                let live = (0..s_total)
+                    .filter(|&t| t != failed)
+                    .any(|t| parts[t].1.is_mapped(l) || buffered[t].contains(&l));
+                if live {
+                    parity_locals.push(l);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Array-acknowledged = both legs durable at the failure instant.
+    let acked: Vec<u64> = if fc.parity {
+        durable_data
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let holder = router.parity_shard(l / p);
+                parts[holder].1.is_mapped(l) || buffered[holder].contains(&l)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // ---- Redirect the dead shard's unissued remainder. ----
+    let spare = (fc.spare_shards > 0).then_some(s_total);
+    let mut ids: Vec<usize> = (0..s_total).collect();
+    match spare {
+        Some(id) => ids[failed] = id,
+        None => {
+            ids.remove(failed);
+        }
+    }
+    let pos_of = |id: usize| {
+        ids.iter()
+            .position(|&x| x == id)
+            .expect("participant shard")
+    };
+    let n_part = ids.len();
+    let mut phase_b: Vec<Vec<HostRequest>> = vec![Vec::new(); n_part];
+    let mut cursors = vec![0u64; s_total];
+    let mut degraded_reads = 0u64;
+    let mut degraded_fragment_reads = 0u64;
+    let mut per_frag = vec![0u64; s_total + usize::from(spare.is_some())];
+    let mut redirected_writes = 0u64;
+    let mut dropped_requests = 0u64;
+    let mut degraded_read_events: Vec<(u64, u32)> = Vec::new();
+    for &(s, req) in &routed {
+        if cursors[s] < issued[s] {
+            cursors[s] += 1; // already issued in the healthy phase
+            continue;
+        }
+        cursors[s] += 1;
+        if s != failed {
+            phase_b[pos_of(s)].push(req);
+            continue;
+        }
+        match req.op {
+            HostOp::Read if fc.parity => {
+                // Degraded read: every survivor serves its fragment at
+                // the same local index; XOR reconstructs the data.
+                degraded_reads += u64::from(req.n_pages);
+                for t in (0..s_total).filter(|&t| t != failed) {
+                    phase_b[pos_of(t)].push(HostRequest {
+                        op: HostOp::Read,
+                        lpn: req.lpn,
+                        n_pages: req.n_pages,
+                    });
+                    degraded_fragment_reads += u64::from(req.n_pages);
+                    per_frag[t] += u64::from(req.n_pages);
+                }
+                degraded_read_events.push((req.lpn, (s_total - 1) as u32));
+            }
+            HostOp::Read => dropped_requests += 1,
+            HostOp::Write | HostOp::Trim => {
+                if let Some(id) = spare {
+                    // The spare takes over the dead slot; the fragment's
+                    // parity update already sits in its holder's stream.
+                    phase_b[pos_of(id)].push(req);
+                    redirected_writes += 1;
+                } else {
+                    dropped_requests += 1;
+                }
+            }
+        }
+    }
+
+    // ---- Rebuild plan: survivors read, the spare programs. ----
+    let mut rebuild_set: Vec<u64> = durable_data.clone();
+    rebuild_set.extend(parity_locals.iter().copied());
+    rebuild_set.sort_unstable();
+    let do_rebuild = fc.parity && spare.is_some() && !rebuild_set.is_empty();
+
+    // ---- Degraded phase: survivors + the spare in the dead slot. ----
+    let b_budgets: Vec<u64> = phase_b.iter().map(|v| v.len() as u64).collect();
+    let spo_b = fc.spo_cut_at_us.map(SpoTrigger::AtTimeUs);
+    let mut parts_opt: Vec<Option<(SsdSim, Ftl)>> = parts.into_iter().map(Some).collect();
+    let mut b_shards = Vec::with_capacity(n_part);
+    for (pos, &id) in ids.iter().enumerate() {
+        let (sim, ftl) = if id < s_total {
+            parts_opt[id].take().expect("survivor present")
+        } else {
+            // The hot spare: same geometry, its own seed, no prefill —
+            // a blank standby device.
+            let mut spare_cfg = cfg.clone();
+            spare_cfg.prefill_fraction = 0.0;
+            let (sim, mut ftl, _) = setup_shard(kind, aging, &spare_cfg, id);
+            if fc.spo_cut_at_us.is_some() {
+                ftl.enable_checkpointing(fc.ckpt_interval_host_wls);
+            }
+            ftl.reset_stats();
+            (sim, ftl)
+        };
+        let reqs: Vec<HostRequest> = std::mem::take(&mut phase_b[pos]);
+        let rebuild = do_rebuild.then(|| RebuildPlan {
+            sched: fc.rebuild,
+            ops: if id == s_total {
+                rebuild_set.iter().map(|&l| RebuildOp::Write(l)).collect()
+            } else {
+                rebuild_set.iter().map(|&l| RebuildOp::Read(l)).collect()
+            },
+        });
+        b_shards.push(ArrayShard {
+            sim,
+            ftl,
+            workload: reqs.into_iter(),
+            requests: b_budgets[pos],
+            spo: spo_b,
+            rebuild,
+        });
+    }
+    let mut b_array = SsdArray::new(b_shards).with_threads(arr.engine_threads());
+    let b_out = b_array.run();
+    let mut final_shards = b_array.into_shards();
+    let b_prog: Vec<RebuildProgress> = final_shards
+        .iter()
+        .map(|sh| sh.sim.rebuild_progress().clone())
+        .collect();
+    let offset_us = b_out.report.sim_time_us;
+
+    // ---- Composed SPO cut: per-shard crash recovery + resume. ----
+    let mut recoveries: Vec<Option<RecoveryReport>> = vec![None; n_part];
+    let mut spo_lost_lpns: Vec<(usize, u64)> = Vec::new();
+    let mut resumed = None;
+    let mut c_prog: Vec<RebuildProgress> = vec![RebuildProgress::default(); n_part];
+    if fc.spo_cut_at_us.is_some() && b_out.spo_events.iter().any(Option::is_some) {
+        let mut c_shards = Vec::with_capacity(n_part);
+        for (pos, mut shard) in final_shards.into_iter().enumerate() {
+            let id = ids[pos];
+            // Carry unfinished rebuild work across the cut — the next
+            // run_begin would otherwise discard it.
+            let pending = shard.sim.take_rebuild_pending();
+            let remaining = match &b_out.spo_events[pos] {
+                Some(event) => {
+                    let logical = shard.ftl.logical_pages();
+                    let mut durable: Vec<u64> =
+                        (0..logical).filter(|&l| shard.ftl.is_mapped(l)).collect();
+                    durable.extend(event.buffered_lpns.iter().copied());
+                    durable.sort_unstable();
+                    durable.dedup();
+                    for f in &event.interrupted_flushes {
+                        shard.ftl.power_cut(f.chip, f.lpns, f.did_gc);
+                    }
+                    let (mut recovered, recovery) = shard.ftl.power_cycle(&event.buffered_lpns);
+                    spo_lost_lpns.extend(
+                        durable
+                            .iter()
+                            .copied()
+                            .filter(|&l| !recovered.is_mapped(l))
+                            .map(|l| (id, l)),
+                    );
+                    if let Some(maint) = cfg.maint {
+                        recovered.enable_maintenance(maint);
+                    }
+                    shard.ftl = recovered;
+                    recoveries[pos] = Some(recovery);
+                    b_budgets[pos].saturating_sub(event.issued)
+                }
+                None => 0,
+            };
+            shard.requests = remaining;
+            shard.spo = None;
+            shard.rebuild = (!pending.is_empty()).then_some(RebuildPlan {
+                sched: fc.rebuild,
+                ops: pending,
+            });
+            c_shards.push(shard);
+        }
+        if c_shards
+            .iter()
+            .any(|s| s.requests > 0 || s.rebuild.is_some())
+        {
+            let mut c_array = SsdArray::new(c_shards).with_threads(arr.engine_threads());
+            let c_out = c_array.run();
+            resumed = Some(c_out.report);
+            final_shards = c_array.into_shards();
+            c_prog = final_shards
+                .iter()
+                .map(|sh| sh.sim.rebuild_progress().clone())
+                .collect();
+        } else {
+            final_shards = c_shards;
+        }
+    }
+
+    // ---- Combined rebuild progress and the zero-loss audit. ----
+    let progress: Vec<RebuildProgress> = (0..n_part)
+        .map(|pos| combine_progress(&b_prog[pos], &c_prog[pos], offset_us))
+        .collect();
+    let spare_progress = spare
+        .map(|id| progress[pos_of(id)].clone())
+        .unwrap_or_default();
+    let rebuild_reads: u64 = ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| id < s_total)
+        .map(|(pos, _)| progress[pos].reads_done)
+        .sum();
+    let mut per_shard_rebuild_reads = vec![0u64; s_total + usize::from(spare.is_some())];
+    for (pos, &id) in ids.iter().enumerate() {
+        if id < s_total {
+            per_shard_rebuild_reads[id] = progress[pos].reads_done;
+        }
+    }
+
+    let spare_ftl = spare.map(|id| &final_shards[pos_of(id)].ftl);
+    let rebuilt_mapped_pages = spare_ftl.map_or(0, |f| {
+        acked.iter().filter(|&&l| f.is_mapped(l)).count() as u64
+    });
+    // A page survives if the spare holds it, or if it is still
+    // reconstructable: the parity leg (and every survivor data leg)
+    // lives on an alive shard. Survivor durability after the composed
+    // SPO cut is audited separately through `spo_lost_lpns`.
+    let lost_pages = if fc.parity {
+        acked
+            .iter()
+            .filter(|&&l| {
+                let on_spare = spare_ftl.is_some_and(|f| f.is_mapped(l));
+                let holder = router.parity_shard(l / p);
+                let holder_alive = ids.contains(&holder);
+                !(on_spare || holder_alive)
+            })
+            .count() as u64
+    } else {
+        durable_data.len() as u64
+    };
+    let audit = FailureAudit {
+        durable_data_pages: durable_data.len() as u64,
+        acked_pages: acked.len() as u64,
+        unprotected_pages: durable_data.len() as u64 - acked.len() as u64,
+        rebuilt_mapped_pages,
+        dropped_requests,
+        lost_pages,
+        zero_loss: lost_pages == 0,
+    };
+
+    let resilience = ResilienceReport {
+        parity: fc.parity,
+        failed_shard: Some(failed as u32),
+        fail_at_us: fail.at_us,
+        spare_shard: spare.map(|id| id as u32),
+        degraded_reads,
+        degraded_fragment_reads,
+        rebuild_pages: spare_progress.writes_done,
+        rebuild_reads,
+        rebuild_time_us: spare_progress.done_at_us,
+        redirected_writes,
+        lost_pages,
+        per_shard_degraded_reads: per_frag,
+        per_shard_rebuild_reads,
+    };
+
+    // ---- Barrier-level trace events (degraded/rebuild categories). ----
+    let mut collector =
+        Collector::enabled(EventMask::DEGRADED.union(EventMask::REBUILD), failed as u32);
+    collector.emit(
+        fail.at_us,
+        EventKind::ShardFail {
+            failed: failed as u32,
+            phase: "inject",
+            detail: audit.durable_data_pages,
+        },
+    );
+    collector.emit(
+        fail.at_us,
+        EventKind::ShardFail {
+            failed: failed as u32,
+            phase: "detect",
+            detail: degraded_reads + redirected_writes,
+        },
+    );
+    for &(lpn, fragments) in &degraded_read_events {
+        collector.emit(fail.at_us, EventKind::DegradedRead { lpn, fragments });
+    }
+    if let Some(id) = spare {
+        for &(t, ops) in &spare_progress.curve {
+            collector.emit(
+                fail.at_us + t,
+                EventKind::RebuildUnit {
+                    spare: id as u32,
+                    action: "write",
+                    pages: ops,
+                },
+            );
+        }
+        for (pos, &sid) in ids.iter().enumerate() {
+            if sid < s_total && progress[pos].reads_done > 0 {
+                collector.emit(
+                    fail.at_us + progress[pos].done_at_us,
+                    EventKind::RebuildUnit {
+                        spare: sid as u32,
+                        action: "read",
+                        pages: progress[pos].reads_done,
+                    },
+                );
+            }
+        }
+        if spare_progress.writes_done > 0 {
+            collector.emit(
+                fail.at_us + spare_progress.done_at_us,
+                EventKind::ShardFail {
+                    failed: failed as u32,
+                    phase: "restored",
+                    detail: rebuilt_mapped_pages,
+                },
+            );
+        }
+    }
+
+    ArrayFailureReport {
+        healthy: out.report,
+        shard_healthy: out.shard_reports,
+        degraded: Some(b_out.report),
+        resumed,
+        recoveries,
+        spo_lost_lpns,
+        resilience,
+        rebuild: spare_progress,
+        audit,
+        events: collector.take(),
     }
 }
 

@@ -42,11 +42,13 @@ pub use nand3d::{
     NandConfig, OobStatus, ProgramParams, ReadParams, RetryOptConfig, TargetedFault, WlAddr, WlOob,
 };
 pub use ssdarray::{
-    ArrayReport, ArrayRunOutcome, ArrayShard, FrontArray, FrontShard, SsdArray, StripeRouter,
+    page_fingerprint, xor_parity, ArrayReport, ArrayRunOutcome, ArrayShard, FrontArray, FrontShard,
+    PageRole, ParityRouter, RebuildPlan, ResilienceReport, SsdArray, StripeRouter,
 };
 pub use ssdsim::{
     ChipStats, FrontRequest, FtlDriver, FtlStats, HostFront, HostRequest, LatencyRecorder,
-    MaintSchedule, MaintWork, SimReport, SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
+    MaintSchedule, MaintWork, RebuildOp, RebuildProgress, RebuildSchedule, SimReport, SpoEvent,
+    SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
 pub use telemetry::{
     events_to_ndjson, merge_streams, EventKind, EventMask, LogHistogram, MetricRegistry, SampleRow,

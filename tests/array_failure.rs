@@ -1,0 +1,306 @@
+//! Array resilience, end to end through the harness: rotating parity,
+//! whole-shard failure injection, degraded reads, deterministic
+//! background rebuild — and the zero-host-acknowledged-loss audit.
+//!
+//! Determinism discipline matches `tests/array.rs`: the same master
+//! seed must produce a byte-identical report on repeated runs and at
+//! any worker-thread count; with everything off the parity router must
+//! route byte-identically to the plain [`StripeRouter`].
+
+use cubeftl::harness::{
+    run_array_failure_eval, ArrayEvalConfig, ArrayFailureConfig, EvalConfig, FailSpec,
+};
+use cubeftl::{
+    page_fingerprint, xor_parity, AgingState, FtlKind, HostRequest, PageRole, ParityRouter,
+    StandardWorkload, StripeRouter,
+};
+use proptest::prelude::*;
+
+fn cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 1_000;
+    cfg
+}
+
+/// Worker threads driving the engine; `CUBEFTL_FAILURE_THREADS`
+/// overrides (CI re-runs the suite at 2 and 8) — results must be
+/// identical at any value.
+fn arr(shards: usize) -> ArrayEvalConfig {
+    let mut arr = ArrayEvalConfig::new(shards);
+    arr.stripe_pages = 16;
+    arr.threads = std::env::var("CUBEFTL_FAILURE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    arr
+}
+
+/// A failure scenario reliably mid-run at smoke scale.
+fn fail_cfg() -> ArrayFailureConfig {
+    let mut fc = ArrayFailureConfig::off();
+    fc.parity = true;
+    fc.fail = Some(FailSpec {
+        shard: 1,
+        at_us: 3_000.0,
+    });
+    fc.spare_shards = 1;
+    fc
+}
+
+#[test]
+fn parity_off_routes_identically_to_plain_striping() {
+    // The defaults-off router IS the pre-parity router: every request
+    // stream fans out to byte-identical per-shard vectors.
+    let plain = StripeRouter::new(3, 16);
+    let off = ParityRouter::new(3, 16, false);
+    let stream: Vec<HostRequest> = (0..500u64)
+        .map(|i| {
+            let lpn = (i * 37) % 700;
+            match i % 3 {
+                0 => HostRequest::read(lpn),
+                1 => HostRequest::write_span(lpn, 1 + (i % 5) as u32),
+                _ => HostRequest::trim_span(lpn, 1 + (i % 3) as u32),
+            }
+        })
+        .collect();
+    assert_eq!(
+        plain.route_stream(stream.clone()),
+        off.route_stream(stream),
+        "parity-off routing must reproduce plain striping byte-for-byte"
+    );
+}
+
+#[test]
+fn healthy_run_is_deterministic_and_loss_free() {
+    let cfg = cfg();
+    let arr = arr(3);
+    let mut fc = ArrayFailureConfig::off();
+    fc.parity = true;
+    let run = || {
+        run_array_failure_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::MidLife,
+            &cfg,
+            &arr,
+            &fc,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(a.audit.zero_loss);
+    assert!(a.degraded.is_none());
+    assert_eq!(a.resilience.failed_shard, None);
+    assert!(a.healthy.completed > 0);
+    assert_eq!(
+        format!("{:?}", (&a.healthy, &a.audit)),
+        format!("{:?}", (&b.healthy, &b.audit)),
+        "healthy parity-on run diverged between identical runs"
+    );
+}
+
+#[test]
+fn failure_degraded_rebuild_reaches_zero_loss() {
+    let cfg = cfg();
+    let arr = arr(3);
+    let fc = fail_cfg();
+    let r = run_array_failure_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::MidLife,
+        &cfg,
+        &arr,
+        &fc,
+    );
+    assert_eq!(r.resilience.failed_shard, Some(1));
+    assert_eq!(r.resilience.spare_shard, Some(3));
+    assert!(
+        r.audit.durable_data_pages > 0,
+        "the dead shard must have held durable data"
+    );
+    assert!(r.audit.acked_pages > 0, "some pages were array-acked");
+    assert_eq!(r.audit.lost_pages, 0, "parity must eliminate loss");
+    assert!(r.audit.zero_loss);
+    // The rebuild actually moved the acked pages onto the spare.
+    assert_eq!(r.audit.rebuilt_mapped_pages, r.audit.acked_pages);
+    assert!(r.resilience.rebuild_pages >= r.audit.acked_pages);
+    assert!(r.resilience.rebuild_time_us > 0.0, "rebuild drained");
+    assert!(r.rebuild.curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    // Degraded reads served during the rebuild, fanned out to both
+    // survivors.
+    assert!(r.resilience.degraded_reads > 0, "degraded reads served");
+    assert_eq!(
+        r.resilience.degraded_fragment_reads,
+        r.resilience.degraded_reads * 2
+    );
+    assert_eq!(r.resilience.per_shard_degraded_reads[1], 0);
+    // The barrier emitted the degraded/rebuild trace events.
+    assert!(r.events.iter().any(|e| e
+        .to_json()
+        .contains("\"shard_fail\",\"failed\":1,\"phase\":\"inject\"")));
+    assert!(r
+        .events
+        .iter()
+        .any(|e| e.to_json().contains("\"rebuild_unit\"")));
+    assert!(r
+        .events
+        .iter()
+        .any(|e| e.to_json().contains("\"degraded_read\"")));
+}
+
+#[test]
+fn parity_off_failure_loses_the_dead_shard() {
+    let cfg = cfg();
+    let arr = arr(3);
+    let mut fc = fail_cfg();
+    fc.parity = false; // no redundancy: the dead shard's data is gone
+    let r = run_array_failure_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::MidLife,
+        &cfg,
+        &arr,
+        &fc,
+    );
+    assert!(r.audit.durable_data_pages > 0);
+    assert_eq!(r.audit.lost_pages, r.audit.durable_data_pages);
+    assert!(!r.audit.zero_loss, "parity off must show the loss");
+    assert_eq!(r.resilience.degraded_reads, 0);
+    assert_eq!(r.resilience.rebuild_pages, 0);
+}
+
+#[test]
+fn failure_report_is_identical_at_any_thread_count_and_on_reruns() {
+    let cfg = cfg();
+    let shards = 3;
+    let fc = fail_cfg();
+    let at = |threads: usize| {
+        let mut a = arr(shards);
+        a.threads = threads;
+        let r = run_array_failure_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::MidLife,
+            &cfg,
+            &a,
+            &fc,
+        );
+        format!(
+            "{:?}",
+            (
+                &r.healthy,
+                &r.degraded,
+                &r.resumed,
+                &r.resilience,
+                &r.rebuild,
+                &r.audit,
+                &r.events
+            )
+        )
+    };
+    let one = at(1);
+    assert_eq!(one, at(2), "1 vs 2 worker threads");
+    assert_eq!(one, at(shards + 1), "1 vs N+1 worker threads");
+    assert_eq!(one, at(1), "double run");
+}
+
+#[test]
+fn failure_composes_with_an_array_spo_cut() {
+    let cfg = cfg();
+    let arr = arr(3);
+    let mut fc = fail_cfg();
+    fc.spo_cut_at_us = Some(2_000.0); // cut mid-degraded-phase
+    let r = run_array_failure_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::MidLife,
+        &cfg,
+        &arr,
+        &fc,
+    );
+    assert!(
+        r.recoveries.iter().any(Option::is_some),
+        "the composed SPO cut must land on at least one shard"
+    );
+    assert!(
+        r.spo_lost_lpns.is_empty(),
+        "crash recovery lost acknowledged data: {:?}",
+        r.spo_lost_lpns
+    );
+    assert!(r.audit.zero_loss, "failure + SPO still reaches zero loss");
+    assert_eq!(r.audit.rebuilt_mapped_pages, r.audit.acked_pages);
+    // Determinism holds for the composed scenario too.
+    let rerun = run_array_failure_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::MidLife,
+        &cfg,
+        &arr,
+        &fc,
+    );
+    assert_eq!(
+        format!("{:?}", (&r.resilience, &r.audit, &r.rebuild)),
+        format!("{:?}", (&rerun.resilience, &rerun.audit, &rerun.rebuild)),
+    );
+}
+
+proptest! {
+    /// XOR reconstruction is exact for arbitrary stripe contents: drop
+    /// any one data fingerprint and parity restores it.
+    #[test]
+    fn xor_reconstruction_is_exact(
+        lpns in prop::collection::vec(0u64..1_000_000, 2..12),
+        versions in prop::collection::vec(0u64..1_000, 2..12),
+        drop_idx in 0usize..12,
+    ) {
+        let n = lpns.len().min(versions.len());
+        let fps: Vec<u64> = (0..n)
+            .map(|i| page_fingerprint(lpns[i], versions[i]))
+            .collect();
+        let parity = xor_parity(fps.iter().copied());
+        let drop_idx = drop_idx % n;
+        let survivors = fps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_idx)
+            .map(|(_, f)| *f);
+        prop_assert_eq!(xor_parity(survivors) ^ parity, fps[drop_idx]);
+    }
+
+    /// The rotating parity placement is a bijection: every global data
+    /// LPN maps to exactly one non-parity local page and back, and
+    /// every local page has exactly one role.
+    #[test]
+    fn rotating_parity_placement_is_a_bijection(
+        shards in 2usize..7,
+        stripe in 1u64..17,
+        rows in 1u64..9,
+    ) {
+        let r = ParityRouter::new(shards, stripe, true);
+        let global = stripe * (shards as u64 - 1) * rows;
+        let local = r.local_pages(global);
+        prop_assert_eq!(local, rows * stripe);
+        let mut seen = vec![false; global as usize];
+        let mut parity_pages = 0u64;
+        for s in 0..shards {
+            for l in 0..local {
+                match r.page_at(s, l) {
+                    PageRole::Data(g) => {
+                        prop_assert!(g < global, "data LPN {} out of range", g);
+                        prop_assert!(!seen[g as usize], "duplicate owner for {}", g);
+                        seen[g as usize] = true;
+                        // Roundtrip through the forward map.
+                        prop_assert_eq!(r.to_local(g), (s, l));
+                    }
+                    PageRole::Parity { row } => {
+                        prop_assert_eq!(row, l / stripe);
+                        prop_assert_eq!(s, r.parity_shard(row));
+                        parity_pages += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b), "every global LPN covered");
+        prop_assert_eq!(parity_pages, rows * stripe);
+    }
+}
