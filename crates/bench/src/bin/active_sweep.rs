@@ -16,11 +16,13 @@
 //! Run with: `cargo run --release -p bench --bin active_sweep`
 //! (`--out PATH` writes the NDJSON to a file instead of stdout).
 
-use bench::{banner_err, eval_config_from_args, Table};
+use bench::{banner_err, eval_config_from_args, write_bench_json, Table};
 use cubeftl::harness::run_eval_custom;
 use cubeftl::{AgingState, FtlKind, MetricRegistry, StandardWorkload};
+use std::time::Instant;
 
 fn main() {
+    let wall = Instant::now();
     let args: Vec<String> = std::env::args().collect();
     let out = args
         .iter()
@@ -76,6 +78,9 @@ fn main() {
     }
     eprint!("{}", table.render());
     eprintln!("(the paper's choice of two active blocks per chip is §5.2)");
+
+    reg.gauge("bench.wall_ms", wall.elapsed().as_secs_f64() * 1000.0);
+    write_bench_json("active_sweep", &mut reg);
 
     let ndjson = reg.to_ndjson();
     match &out {

@@ -124,5 +124,5 @@ fn main() {
     );
 
     reg.gauge("bench.wall_ms", bench_wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("maint", &reg);
+    write_bench_json("maint", &mut reg);
 }

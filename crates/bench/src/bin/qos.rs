@@ -287,5 +287,5 @@ fn main() {
     reg.gauge("bench.protected_read_p99_us", prot_p99);
     reg.counter("bench.best_effort_shed", best_effort.shed);
     reg.gauge("bench.wall_ms", wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("qos", &reg);
+    write_bench_json("qos", &mut reg);
 }

@@ -159,5 +159,5 @@ fn main() {
     reg.gauge("rebuild.healthy_read_p99_us", healthy_p99);
     reg.gauge("rebuild.fail_at_us", fail.at_us);
     reg.gauge("bench.wall_ms", bench_wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("rebuild", &reg);
+    write_bench_json("rebuild", &mut reg);
 }

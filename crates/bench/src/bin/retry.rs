@@ -242,7 +242,7 @@ fn main() {
     }
     reg.gauge("bench.eol_num_retry_reduction", reduction);
     reg.gauge("bench.wall_ms", wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("retry", &reg);
+    write_bench_json("retry", &mut reg);
 
     println!(
         "\n(v2 cut NumRetry {} -> {} at EndOfLife, a {:.1}% reduction — cross-block",

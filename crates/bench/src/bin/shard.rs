@@ -110,5 +110,5 @@ fn main() {
     // artifact).
     reg.gauge("bench.scaling_4shard", iops_at_4 / base_iops);
     reg.gauge("bench.wall_ms", bench_wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("shard", &reg);
+    write_bench_json("shard", &mut reg);
 }

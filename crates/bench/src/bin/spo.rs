@@ -99,7 +99,7 @@ fn main() {
     warmup_curve(&mut reg);
 
     reg.gauge("bench.wall_ms", bench_wall.elapsed().as_secs_f64() * 1000.0);
-    write_bench_json("spo", &reg);
+    write_bench_json("spo", &mut reg);
 }
 
 /// Sweeps the crash-consistency contract over where the cut lands, not

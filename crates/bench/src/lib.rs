@@ -52,6 +52,12 @@ pub fn eval_config_from_args() -> EvalConfig {
     cfg
 }
 
+/// Version stamp shared by every `BENCH_*.json` artifact. Bump it when
+/// an entry is renamed or its meaning changes so downstream consumers
+/// (the CI regression-warning step, local diff scripts) can tell a
+/// schema break from a real perf shift.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
 /// Writes a `BENCH_<name>.json` perf artifact: the registry exported
 /// through the metrics exporter (name-sorted NDJSON, one object per
 /// line — the schema of every other telemetry export). This seeds the
@@ -59,14 +65,21 @@ pub fn eval_config_from_args() -> EvalConfig {
 /// its headline numbers plus a `bench.wall_ms` gauge, CI uploads the
 /// files, and successive runs form the baseline for regression gates.
 ///
+/// Every artifact carries `bench.schema_version` =
+/// [`BENCH_SCHEMA_VERSION`], injected here so individual binaries
+/// cannot drift out of step.
+///
 /// The file lands in `$BENCH_JSON_DIR` when set, else the current
 /// directory. Returns the path written.
-pub fn write_bench_json(name: &str, reg: &MetricRegistry) -> std::path::PathBuf {
+pub fn write_bench_json(name: &str, reg: &mut MetricRegistry) -> std::path::PathBuf {
+    reg.counter("bench.schema_version", BENCH_SCHEMA_VERSION);
     let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_owned());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
     std::fs::write(&path, reg.to_ndjson())
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("\nperf export written to {}", path.display());
+    // stderr, so binaries with machine-readable stdout (active_sweep)
+    // can export without polluting their pipe output.
+    eprintln!("\nperf export written to {}", path.display());
     path
 }
 

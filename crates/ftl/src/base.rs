@@ -19,6 +19,7 @@ use crate::maint::{MaintConfig, MaintState};
 use crate::mapping::{Mapping, Ppn};
 use crate::order::ProgramOrder;
 use crate::recovery::{Checkpoint, RecoveryReport, CKPT_PAGE_PROGRAM_US, OOB_READ_US};
+use lifetime::{block_pattern_stress, page_state_fraction, EpochSummary, LifetimeEngine};
 use nand3d::{
     AgingState, BlockId, FaultCounters, FaultPlan, FlashArray, Geometry, OobStatus, PageAddr,
     PageState, ProgramParams, ReadFaultKind, ReadParams, WlAddr, WlData, WlOob,
@@ -92,6 +93,13 @@ struct CkptState {
     /// Cumulative metadata pages programmed into the region (the region
     /// is a ring: every `pages_per_block` of these recycles one block).
     pages_written: u64,
+    /// Real chip-0 block backing the metadata region (allocated from
+    /// the free pool at the first flush with headroom). Its ring
+    /// erases are real, so its wear is visible to — and managed by —
+    /// wear leveling and scrubbing like any other block. Empty while
+    /// the region runs virtual (pool pressure, or pre-promotion
+    /// recovery state).
+    region: Vec<BlockId>,
 }
 
 /// A page-level FTL over a [`FlashArray`]. See the
@@ -234,6 +242,104 @@ impl Ftl {
         for chip in self.array.iter_mut() {
             chip.env_mut().set_aging_raw(pe, retention_months);
         }
+    }
+
+    /// Engages per-block lifetime aging on every chip (idempotent):
+    /// each block's current age is captured into per-block vectors that
+    /// become authoritative, replacing the fixed aged-state presets;
+    /// [`Ftl::advance_lifetime_epoch`] then steps individual blocks and
+    /// erases rejuvenate retention (never wear) per block.
+    pub fn enable_lifetime_aging(&mut self) {
+        for chip in self.array.iter_mut() {
+            chip.env_mut().enable_lifetime_aging();
+        }
+    }
+
+    /// Applies one epoch barrier of `engine`'s aging plan to every
+    /// block of every chip: the P/E fast-forward is scaled by the
+    /// block's h-layer similarity-model aging sensitivity, the engine's
+    /// seeded per-block variation, and (when enabled) the STAR
+    /// data-pattern stress of the pages it holds; the retention
+    /// fast-forward is added to data-holding blocks only (free blocks
+    /// hold nothing to lose charge from). The walk is chip-major then
+    /// block-ordered and draws from no RNG, so campaigns are identical
+    /// at any worker-thread count.
+    pub fn advance_lifetime_epoch(&mut self, engine: &mut LifetimeEngine) -> EpochSummary {
+        let k = engine.begin_step();
+        let g = self.geometry();
+        let blocks = g.blocks_per_chip as usize;
+        let pattern_on = engine.config().pattern_wear;
+        let pattern_strength = engine.config().pattern_wear_strength;
+        let mut summary = EpochSummary {
+            step: k,
+            retention_added_months: engine.plan().step_delta(k).retention_months,
+            mean_pattern_stress: 1.0,
+            ..EpochSummary::default()
+        };
+        let mut stress_sum = 0.0;
+        let mut stress_n = 0u64;
+        for chip in 0..self.config.chips {
+            // Immutable pass: per-block sensitivity (mean of the
+            // similarity model's h-layer aging sensitivities, 1.0 =
+            // nominal) and resident-data pattern stress.
+            let c = self.array.chip(chip).expect("valid chip");
+            let mut info = Vec::with_capacity(blocks);
+            for b in 0..blocks {
+                let block = BlockId(b as u32);
+                let sens_norm = (0..g.hlayers_per_block)
+                    .map(|h| c.process().aging_sensitivity(block, h))
+                    .sum::<f64>()
+                    / f64::from(g.hlayers_per_block);
+                let stress = if pattern_on {
+                    let mut fractions = Vec::new();
+                    for w in 0..g.wls_per_block() {
+                        let wl = ProgramOrder::HorizontalFirst.wl_at(&g, block, w);
+                        if c.wl_state(wl) != PageState::Written {
+                            continue;
+                        }
+                        if let Some(oob) = c.wl_oob(wl) {
+                            fractions.extend(
+                                oob.lpns
+                                    .iter()
+                                    .filter(|&&lpn| lpn != WlData::PAD)
+                                    .map(|&lpn| page_state_fraction(lpn)),
+                            );
+                        }
+                    }
+                    block_pattern_stress(fractions.into_iter(), pattern_strength)
+                } else {
+                    1.0
+                };
+                info.push((sens_norm, stress));
+            }
+            let free = self.is_free[chip].clone();
+            let env = self.array.chip_mut(chip).expect("valid chip").env_mut();
+            env.enable_lifetime_aging();
+            for (b, &(sens, stress)) in info.iter().enumerate() {
+                let d = engine.block_delta(k, chip, b, sens, stress);
+                let months = if free[b] { 0.0 } else { d.retention_months };
+                env.advance_block_age(b, d.pe, months);
+                summary.blocks_aged += 1;
+                summary.pe_added += u64::from(d.pe);
+                if !free[b] {
+                    stress_sum += stress;
+                    stress_n += 1;
+                }
+            }
+        }
+        if stress_n > 0 {
+            summary.mean_pattern_stress = stress_sum / stress_n as f64;
+        }
+        summary
+    }
+
+    /// The real blocks currently backing the checkpoint metadata region
+    /// (empty when checkpointing is off or the region runs virtual).
+    pub fn ckpt_region(&self) -> Vec<BlockId> {
+        self.ckpt
+            .as_ref()
+            .map(|c| c.region.clone())
+            .unwrap_or_default()
     }
 
     /// Sets the ambient temperature of every chip, °C (30 °C is the
@@ -605,9 +711,11 @@ impl Ftl {
                 let wear = wear_limit.map(|_| self.erase_counts(chip));
                 let active: Vec<BlockId> = self.active_blocks(chip);
                 let is_free = &self.is_free[chip];
-                let candidates = (0..g.blocks_per_chip)
-                    .map(BlockId)
-                    .filter(|b| !is_free[b.0 as usize] && !active.contains(b));
+                let candidates = (0..g.blocks_per_chip).map(BlockId).filter(|b| {
+                    !is_free[b.0 as usize]
+                        && !active.contains(b)
+                        && !self.ckpt_region_contains(chip, *b)
+                });
                 match (wear_limit, &wear) {
                     (Some(limit), Some(w)) => select_victim_wear_aware(
                         &self.mapping,
@@ -696,6 +804,18 @@ impl Ftl {
             }
         }
         latency
+    }
+
+    /// Whether `block` currently backs the checkpoint metadata region
+    /// on `chip`. Region blocks hold no mapped pages (their content is
+    /// the checkpoint blob), so victim selection would otherwise see
+    /// them as maximally profitable and erase the live checkpoint.
+    fn ckpt_region_contains(&self, chip: usize, block: BlockId) -> bool {
+        chip == 0
+            && self
+                .ckpt
+                .as_ref()
+                .is_some_and(|c| c.region.contains(&block))
     }
 
     /// Blocks currently open for writing on `chip`.
@@ -802,6 +922,7 @@ impl Ftl {
             blob: None,
             taken: 0,
             pages_written: 0,
+            region: Vec::new(),
         });
     }
 
@@ -835,19 +956,42 @@ impl Ftl {
         let pages = ckpt.pages(CKPT_PAGE_BYTES);
         let blob = ckpt.encode();
         let bytes = blob.len() as u64;
-        let latency = pages as f64 * CKPT_PAGE_PROGRAM_US;
+        let mut latency = pages as f64 * CKPT_PAGE_PROGRAM_US;
         // Metadata-region wear: the flushed pages are real NAND programs,
         // and the ring recycles (erases) a region block every time the
         // cumulative page count fills one.
         let per_block = u64::from(self.geometry().pages_per_block());
         self.stats.ckpt_page_programs += pages;
+        // Back the region with a real chip-0 block once the pool can
+        // spare one: its ring erases then wear a physical block that
+        // wear leveling and scrubbing see. Under pool pressure the
+        // region keeps running virtual (counters advance identically).
+        if self.ckpt.as_ref().expect("checked above").region.is_empty()
+            && self.free_blocks[0].len() > self.config.gc_free_block_threshold + 1
+        {
+            let b = self.pop_free_block(0).expect("pool checked non-empty");
+            self.ckpt.as_mut().expect("checked above").region.push(b);
+        }
         let st = self.ckpt.as_mut().expect("checked above");
         let filled_before = st.pages_written / per_block;
         st.pages_written += pages;
-        self.stats.ckpt_erases += st.pages_written / per_block - filled_before;
+        let crossings = st.pages_written / per_block - filled_before;
+        self.stats.ckpt_erases += crossings;
         st.blob = Some(blob);
         st.taken += 1;
         st.host_wls_since = 0;
+        let region_block = st.region.first().copied();
+        if let Some(b) = region_block {
+            for _ in 0..crossings {
+                self.seq_counter += 1;
+                latency += self
+                    .array
+                    .chip_mut(0)
+                    .expect("chip 0 exists")
+                    .erase_tagged(b, self.seq_counter)
+                    .expect("region block in range");
+            }
+        }
         if self.trace.wants(EventMask::CKPT) {
             self.trace.emit(
                 self.tel_now_us,
@@ -1164,6 +1308,10 @@ impl Ftl {
                 blob,
                 taken: ckpt_taken,
                 pages_written: ckpt_pages_written,
+                // The pre-crash region block's WLs are all erased, so
+                // the pool rebuild above reclaimed it as free; the next
+                // flush re-allocates a backing block.
+                region: Vec::new(),
             }),
             trace,
             tel_now_us,
@@ -1311,6 +1459,49 @@ impl Ftl {
             let b = BlockId((cursor + i) % blocks);
             if self.is_free[chip][b.0 as usize] || active.contains(&b) {
                 continue;
+            }
+            if self.ckpt_region_contains(chip, b) {
+                // Metadata scrub: the region block holds the checkpoint
+                // blob, not mapped pages, so refreshing it is an
+                // in-place erase plus a rewrite of the live metadata
+                // pages — the block stays in the region.
+                let retention = self
+                    .array
+                    .chip(chip)
+                    .expect("valid chip")
+                    .block_retention_months(b);
+                if retention < cfg.scrub_retention_min_months {
+                    continue;
+                }
+                let per_block = u64::from(g.pages_per_block());
+                let live = self
+                    .ckpt
+                    .as_ref()
+                    .map_or(0, |c| c.pages_written % per_block);
+                self.seq_counter += 1;
+                let mut latency = self
+                    .array
+                    .chip_mut(chip)
+                    .expect("valid chip")
+                    .erase_tagged(b, self.seq_counter)
+                    .expect("region block in range");
+                latency += live as f64 * CKPT_PAGE_PROGRAM_US;
+                self.stats.scrub_blocks += 1;
+                self.stats.scrub_page_moves += live;
+                let st = self.maint.as_mut().expect("maintenance enabled");
+                st.scrub_cursor[chip] = (b.0 + 1) % blocks;
+                st.scrub_resume[chip] = false;
+                if self.trace.wants(EventMask::MAINT) {
+                    self.trace.emit(
+                        self.tel_now_us,
+                        EventKind::Maint {
+                            chip: chip as u32,
+                            service: "scrub",
+                            page_moves: live,
+                        },
+                    );
+                }
+                return Some(latency);
             }
             let mut latency = 0.0;
             let refresh = if resuming && i == 0 {
@@ -1471,13 +1662,20 @@ impl Ftl {
         if !cfg.wear_leveling {
             return None;
         }
+        if let Some(t) = self.maint_ckpt_wear_step(chip) {
+            return Some(t);
+        }
         let wear = self.erase_counts(chip);
         let hottest = *wear.iter().max()?;
         let active = self.active_blocks(chip);
         let (coldest_block, coldest) = wear
             .iter()
             .enumerate()
-            .filter(|(b, _)| !self.is_free[chip][*b] && !active.contains(&BlockId(*b as u32)))
+            .filter(|(b, _)| {
+                !self.is_free[chip][*b]
+                    && !active.contains(&BlockId(*b as u32))
+                    && !self.ckpt_region_contains(chip, BlockId(*b as u32))
+            })
             .map(|(b, e)| (BlockId(b as u32), *e))
             .min_by_key(|(b, e)| (*e, b.0))?;
         if hottest.saturating_sub(coldest) <= cfg.wear_spread_limit {
@@ -1505,6 +1703,63 @@ impl Ftl {
             );
         }
         (latency > 0.0).then_some(latency)
+    }
+
+    /// Wear-levels the checkpoint region itself: ring erases land on
+    /// one block every flush interval, so it runs hot. When its erase
+    /// count exceeds the coldest free block's by more than the spread
+    /// bound, the ring moves — the live metadata pages are rewritten
+    /// into the least-worn free block and the hot block returns to the
+    /// allocation pool (erased, so its retention clock is young).
+    fn maint_ckpt_wear_step(&mut self, chip: usize) -> Option<f64> {
+        if chip != 0 {
+            return None;
+        }
+        let cfg = self.maint.as_ref()?.config;
+        let old = *self.ckpt.as_ref()?.region.first()?;
+        if self.free_blocks[0].is_empty() {
+            return None;
+        }
+        let wear = self.erase_counts(0);
+        let coldest_free = self.free_blocks[0]
+            .iter()
+            .map(|b| wear[b.0 as usize])
+            .min()?;
+        if wear[old.0 as usize].saturating_sub(coldest_free) <= cfg.wear_spread_limit {
+            return None;
+        }
+        let fresh = self.pop_free_block(0).expect("pool checked non-empty");
+        let per_block = u64::from(self.geometry().pages_per_block());
+        let live = self
+            .ckpt
+            .as_ref()
+            .map_or(0, |c| c.pages_written % per_block);
+        let mut latency = live as f64 * CKPT_PAGE_PROGRAM_US;
+        self.seq_counter += 1;
+        latency += self
+            .array
+            .chip_mut(0)
+            .expect("chip 0 exists")
+            .erase_tagged(old, self.seq_counter)
+            .expect("region block in range");
+        let st = self.ckpt.as_mut().expect("region checked above");
+        st.region.clear();
+        st.region.push(fresh);
+        self.free_blocks[0].push_back(old);
+        self.is_free[0][old.0 as usize] = true;
+        self.stats.erases += 1;
+        self.stats.wear_level_moves += live;
+        if self.trace.wants(EventMask::MAINT) {
+            self.trace.emit(
+                self.tel_now_us,
+                EventKind::Maint {
+                    chip: 0,
+                    service: "wear_level",
+                    page_moves: live,
+                },
+            );
+        }
+        Some(latency)
     }
 
     /// Refreshes `block` incrementally: migrates up to `batch` of its
@@ -1546,9 +1801,11 @@ impl Ftl {
                 let wear = wear_limit.map(|_| self.erase_counts(chip));
                 let active: Vec<BlockId> = self.active_blocks(chip);
                 let is_free = &self.is_free[chip];
-                let candidates = (0..g.blocks_per_chip)
-                    .map(BlockId)
-                    .filter(|b| !is_free[b.0 as usize] && !active.contains(b));
+                let candidates = (0..g.blocks_per_chip).map(BlockId).filter(|b| {
+                    !is_free[b.0 as usize]
+                        && !active.contains(b)
+                        && !self.ckpt_region_contains(chip, *b)
+                });
                 match (wear_limit, &wear) {
                     (Some(limit), Some(w)) => select_victim_wear_aware(
                         &self.mapping,
@@ -2298,6 +2555,136 @@ mod tests {
             ftl.seq_counter() >= seq_before,
             "the sequence horizon is recovered from flash, never rewound"
         );
+    }
+
+    #[test]
+    fn hot_checkpoint_block_is_wear_leveled_back_into_the_pool() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        ftl.enable_checkpointing(u64::MAX); // manual flushes only
+        write_all(&mut ftl, 0..120, cfg.chips, 0.5);
+        assert!(ftl.take_checkpoint() > 0.0);
+        let region = ftl.ckpt_region();
+        assert_eq!(region.len(), 1, "first flush allocates a real region block");
+        let old = region[0];
+
+        // Ring-erase the region block until it is clearly the hottest
+        // thing on the chip.
+        let erase_count =
+            |ftl: &Ftl, b: BlockId| ftl.array().chip(0).unwrap().env().erase_count(b.0 as usize);
+        let mut guard = 0;
+        while erase_count(&ftl, old) < 8 {
+            ftl.take_checkpoint();
+            guard += 1;
+            assert!(guard < 20_000, "flushes never crossed a block boundary");
+        }
+
+        let mut maint = MaintConfig::default_on();
+        maint.wear_spread_limit = 2;
+        // Isolate wear leveling from the scrubber.
+        maint.scrub_retention_min_months = f64::INFINITY;
+        maint.scrub_ber_threshold = f64::INFINITY;
+        ftl.enable_maintenance(maint);
+
+        let mut steps = 0;
+        while ftl.ckpt_region() == vec![old] && steps < 1000 {
+            if ftl.maintenance_step(0, &ctx(0.0)).is_none() {
+                break;
+            }
+            steps += 1;
+        }
+        let region_now = ftl.ckpt_region();
+        assert_eq!(region_now.len(), 1);
+        assert_ne!(region_now[0], old, "hot region block must be swapped out");
+
+        // The recycled block's wear is frozen: further ring erases land
+        // on the new region block, not the old one.
+        let old_wear = erase_count(&ftl, old);
+        let new_wear = erase_count(&ftl, region_now[0]);
+        for _ in 0..guard {
+            ftl.take_checkpoint();
+        }
+        assert_eq!(erase_count(&ftl, old), old_wear, "old block left the ring");
+        assert!(
+            erase_count(&ftl, region_now[0]) > new_wear,
+            "the new region block absorbs the ring erases"
+        );
+        // And it is back in the allocation pool: sustained overwrites
+        // may allocate it again without tripping any region guard.
+        write_all(&mut ftl, (0..1200).map(|i| i % 120), cfg.chips, 0.7);
+        for lpn in 0..120 {
+            assert!(ftl.read_page(lpn, &ctx(0.0)).is_some(), "lost lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_region_is_never_a_gc_victim() {
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::cube(cfg);
+        ftl.enable_checkpointing(u64::MAX);
+        write_all(&mut ftl, 0..120, cfg.chips, 0.5);
+        ftl.take_checkpoint();
+        let region = ftl.ckpt_region();
+        assert_eq!(region.len(), 1);
+        // Hammer the device hard enough for sustained GC on chip 0.
+        write_all(&mut ftl, (0..2400).map(|i| i % 200), cfg.chips, 0.9);
+        assert!(ftl.stats().gc_runs > 0, "workload must trigger GC");
+        assert_eq!(
+            ftl.ckpt_region(),
+            region,
+            "GC must never erase the live checkpoint region"
+        );
+    }
+
+    #[test]
+    fn lifetime_epochs_age_blocks_monotonically() {
+        use lifetime::LifetimeConfig;
+        let cfg = FtlConfig::small();
+        let mut ftl = Ftl::page(cfg);
+        write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+        ftl.enable_lifetime_aging();
+        let read_retries = |ftl: &mut Ftl| {
+            let mut r = 0u64;
+            for lpn in 0..300 {
+                r += u64::from(ftl.read_page(lpn, &ctx(0.0)).unwrap().retries);
+            }
+            r
+        };
+        let fresh = read_retries(&mut ftl);
+        let mut engine = LifetimeEngine::new(LifetimeConfig::campaign());
+        let mut last = fresh;
+        for _ in 0..engine.config().steps() {
+            let summary = ftl.advance_lifetime_epoch(&mut engine);
+            assert!(summary.pe_added > 0, "every step must add wear");
+            assert!(summary.blocks_aged > 0);
+            let now = read_retries(&mut ftl);
+            assert!(
+                now >= last,
+                "aging must never reduce retries: {now} < {last}"
+            );
+            last = now;
+        }
+        assert!(
+            last > fresh,
+            "end of life must retry more than fresh: {last} vs {fresh}"
+        );
+    }
+
+    #[test]
+    fn lifetime_epoch_application_is_deterministic() {
+        use lifetime::LifetimeConfig;
+        let run = || {
+            let cfg = FtlConfig::small();
+            let mut ftl = Ftl::cube(cfg);
+            write_all(&mut ftl, 0..300, cfg.chips, 0.5);
+            ftl.enable_lifetime_aging();
+            let mut engine = LifetimeEngine::new(LifetimeConfig::campaign());
+            let s1 = ftl.advance_lifetime_epoch(&mut engine);
+            write_all(&mut ftl, (0..300).map(|i| i % 300), cfg.chips, 0.7);
+            let s2 = ftl.advance_lifetime_epoch(&mut engine);
+            (s1, s2, ftl.stats())
+        };
+        assert_eq!(run(), run(), "campaigns must be byte-reproducible");
     }
 
     #[test]

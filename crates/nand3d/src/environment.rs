@@ -85,6 +85,21 @@ pub const ACTIVATION_ENERGY_EV: f64 = 1.1;
 /// Boltzmann constant in eV/K.
 const BOLTZMANN_EV_PER_K: f64 = 8.617e-5;
 
+/// Per-block fast-forwarded age, maintained by the lifetime engine's
+/// epoch barriers. Once present it is the authoritative source of
+/// per-block retention age (replacing the global override + refreshed
+/// marks), and its P/E leg adds on top of the live counters — so
+/// blocks wear and age individually as a campaign advances.
+#[derive(Debug, Clone)]
+struct BlockAging {
+    /// Fast-forwarded P/E cycles per block (on top of live erases and
+    /// any global override).
+    pe_add: Vec<u32>,
+    /// Absolute retention age per block, months at reference
+    /// temperature. Erasing (or scrub-refreshing) a block zeroes it.
+    retention_months: Vec<f64>,
+}
+
 /// Mutable operating conditions of one chip.
 ///
 /// During SSD simulation the P/E counters advance with erases; for
@@ -113,6 +128,9 @@ pub struct Environment {
     track_block_retention: bool,
     /// Per-block "erased since retention tracking was enabled" marks.
     refreshed: Vec<bool>,
+    /// Per-block fast-forwarded age (None until a lifetime campaign
+    /// engages — the defaults-off path never allocates or consults it).
+    lifetime: Option<BlockAging>,
     rng: StdRng,
 }
 
@@ -127,6 +145,7 @@ impl Environment {
             ambient_celsius: REFERENCE_CELSIUS,
             track_block_retention: false,
             refreshed: vec![false; blocks],
+            lifetime: None,
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         }
     }
@@ -163,6 +182,9 @@ impl Environment {
         if self.track_block_retention {
             self.refreshed[block] = true;
         }
+        if let Some(life) = &mut self.lifetime {
+            life.retention_months[block] = 0.0;
+        }
     }
 
     /// Pins the environment to one of the paper's aging states.
@@ -185,6 +207,54 @@ impl Environment {
         self.retention_override_months = None;
     }
 
+    /// Engages per-block lifetime aging: every block's current
+    /// retention age (global override respecting refreshed marks) is
+    /// captured into a per-block vector that becomes authoritative, and
+    /// a per-block P/E fast-forward vector starts at zero. Idempotent.
+    /// From here on, epoch barriers advance individual blocks with
+    /// [`Environment::advance_block_age`], and erases rejuvenate
+    /// retention (but not wear) per block.
+    pub fn enable_lifetime_aging(&mut self) {
+        if self.lifetime.is_some() {
+            return;
+        }
+        let blocks = self.pe_cycles.len();
+        let retention = (0..blocks).map(|b| self.retention_months_of(b)).collect();
+        self.lifetime = Some(BlockAging {
+            pe_add: vec![0; blocks],
+            retention_months: retention,
+        });
+    }
+
+    /// Whether per-block lifetime aging is engaged.
+    #[inline]
+    pub fn lifetime_aging_enabled(&self) -> bool {
+        self.lifetime.is_some()
+    }
+
+    /// Fast-forwards `block` by `pe_add` P/E cycles and `months_add`
+    /// retention months (reference temperature).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Environment::enable_lifetime_aging`] ran first.
+    pub fn advance_block_age(&mut self, block: usize, pe_add: u32, months_add: f64) {
+        assert!(months_add >= 0.0, "aging cannot run backwards");
+        let life = self
+            .lifetime
+            .as_mut()
+            .expect("enable_lifetime_aging before advancing block age");
+        life.pe_add[block] = life.pe_add[block].saturating_add(pe_add);
+        life.retention_months[block] += months_add;
+    }
+
+    /// Fast-forwarded P/E cycles of `block` (0 when no campaign is
+    /// engaged) — the lifetime component of [`Environment::pe`].
+    #[inline]
+    pub fn lifetime_pe_add(&self, block: usize) -> u32 {
+        self.lifetime.as_ref().map_or(0, |life| life.pe_add[block])
+    }
+
     /// Sets the probability that any one operation happens under suddenly
     /// changed ambient conditions (triggers §4.1.4 safety-check paths and
     /// §4.2 ORT mispredictions).
@@ -196,9 +266,11 @@ impl Environment {
     /// Effective P/E cycles of `block`.
     #[inline]
     pub fn pe(&self, block: usize) -> u32 {
+        let lifetime = self.lifetime.as_ref().map_or(0, |life| life.pe_add[block]);
         self.pe_override
             .unwrap_or(0)
             .saturating_add(self.pe_cycles[block])
+            .saturating_add(lifetime)
     }
 
     /// Raw retention time in months at the reference temperature
@@ -209,11 +281,16 @@ impl Environment {
         self.retention_override_months.unwrap_or(0.0)
     }
 
-    /// Retention time of `block`'s data in months: the global override,
-    /// unless per-block tracking is on and the block was erased since —
-    /// refreshed data is young regardless of how long the device sat.
+    /// Retention time of `block`'s data in months. With a lifetime
+    /// campaign engaged the per-block aging vector is authoritative;
+    /// otherwise the global override applies, unless per-block tracking
+    /// is on and the block was erased since — refreshed data is young
+    /// regardless of how long the device sat.
     #[inline]
     pub fn retention_months_of(&self, block: usize) -> f64 {
+        if let Some(life) = &self.lifetime {
+            return life.retention_months[block];
+        }
         if self.block_is_refreshed(block) {
             0.0
         } else {
@@ -263,12 +340,17 @@ impl Environment {
         self.retention_months_of(block) * self.retention_acceleration()
     }
 
-    /// Records one erase of `block`.
+    /// Records one erase of `block`. Under a lifetime campaign the
+    /// erase zeroes the block's fast-forwarded retention age (new data
+    /// is young) while its accumulated P/E wear stays.
     #[inline]
     pub fn record_erase(&mut self, block: usize) {
         self.pe_cycles[block] = self.pe_cycles[block].saturating_add(1);
         if self.track_block_retention {
             self.refreshed[block] = true;
+        }
+        if let Some(life) = &mut self.lifetime {
+            life.retention_months[block] = 0.0;
         }
     }
 
@@ -350,6 +432,70 @@ mod tests {
         assert!(env.block_is_refreshed(0));
         env.set_block_retention_tracking(false);
         assert!(!env.block_is_refreshed(0));
+    }
+
+    #[test]
+    fn lifetime_aging_layers_on_per_block() {
+        let mut env = Environment::new(3, 1);
+        env.set_aging(AgingState::MidLife);
+        env.record_erase(0);
+        assert!(!env.lifetime_aging_enabled());
+
+        // Engagement captures the current per-block state and becomes
+        // authoritative for retention.
+        env.enable_lifetime_aging();
+        assert!(env.lifetime_aging_enabled());
+        assert_eq!(env.retention_months_of(0), 1.0);
+        assert_eq!(
+            env.pe(0),
+            2001,
+            "override + live erase, no fast-forward yet"
+        );
+
+        env.advance_block_age(0, 500, 3.0);
+        env.advance_block_age(1, 250, 3.0);
+        assert_eq!(env.pe(0), 2501);
+        assert_eq!(env.pe(1), 2250);
+        assert_eq!(env.pe(2), 2000, "untouched block keeps its age");
+        assert_eq!(env.lifetime_pe_add(0), 500);
+        assert_eq!(env.retention_months_of(0), 4.0);
+        assert_eq!(env.retention_months_of(2), 1.0);
+
+        // Erase rejuvenates retention but never wear.
+        env.record_erase(0);
+        assert_eq!(env.retention_months_of(0), 0.0);
+        assert_eq!(env.pe(0), 2502, "erase adds wear on top of fast-forward");
+
+        // mark_refreshed (scrub without erase) also zeroes retention.
+        env.advance_block_age(1, 0, 2.0);
+        env.mark_refreshed(1);
+        assert_eq!(env.retention_months_of(1), 0.0);
+        assert_eq!(env.pe(1), 2250);
+
+        // Idempotent re-engagement keeps accumulated state.
+        env.enable_lifetime_aging();
+        assert_eq!(env.lifetime_pe_add(0), 500);
+    }
+
+    #[test]
+    fn lifetime_engagement_respects_refreshed_marks() {
+        let mut env = Environment::new(2, 1);
+        env.set_aging(AgingState::EndOfLife);
+        env.set_block_retention_tracking(true);
+        env.record_erase(0);
+        env.enable_lifetime_aging();
+        assert_eq!(
+            env.retention_months_of(0),
+            0.0,
+            "refreshed block engages young"
+        );
+        assert_eq!(env.retention_months_of(1), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_lifetime_aging")]
+    fn advancing_without_engagement_panics() {
+        Environment::new(1, 0).advance_block_age(0, 1, 0.0);
     }
 
     #[test]

@@ -32,13 +32,15 @@ impl EventMask {
     pub const DEGRADED: EventMask = EventMask(1 << 10);
     /// Background rebuild units onto a spare shard.
     pub const REBUILD: EventMask = EventMask(1 << 11);
+    /// Lifetime-campaign epoch barriers (fast-forward aging steps).
+    pub const AGING: EventMask = EventMask(1 << 12);
     /// Every category.
-    pub const ALL: EventMask = EventMask(0xfff);
+    pub const ALL: EventMask = EventMask(0x1fff);
     /// No category (the disabled collector).
     pub const NONE: EventMask = EventMask(0);
 
     /// Name table used by [`EventMask::parse`] and `--trace-events`.
-    pub const NAMES: [(&'static str, EventMask); 12] = [
+    pub const NAMES: [(&'static str, EventMask); 13] = [
         ("host", Self::HOST_IO),
         ("ispp", Self::ISPP),
         ("retry", Self::READ_RETRY),
@@ -51,6 +53,7 @@ impl EventMask {
         ("slo", Self::SLO),
         ("degraded", Self::DEGRADED),
         ("rebuild", Self::REBUILD),
+        ("aging", Self::AGING),
     ];
 
     /// Whether every bit of `other` is enabled here.
@@ -243,6 +246,20 @@ pub enum EventKind {
         /// Pages moved by this unit.
         pages: u64,
     },
+    /// A lifetime-campaign epoch barrier: virtual device age was
+    /// fast-forwarded between workload phases.
+    EpochAdvance {
+        /// Workload epoch about to start (1-based; epoch 0 is the
+        /// fresh baseline and carries no barrier).
+        epoch: u32,
+        /// Total P/E cycles added across the device at this barrier.
+        pe_add: u64,
+        /// Nominal retention months added at this barrier (early
+        /// retention loss makes early barriers carry more).
+        retention_add_months: f64,
+        /// Blocks whose age advanced.
+        blocks: u64,
+    },
 }
 
 impl EventKind {
@@ -261,6 +278,7 @@ impl EventKind {
             EventKind::TenantSlo { .. } => EventMask::SLO,
             EventKind::ShardFail { .. } | EventKind::DegradedRead { .. } => EventMask::DEGRADED,
             EventKind::RebuildUnit { .. } => EventMask::REBUILD,
+            EventKind::EpochAdvance { .. } => EventMask::AGING,
         }
     }
 }
@@ -435,6 +453,19 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     "\"rebuild_unit\",\"spare\":{spare},\"action\":\"{action}\",\"pages\":{pages}"
+                );
+            }
+            EventKind::EpochAdvance {
+                epoch,
+                pe_add,
+                retention_add_months,
+                blocks,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"epoch_advance\",\"epoch\":{epoch},\"pe_add\":{pe_add},\
+                     \"retention_add_months\":{},\"blocks\":{blocks}",
+                    fmt_num(*retention_add_months)
                 );
             }
         }
@@ -659,6 +690,38 @@ mod tests {
         assert!(lines.contains("\"kind\":\"degraded_read\",\"lpn\":42,\"fragments\":3"));
         assert!(lines
             .contains("\"kind\":\"rebuild_unit\",\"spare\":4,\"action\":\"write\",\"pages\":64"));
+    }
+
+    #[test]
+    fn aging_category_parses_and_serializes() {
+        let m = EventMask::parse("aging").unwrap();
+        assert!(m.contains(EventMask::AGING));
+        assert!(EventMask::ALL.contains(m));
+        assert!(!EventMask::parse("maint,ckpt").unwrap().contains(m));
+        let mut c = Collector::enabled(m, 1);
+        c.emit(
+            0.0,
+            EventKind::EpochAdvance {
+                epoch: 2,
+                pe_add: 48_000,
+                retention_add_months: 2.25,
+                blocks: 96,
+            },
+        );
+        c.emit(
+            0.0,
+            EventKind::Maint {
+                chip: 0,
+                service: "scrub",
+                page_moves: 4,
+            },
+        );
+        assert_eq!(c.len(), 1, "mask must gate other categories out");
+        let lines = events_to_ndjson(&c.take());
+        assert!(lines.contains(
+            "\"kind\":\"epoch_advance\",\"epoch\":2,\"pe_add\":48000,\
+             \"retention_add_months\":2.25,\"blocks\":96"
+        ));
     }
 
     #[test]

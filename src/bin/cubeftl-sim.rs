@@ -14,6 +14,8 @@
 //!             [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]
 //!             [--qos-arrival-us T] [--qos-equal-arrivals] [--qos-slo-read-us T]
 //!             [--qos-slo-write-us T] [--qos-trace PATH]
+//!             [--lifetime-epochs N] [--lifetime-pe N] [--lifetime-months F] [--lifetime-exp Q]
+//!             [--lifetime-variation F] [--lifetime-pattern-wear on|off] [--lifetime-seed N]
 //!             [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]
 //!             [--series-out PATH] [--sample-interval-us T]
 //! ```
@@ -93,6 +95,26 @@
 //! With `--queues 1 --tenants 1` (the default) the front-end is
 //! disengaged and runs take the legacy closed-loop path untouched.
 //!
+//! `--lifetime-epochs N` (N > 1, or any other `--lifetime-*` knob)
+//! engages the fast-forward aging campaign (`crates/lifetime`): the
+//! device is built and prefilled once, then alternates N workload
+//! epochs with N − 1 aging steps. Each step advances every block's
+//! virtual age at a barrier — `--lifetime-pe` P/E cycles per step
+//! (scaled per block by the similarity model's wear-rate spread,
+//! `--lifetime-variation` jitter, and with `--lifetime-pattern-wear on`
+//! the resident data's cell-state composition) plus `--lifetime-months`
+//! retention months per step shaped by the concave early-retention-loss
+//! curve (`--lifetime-exp`, q ≤ 1; smaller front-loads the loss). The
+//! output is one row per epoch: the IOPS/retry/WA drift curve from
+//! fresh to end-of-life. Unset knobs default to the standard campaign
+//! (5 epochs to the paper's 2K P/E + 12 months end-of-life point).
+//! Combines with `--maint` (maintenance races the drift), `--shards`
+//! (each shard ages under its own seeded engine, byte-identical at any
+//! `--array-threads` count) and single-device `--trace-file` (the
+//! recorded trace replays at every age point); it cannot be combined
+//! with SPO cuts, the QoS front-end, array resilience, or the
+//! telemetry output files.
+//!
 //! The telemetry flags export deterministic, virtual-timestamped run
 //! data (see `crates/telemetry`): `--trace-out PATH` writes the
 //! structured event trace as NDJSON, filtered by `--trace-events SPEC`
@@ -119,20 +141,22 @@
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-file tests/data/sample_trace.csv
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --queues 4 --tenants 64 --tenant-weights 8,4,2,1
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --shards 4 --queues 8 --tenants 32 --qos-slo-read-us 5000
+//! cargo run --release --bin cubeftl-sim -- --ftl cube --maint --lifetime-epochs 5 --lifetime-pe 500
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --trace-out run.ndjson --trace-events ispp,retry,gc
 //! cargo run --release --bin cubeftl-sim -- --ftl cube --series-out run.csv --sample-interval-us 5000 --metrics-out metrics.ndjson
 //! ```
 
 use cubeftl::harness::{
     run_array_eval, run_array_eval_traced, run_array_failure_eval, run_array_qos_eval,
-    run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_qos_eval, run_spo_eval,
-    run_trace_eval, ArrayEvalConfig, ArrayFailureConfig, ArraySpoConfig, EvalConfig, FailSpec,
-    QosSpec, SpoConfig, TelemetrySpec,
+    run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_lifetime_array_eval,
+    run_lifetime_eval, run_lifetime_trace_eval, run_qos_eval, run_spo_eval, run_trace_eval,
+    ArrayEvalConfig, ArrayFailureConfig, ArraySpoConfig, EvalConfig, FailSpec, QosSpec, SpoConfig,
+    TelemetrySpec,
 };
 use cubeftl::{
     events_to_ndjson, AgingState, ArrayReport, EventMask, FaultKind, FaultPlan, FtlKind,
-    MaintConfig, MetricRegistry, OrtClusterConfig, QosReport, RetryOptConfig, SpoTrigger,
-    StandardWorkload, Trace,
+    LifetimeConfig, MaintConfig, MetricRegistry, OrtClusterConfig, QosReport, RetryOptConfig,
+    SimReport, SpoTrigger, StandardWorkload, Trace,
 };
 use std::process::ExitCode;
 
@@ -199,6 +223,9 @@ fn usage() -> ExitCode {
          \x20                  [--queues N] [--tenants N] [--tenant-weights A,B,C] [--qos-sq-depth N]\n\
          \x20                  [--qos-arrival-us T] [--qos-equal-arrivals] [--qos-slo-read-us T]\n\
          \x20                  [--qos-slo-write-us T] [--qos-trace PATH]\n\
+         \x20                  [--lifetime-epochs N] [--lifetime-pe N] [--lifetime-months F]\n\
+         \x20                  [--lifetime-exp Q] [--lifetime-variation F]\n\
+         \x20                  [--lifetime-pattern-wear on|off] [--lifetime-seed N]\n\
          \x20                  [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]\n\
          \x20                  [--series-out PATH] [--sample-interval-us T]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort\n\
@@ -233,6 +260,9 @@ fn main() -> ExitCode {
     let mut trace_file: Option<String> = None;
     let mut qos = QosSpec::off();
     let mut qos_trace_file: Option<String> = None;
+    // Any --lifetime-* knob engages the fast-forward aging campaign,
+    // starting from the standard fresh→end-of-life shape.
+    let mut life: Option<LifetimeConfig> = None;
     // QoS knobs are inert with one queue and one tenant; reject that
     // combination instead of silently ignoring the flags.
     let mut qos_knob_seen = false;
@@ -488,6 +518,53 @@ fn main() -> ExitCode {
                 qos_trace_file = Some(v.clone());
                 qos_knob_seen = true;
             }
+            ("--lifetime-epochs", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => life.get_or_insert_with(LifetimeConfig::campaign).epochs = n,
+                _ => return usage(),
+            },
+            ("--lifetime-pe", Some(v)) => match v.parse::<u32>() {
+                Ok(n) => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .pe_per_epoch = n
+                }
+                Err(_) => return usage(),
+            },
+            ("--lifetime-months", Some(v)) => match v.parse::<f64>() {
+                Ok(m) if m >= 0.0 && m.is_finite() => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .months_per_epoch = m;
+                }
+                _ => return usage(),
+            },
+            ("--lifetime-exp", Some(v)) => match v.parse::<f64>() {
+                Ok(q) if q > 0.0 && q <= 1.0 => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .early_retention_exp = q;
+                }
+                _ => return usage(),
+            },
+            ("--lifetime-variation", Some(v)) => match v.parse::<f64>() {
+                Ok(s) if (0.0..=1.0).contains(&s) => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .variation_strength = s;
+                }
+                _ => return usage(),
+            },
+            ("--lifetime-pattern-wear", Some(v)) => match v.as_str() {
+                "on" => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .pattern_wear = true
+                }
+                "off" => {
+                    life.get_or_insert_with(LifetimeConfig::campaign)
+                        .pattern_wear = false
+                }
+                _ => return usage(),
+            },
+            ("--lifetime-seed", Some(v)) => match v.parse::<u64>() {
+                Ok(n) => life.get_or_insert_with(LifetimeConfig::campaign).seed = n,
+                Err(_) => return usage(),
+            },
             ("--trace-out", Some(v)) => trace_out = Some(v.clone()),
             ("--trace-events", Some(v)) => trace_events = Some(v.clone()),
             ("--metrics-out", Some(v)) => metrics_out = Some(v.clone()),
@@ -685,6 +762,43 @@ fn main() -> ExitCode {
              available in the standard run modes (no --trace-file, no SPO)"
         );
         return ExitCode::FAILURE;
+    }
+
+    if let Some(life) = life {
+        if spo_trigger.is_some() {
+            eprintln!("a lifetime campaign cannot be combined with a sudden power-off");
+            return ExitCode::FAILURE;
+        }
+        if qos.engaged() {
+            eprintln!("a lifetime campaign cannot be combined with the QoS front-end");
+            return ExitCode::FAILURE;
+        }
+        if resilience_engaged {
+            eprintln!("a lifetime campaign cannot be combined with array resilience");
+            return ExitCode::FAILURE;
+        }
+        if telemetry_on {
+            eprintln!(
+                "telemetry output files are not available in lifetime mode \
+                 (the campaign prints one drift row per epoch)"
+            );
+            return ExitCode::FAILURE;
+        }
+        if trace.is_some() && shards > 1 {
+            eprintln!("--trace-file lifetime replay is single-device: drop --shards");
+            return ExitCode::FAILURE;
+        }
+        return run_lifetime(
+            kinds,
+            workload,
+            aging,
+            &cfg,
+            &life,
+            shards,
+            stripe_pages,
+            array_threads,
+            &trace,
+        );
     }
 
     if shards > 1 {
@@ -1117,6 +1231,167 @@ fn print_qos_summary(qos: &QosReport) {
             qos.tenants.len() - QosReport::MAX_TENANT_DETAIL,
         );
     }
+}
+
+/// One row of the lifetime drift table: the per-epoch metrics the
+/// campaign exists to expose (throughput, retry pressure, write
+/// amplification), keyed by the cumulative age behind the epoch.
+#[allow(clippy::too_many_arguments)]
+fn print_lifetime_row(
+    name: &str,
+    epoch: usize,
+    pe: u64,
+    months: f64,
+    iops: f64,
+    reads: u64,
+    ftl: &cubeftl::FtlStats,
+    wa_host: Option<f64>,
+    wa_total: Option<f64>,
+) {
+    let retry_rate = if reads == 0 {
+        0.0
+    } else {
+        ftl.read_retries as f64 / reads as f64
+    };
+    println!(
+        "{:<10} {:>5} {:>8} {:>8.1} {:>10.0} {:>9} {:>11.4} {:>9} {:>6} {:>6}",
+        name,
+        epoch,
+        pe,
+        months,
+        iops,
+        ftl.read_retries,
+        retry_rate,
+        ftl.gc_runs,
+        fmt_wa(wa_host),
+        fmt_wa(wa_total),
+    );
+}
+
+/// The fast-forward aging campaign: one drift row per epoch, from the
+/// fresh device to end-of-life, with the applied aging step between
+/// consecutive rows.
+#[allow(clippy::too_many_arguments)]
+fn run_lifetime(
+    kinds: Vec<FtlKind>,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    life: &LifetimeConfig,
+    shards: usize,
+    stripe_pages: u64,
+    array_threads: usize,
+    trace: &Option<Trace>,
+) -> ExitCode {
+    println!(
+        "lifetime campaign: {} epochs × {} requests, +{} P/E and +{} months per step \
+         (exp {}), variation {}, pattern wear {}, seed {}\n",
+        life.epochs.max(1),
+        cfg.requests,
+        life.pe_per_epoch,
+        life.months_per_epoch,
+        life.early_retention_exp,
+        life.variation_strength,
+        if life.pattern_wear { "on" } else { "off" },
+        life.seed,
+    );
+    for kind in kinds {
+        println!(
+            "{:<10} {:>5} {:>8} {:>8} {:>10} {:>9} {:>11} {:>9} {:>6} {:>6}",
+            "FTL",
+            "epoch",
+            "+P/E",
+            "+months",
+            "IOPS",
+            "retries",
+            "retry/read",
+            "GC runs",
+            "WA(h)",
+            "WA(t)"
+        );
+        // Cumulative nominal age behind each epoch row.
+        let mut pe: u64 = 0;
+        let mut months: f64 = 0.0;
+        if shards > 1 {
+            let arr = ArrayEvalConfig {
+                shards,
+                stripe_pages,
+                threads: array_threads,
+            };
+            let r = run_lifetime_array_eval(kind, workload, aging, cfg, &arr, life);
+            for (e, rep) in r.epochs.iter().enumerate() {
+                if e > 0 {
+                    pe += u64::from(life.pe_per_epoch);
+                    months += r.summaries[e - 1]
+                        .first()
+                        .map_or(0.0, |s| s.retention_added_months);
+                }
+                let m = &rep.merged;
+                print_lifetime_row(
+                    &m.ftl_name,
+                    e,
+                    pe,
+                    months,
+                    m.iops,
+                    m.reads,
+                    &m.ftl,
+                    m.wa_host(),
+                    m.wa_total(),
+                );
+            }
+        } else {
+            let r = match trace {
+                Some(t) => run_lifetime_trace_eval(kind, aging, cfg, life, t),
+                None => run_lifetime_eval(kind, workload, aging, cfg, life),
+            };
+            for (e, rep) in r.epochs.iter().enumerate() {
+                if e > 0 {
+                    let s = &r.summaries[e - 1];
+                    pe += u64::from(life.pe_per_epoch);
+                    months += s.retention_added_months;
+                }
+                print_lifetime_row(
+                    &rep.ftl_name,
+                    e,
+                    pe,
+                    months,
+                    rep.iops,
+                    rep.reads,
+                    &rep.ftl,
+                    rep.wa_host(),
+                    rep.wa_total(),
+                );
+            }
+            print_lifetime_drift(&r.epochs);
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// The campaign verdict line: retry and WA drift from the fresh epoch
+/// to end-of-life.
+fn print_lifetime_drift(epochs: &[SimReport]) {
+    let (Some(fresh), Some(eol)) = (epochs.first(), epochs.last()) else {
+        return;
+    };
+    let rate = |r: &SimReport| {
+        if r.reads == 0 {
+            0.0
+        } else {
+            r.ftl.read_retries as f64 / r.reads as f64
+        }
+    };
+    println!(
+        "{:<10} drift: retry/read {:.4} -> {:.4}, WA(h) {} -> {}, IOPS {:.0} -> {:.0}",
+        "", // aligned under the FTL column
+        rate(fresh),
+        rate(eol),
+        fmt_wa(fresh.wa_host()),
+        fmt_wa(eol.wa_host()),
+        fresh.iops,
+        eol.iops,
+    );
 }
 
 /// The array resilience experiment: rotating parity, an optional

@@ -8,6 +8,7 @@
 
 use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, OrtClusterConfig, RecoveryReport};
 use hostq::{split_arrival_budget, split_even_budget, HostQueueConfig, HostQueueFront, QosReport};
+use lifetime::{EpochSummary, LifetimeConfig, LifetimeEngine};
 use nand3d::{AgingState, FaultPlan, RetryOptConfig};
 use ssdarray::{
     ArrayReport, ArrayShard, FrontArray, FrontShard, PageRole, ParityRouter, RebuildPlan,
@@ -1765,6 +1766,289 @@ pub fn run_array_qos_eval(
         },
         TelemetryOutput { events, series },
     )
+}
+
+/// Per-epoch seed of a lifetime campaign's workload stream. Epoch 0
+/// uses the master seed unchanged — a disengaged campaign therefore
+/// reproduces the corresponding plain evaluation byte-for-byte — and
+/// later epochs draw fresh domain-separated substreams, so the device
+/// does not replay the identical request sequence at every age.
+fn epoch_seed(seed: u64, epoch: u32) -> u64 {
+    if epoch == 0 {
+        seed
+    } else {
+        // Domain separator: ASCII "LIFETIME".
+        shard_seed(seed ^ 0x4C49_4645_5449_4D45, epoch as usize)
+    }
+}
+
+/// Outcome of one fast-forward aging campaign on a single device: the
+/// workload phases bracketing each aging step, from fresh (epoch 0) to
+/// end-of-life (the last epoch).
+#[derive(Debug, Clone)]
+pub struct LifetimeEvalReport {
+    /// Per-epoch workload reports; index 0 is the fresh device. FTL
+    /// counters are reset at each epoch boundary, so every report's
+    /// `ftl` block covers exactly its own epoch.
+    pub epochs: Vec<SimReport>,
+    /// Per-step aging summaries (`epochs.len() − 1` entries; step `k`
+    /// sits between epoch `k − 1` and epoch `k`).
+    pub summaries: Vec<EpochSummary>,
+    /// AGING trace events emitted at the epoch barriers. Each phase's
+    /// virtual clock restarts at zero; barrier timestamps are offset by
+    /// the cumulative end times of the preceding epochs, giving one
+    /// concatenated campaign timeline.
+    pub events: Vec<TraceEvent>,
+}
+
+impl LifetimeEvalReport {
+    /// Read retries per completed read of epoch `e` — the campaign's
+    /// headline drift metric.
+    pub fn retry_rate(&self, e: usize) -> f64 {
+        let r = &self.epochs[e];
+        if r.reads == 0 {
+            0.0
+        } else {
+            r.ftl.read_retries as f64 / r.reads as f64
+        }
+    }
+}
+
+/// Runs one fast-forward aging campaign on a single device: the FTL is
+/// built and prefilled once, then alternates workload epochs with aging
+/// steps. Each step walks every block at a barrier (no host traffic in
+/// flight) and advances its virtual age — P/E cycles scaled by the
+/// similarity-model wear-rate spread and the resident data's pattern
+/// stress, retention months shaped by the early-retention-loss curve —
+/// so OPM re-monitoring, retry chains and background maintenance race
+/// real drift across epochs instead of meeting a pre-baked aged state.
+///
+/// Fully deterministic: the engine draws nothing from an RNG stream,
+/// and with [`LifetimeConfig::off`] the single epoch reproduces
+/// [`run_eval`] byte-for-byte.
+pub fn run_lifetime_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    life: &LifetimeConfig,
+) -> LifetimeEvalReport {
+    life.validate();
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    if life.steps() > 0 {
+        ftl.enable_lifetime_aging();
+    }
+    let logical = ftl.logical_pages();
+    let space = ((logical as f64 * cfg.prefill_fraction) as u64).max(1024);
+    let mut engine = LifetimeEngine::new(*life);
+    let mut collector = Collector::enabled(EventMask::AGING, 0);
+    let epochs = life.epochs.max(1);
+    let mut reports = Vec::with_capacity(epochs as usize);
+    let mut summaries = Vec::with_capacity(life.steps() as usize);
+    let mut t_offset = 0.0;
+    for e in 0..epochs {
+        if e > 0 {
+            // Aging barrier: the previous epoch has fully drained.
+            let s = ftl.advance_lifetime_epoch(&mut engine);
+            collector.emit(
+                t_offset,
+                EventKind::EpochAdvance {
+                    epoch: e,
+                    pe_add: s.pe_added,
+                    retention_add_months: s.retention_added_months,
+                    blocks: s.blocks_aged,
+                },
+            );
+            summaries.push(s);
+        }
+        ftl.reset_stats();
+        let stream = workload.build(space, epoch_seed(cfg.seed, e));
+        let report = sim.run(&mut ftl, stream, cfg.requests);
+        t_offset += report.sim_time_us;
+        reports.push(report);
+    }
+    LifetimeEvalReport {
+        epochs: reports,
+        summaries,
+        events: collector.take(),
+    }
+}
+
+/// Like [`run_lifetime_eval`] but replaying a recorded [`Trace`] in
+/// every epoch (LPNs folded into the device's logical space, as in
+/// [`run_trace_eval`]): the same recorded request sequence is measured
+/// at each age point, isolating the aging drift from workload drift.
+/// With [`LifetimeConfig::off`] the single epoch reproduces
+/// [`run_trace_eval`] byte-for-byte.
+pub fn run_lifetime_trace_eval(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    life: &LifetimeConfig,
+    trace: &Trace,
+) -> LifetimeEvalReport {
+    life.validate();
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    if life.steps() > 0 {
+        ftl.enable_lifetime_aging();
+    }
+    let logical = ftl.logical_pages();
+    let folded = fold_requests(trace.requests(), logical);
+    let n = folded.len() as u64;
+    let mut engine = LifetimeEngine::new(*life);
+    let mut collector = Collector::enabled(EventMask::AGING, 0);
+    let epochs = life.epochs.max(1);
+    let mut reports = Vec::with_capacity(epochs as usize);
+    let mut summaries = Vec::with_capacity(life.steps() as usize);
+    let mut t_offset = 0.0;
+    for e in 0..epochs {
+        if e > 0 {
+            let s = ftl.advance_lifetime_epoch(&mut engine);
+            collector.emit(
+                t_offset,
+                EventKind::EpochAdvance {
+                    epoch: e,
+                    pe_add: s.pe_added,
+                    retention_add_months: s.retention_added_months,
+                    blocks: s.blocks_aged,
+                },
+            );
+            summaries.push(s);
+        }
+        ftl.reset_stats();
+        let report = sim.run(&mut ftl, folded.clone(), n);
+        t_offset += report.sim_time_us;
+        reports.push(report);
+    }
+    LifetimeEvalReport {
+        epochs: reports,
+        summaries,
+        events: collector.take(),
+    }
+}
+
+/// Outcome of one fast-forward aging campaign on a sharded array.
+#[derive(Debug, Clone)]
+pub struct LifetimeArrayEvalReport {
+    /// Per-epoch array reports; index 0 is the fresh array.
+    pub epochs: Vec<ArrayEvalReport>,
+    /// Per-step, per-shard aging summaries (`summaries[k][s]` is shard
+    /// `s` of the step between epoch `k` and epoch `k + 1`).
+    pub summaries: Vec<Vec<EpochSummary>>,
+    /// AGING trace events, emitted shard-major at each barrier with
+    /// timestamps offset onto the concatenated campaign timeline.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Runs one fast-forward aging campaign on a sharded array. Every shard
+/// carries its own [`LifetimeEngine`] seeded from the shard index, and
+/// every aging step runs at a barrier (all shards drained) in shard
+/// order on the caller's thread — so the campaign is byte-identical at
+/// any worker-thread count. With [`LifetimeConfig::off`] the single
+/// epoch reproduces [`run_array_eval`] byte-for-byte.
+pub fn run_lifetime_array_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    life: &LifetimeConfig,
+) -> LifetimeArrayEvalReport {
+    assert!(arr.shards >= 1, "need at least one shard");
+    life.validate();
+    let budgets = split_requests(cfg.requests, arr.shards);
+    let mut spaces = Vec::with_capacity(arr.shards);
+    let mut parts: Vec<(SsdSim, Ftl)> = (0..arr.shards)
+        .map(|s| {
+            let (sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            if life.steps() > 0 {
+                ftl.enable_lifetime_aging();
+            }
+            spaces.push(prefill.max(1024));
+            (sim, ftl)
+        })
+        .collect();
+    // One engine per shard, seeded from the shard index: shard
+    // campaigns are independent, so neither the fan-out order nor the
+    // thread count can matter.
+    let mut engines: Vec<LifetimeEngine> = (0..arr.shards)
+        .map(|s| {
+            let mut lc = *life;
+            lc.seed = shard_seed(life.seed, s);
+            LifetimeEngine::new(lc)
+        })
+        .collect();
+    let epochs = life.epochs.max(1);
+    let mut reports = Vec::with_capacity(epochs as usize);
+    let mut summaries = Vec::new();
+    let mut events = Vec::new();
+    let mut t_offset = 0.0;
+    for e in 0..epochs {
+        if e > 0 {
+            // Aging barrier (sequence point: every shard stopped):
+            // walk the shards in index order on this thread.
+            let mut step = Vec::with_capacity(arr.shards);
+            for (s, (_, ftl)) in parts.iter_mut().enumerate() {
+                let sum = ftl.advance_lifetime_epoch(&mut engines[s]);
+                let mut c = Collector::enabled(EventMask::AGING, s as u32);
+                c.emit(
+                    t_offset,
+                    EventKind::EpochAdvance {
+                        epoch: e,
+                        pe_add: sum.pe_added,
+                        retention_add_months: sum.retention_added_months,
+                        blocks: sum.blocks_aged,
+                    },
+                );
+                events.extend(c.take());
+                step.push(sum);
+            }
+            summaries.push(step);
+        }
+        let shards: Vec<_> = parts
+            .drain(..)
+            .enumerate()
+            .map(|(s, (sim, mut ftl))| {
+                ftl.reset_stats();
+                let stream = workload.build(spaces[s], shard_seed(epoch_seed(cfg.seed, e), s));
+                ArrayShard {
+                    sim,
+                    ftl,
+                    workload: stream,
+                    requests: budgets[s],
+                    spo: None,
+                    rebuild: None,
+                }
+            })
+            .collect();
+        let mut array = SsdArray::new(shards).with_threads(arr.engine_threads());
+        let out = array.run();
+        t_offset += out.report.sim_time_us;
+        reports.push(ArrayEvalReport {
+            merged: out.report,
+            shards: out.shard_reports,
+        });
+        parts = array
+            .into_shards()
+            .into_iter()
+            .map(|sh| (sh.sim, sh.ftl))
+            .collect();
+    }
+    LifetimeArrayEvalReport {
+        epochs: reports,
+        summaries,
+        events,
+    }
 }
 
 /// Runs the three-FTL comparison of Fig. 17 for one workload and aging

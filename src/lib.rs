@@ -33,6 +33,11 @@ pub use ftl::{
     Checkpoint, CheckpointError, Ftl, FtlConfig, FtlKind, MaintConfig, Opm, OrtClusterConfig,
     ProgramOrder, RecoveryReport, Wam,
 };
+pub use lifetime::{
+    block_pattern_stress, page_state_fraction, AgingPlan, EpochDelta, EpochSummary, LifetimeConfig,
+    LifetimeEngine,
+};
+
 pub use hostq::{
     split_arrival_budget, split_even_budget, ClassSummary, DwrrScheduler, HostQueueConfig,
     HostQueueFront, QosReport, TenantSummary,

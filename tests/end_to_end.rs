@@ -219,3 +219,28 @@ fn larger_scale_run_is_stable() {
         "reduced scale at 0.95 prefill must trigger GC"
     );
 }
+
+#[test]
+fn write_heavy_trace_survives_a_lifetime_epoch() {
+    // The write-heavy MSR usr trace replayed inside a fast-forward
+    // aging campaign: the full stack (trace folding -> simulator -> FTL
+    // -> per-block NAND aging) holds together when the device ages
+    // between replays.
+    use cubeftl::harness::run_lifetime_trace_eval;
+    use cubeftl::{LifetimeConfig, Trace};
+
+    let cfg = smoke();
+    let text =
+        std::fs::read_to_string("tests/data/traces/msr_usr_wr.csv").expect("usr trace present");
+    let trace = Trace::from_msr_csv(&text, 16 * 1024, 1 << 40).expect("usr trace parses");
+    let mut life = LifetimeConfig::campaign();
+    life.epochs = 2;
+    let r = run_lifetime_trace_eval(FtlKind::Cube, AgingState::Fresh, &cfg, &life, &trace);
+    assert_eq!(r.epochs.len(), 2);
+    assert_eq!(r.summaries.len(), 1, "one aging step between the replays");
+    assert!(r.summaries[0].blocks_aged > 0);
+    for rep in &r.epochs {
+        assert_eq!(rep.completed, trace.len() as u64);
+        assert!(rep.writes > rep.reads, "the usr volume is write-heavy");
+    }
+}

@@ -1,0 +1,286 @@
+//! Lifetime fast-forward aging campaigns, end to end through the
+//! harness: byte-identical double runs, worker-thread invariance on
+//! sharded arrays, defaults-off golden identity against the plain
+//! runners, and property tests on the aging semantics.
+//!
+//! The thread-invariance test honours `CUBEFTL_LIFETIME_THREADS` (CI
+//! runs the suite at 2 and 8) as the second worker-thread count.
+
+use cubeftl::harness::{
+    run_array_eval, run_eval, run_lifetime_array_eval, run_lifetime_eval, run_lifetime_trace_eval,
+    run_trace_eval, ArrayEvalConfig, EvalConfig,
+};
+use cubeftl::{AgingState, FtlKind, LifetimeConfig, StandardWorkload, Trace};
+use nand3d::Environment;
+use proptest::prelude::*;
+
+const PAGE_BYTES: u64 = 16 * 1024;
+
+fn cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 1_200;
+    cfg
+}
+
+/// A short three-epoch campaign sized for test runtimes.
+fn campaign() -> LifetimeConfig {
+    let mut life = LifetimeConfig::campaign();
+    life.epochs = 3;
+    life
+}
+
+/// Second worker-thread count of the invariance test: CI sets
+/// `CUBEFTL_LIFETIME_THREADS` to 2 and 8; default 4 (= one per shard).
+fn threads_under_test() -> usize {
+    std::env::var("CUBEFTL_LIFETIME_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+fn usr_trace() -> Trace {
+    let text = std::fs::read_to_string("tests/data/traces/msr_usr_wr.csv")
+        .expect("write-heavy usr trace present");
+    Trace::from_msr_csv(&text, PAGE_BYTES, 1 << 40).expect("usr trace parses")
+}
+
+#[test]
+fn campaign_double_run_is_byte_identical() {
+    let cfg = cfg();
+    let life = campaign();
+    let run = || {
+        run_lifetime_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+            &life,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        format!("{:?}", a.epochs),
+        format!("{:?}", b.epochs),
+        "per-epoch reports diverged between identical campaigns"
+    );
+    assert_eq!(format!("{:?}", a.summaries), format!("{:?}", b.summaries));
+    assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+}
+
+#[test]
+fn array_campaign_is_identical_at_any_thread_count() {
+    let cfg = cfg();
+    let life = campaign();
+    let at = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(4);
+        arr.threads = threads;
+        let r = run_lifetime_array_eval(
+            FtlKind::Cube,
+            StandardWorkload::Oltp,
+            AgingState::Fresh,
+            &cfg,
+            &arr,
+            &life,
+        );
+        let per_epoch: Vec<String> = r
+            .epochs
+            .iter()
+            .map(|e| format!("{:?} {:?}", e.merged, e.shards))
+            .collect();
+        format!("{per_epoch:?} {:?} {:?}", r.summaries, r.events)
+    };
+    let one = at(1);
+    assert_eq!(one, at(threads_under_test()), "1 vs env worker threads");
+    assert_eq!(one, at(2), "1 vs 2 worker threads");
+}
+
+#[test]
+fn off_campaign_reproduces_run_eval_byte_for_byte() {
+    let cfg = cfg();
+    let life = LifetimeConfig::off();
+    let plain = run_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::MidLife,
+        &cfg,
+    );
+    let r = run_lifetime_eval(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::MidLife,
+        &cfg,
+        &life,
+    );
+    assert_eq!(r.epochs.len(), 1, "off config runs a single epoch");
+    assert!(r.summaries.is_empty(), "no aging steps applied");
+    assert!(r.events.is_empty(), "no barrier events emitted");
+    assert_eq!(
+        format!("{:?}", r.epochs[0]),
+        format!("{plain:?}"),
+        "disengaged campaign must reproduce run_eval exactly"
+    );
+}
+
+#[test]
+fn off_campaign_reproduces_run_trace_eval_byte_for_byte() {
+    let cfg = cfg();
+    let trace = usr_trace();
+    let plain = run_trace_eval(FtlKind::Cube, AgingState::Fresh, &cfg, &trace);
+    let r = run_lifetime_trace_eval(
+        FtlKind::Cube,
+        AgingState::Fresh,
+        &cfg,
+        &LifetimeConfig::off(),
+        &trace,
+    );
+    assert_eq!(r.epochs.len(), 1);
+    assert_eq!(format!("{:?}", r.epochs[0]), format!("{plain:?}"));
+}
+
+#[test]
+fn off_campaign_reproduces_run_array_eval_byte_for_byte() {
+    let cfg = cfg();
+    let arr = ArrayEvalConfig::new(4);
+    let plain = run_array_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+    );
+    let r = run_lifetime_array_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+        &LifetimeConfig::off(),
+    );
+    assert_eq!(r.epochs.len(), 1);
+    assert_eq!(
+        format!("{:?} {:?}", r.epochs[0].merged, r.epochs[0].shards),
+        format!("{:?} {:?}", plain.merged, plain.shards),
+        "disengaged array campaign must reproduce run_array_eval exactly"
+    );
+}
+
+#[test]
+fn campaign_ages_the_device_and_emits_barrier_events() {
+    let cfg = cfg();
+    let life = campaign();
+    let r = run_lifetime_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+        &life,
+    );
+    assert_eq!(r.epochs.len(), life.epochs as usize);
+    assert_eq!(r.summaries.len(), life.steps() as usize);
+    assert_eq!(r.events.len(), life.steps() as usize);
+    for s in &r.summaries {
+        assert!(s.blocks_aged > 0, "every step must touch blocks");
+        assert!(s.pe_added > 0);
+        assert!(s.retention_added_months > 0.0);
+    }
+    // Barrier timestamps sit on the concatenated campaign timeline.
+    let mut last = 0.0;
+    for e in &r.events {
+        assert!(e.t_us >= last, "barrier events must not run backwards");
+        last = e.t_us;
+    }
+    // An aged device retries at least as much as the fresh epoch.
+    assert!(r.retry_rate(r.epochs.len() - 1) >= r.retry_rate(0));
+}
+
+#[test]
+fn write_heavy_trace_replays_inside_every_campaign_epoch() {
+    let cfg = cfg();
+    let trace = usr_trace();
+    let writes = trace
+        .requests()
+        .iter()
+        .filter(|r| matches!(r.op, ssdsim::HostOp::Write))
+        .count();
+    assert!(
+        writes * 5 >= trace.len() * 4,
+        "usr trace must stay write-heavy ({writes}/{})",
+        trace.len()
+    );
+    let life = campaign();
+    let run = || run_lifetime_trace_eval(FtlKind::Cube, AgingState::Fresh, &cfg, &life, &trace);
+    let r = run();
+    assert_eq!(r.epochs.len(), life.epochs as usize);
+    for rep in &r.epochs {
+        assert_eq!(
+            rep.completed,
+            trace.len() as u64,
+            "every epoch replays the whole trace"
+        );
+    }
+    assert_eq!(
+        format!("{:?}", r.epochs),
+        format!("{:?}", run().epochs),
+        "trace campaign must be deterministic"
+    );
+}
+
+proptest! {
+    /// Fast-forward aging is monotone: a block's effective P/E count
+    /// and retention age never decrease across an arbitrary sequence of
+    /// epoch advances.
+    #[test]
+    fn aging_is_monotone(
+        blocks in 1usize..16,
+        steps in prop::collection::vec((0u32..2_000, 0.0f64..24.0), 1..12),
+    ) {
+        let mut env = Environment::new(blocks, 7);
+        env.enable_lifetime_aging();
+        let block = blocks - 1;
+        let (mut last_pe, mut last_ret) = (env.pe(block), env.retention_months_of(block));
+        for (pe_add, months_add) in steps {
+            env.advance_block_age(block, pe_add, months_add);
+            let (pe, ret) = (env.pe(block), env.retention_months_of(block));
+            prop_assert!(pe >= last_pe, "P/E went backwards: {last_pe} -> {pe}");
+            prop_assert!(ret >= last_ret, "retention went backwards: {last_ret} -> {ret}");
+            last_pe = pe;
+            last_ret = ret;
+        }
+    }
+
+    /// Scrubbing (an erase, or an explicit refresh mark) resets a
+    /// block's fast-forwarded retention age to zero but never its
+    /// accumulated P/E wear — reliability is bought back, wear is not.
+    #[test]
+    fn scrub_resets_retention_not_pe(
+        blocks in 1usize..16,
+        pe_add in 1u32..5_000,
+        months_add in 0.1f64..36.0,
+        via_erase in prop::bool::ANY,
+    ) {
+        let mut env = Environment::new(blocks, 11);
+        env.enable_lifetime_aging();
+        let block = 0;
+        env.advance_block_age(block, pe_add, months_add);
+        prop_assert!(env.retention_months_of(block) > 0.0);
+        let wear_before = env.lifetime_pe_add(block);
+        let erases_before = env.erase_count(block);
+        if via_erase {
+            env.record_erase(block);
+            prop_assert_eq!(env.erase_count(block), erases_before + 1);
+        } else {
+            env.mark_refreshed(block);
+            prop_assert_eq!(env.erase_count(block), erases_before);
+        }
+        prop_assert_eq!(
+            env.retention_months_of(block), 0.0,
+            "refresh must zero the fast-forwarded retention age"
+        );
+        prop_assert_eq!(
+            env.lifetime_pe_add(block), wear_before,
+            "refresh must not undo fast-forwarded P/E wear"
+        );
+    }
+}
