@@ -1,0 +1,127 @@
+//! Integer-only Zipf rank sampling.
+//!
+//! The crate's determinism rule forbids floating point anywhere in the
+//! engine, so the usual Gray-et-al. zipfian sampler (powf over a real
+//! exponent) is out. This sampler draws from the harmonic Zipf law
+//! `P(rank = k) ∝ 1/k` (exponent 1, the classic skew YCSB approximates
+//! with 0.99) using only integer arithmetic:
+//!
+//! 1. Ranks are grouped into octaves `[2^j, 2^(j+1))`. The exact mass
+//!    of each octave, `Σ FP/k` at fixed point `FP = 2^32`, is
+//!    precomputed once — at most 64 table entries for any `n`.
+//! 2. A draw picks an octave by its mass, then a rank inside the
+//!    octave by rejection: propose `k` uniformly, accept with
+//!    probability `(FP/k) / (FP/lo)`. Acceptance is at least ~1/2, so
+//!    the loop terminates quickly, and the accepted distribution is
+//!    *exactly* proportional to the same truncated `FP/k` weights the
+//!    octave table was built from.
+//!
+//! The whole construction is a pure function of the seeded
+//! [`SplitMix`](crate::SplitMix) stream handed in by the caller.
+
+use crate::rng::SplitMix;
+
+/// Fixed-point scale of the per-rank weights.
+const FP: u64 = 1 << 32;
+
+/// Integer-only sampler over ranks `1..=n` with `P(k) ∝ ⌊FP/k⌋`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntZipf {
+    n: u64,
+    /// Per-octave `(lo, hi, cumulative_mass)`; `hi` is exclusive.
+    octaves: Vec<(u64, u64, u64)>,
+    total: u64,
+}
+
+impl IntZipf {
+    /// A sampler over ranks `1..=n` (`n ≥ 1`).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "zipf needs at least one rank");
+        let mut octaves = Vec::new();
+        let mut cum = 0u64;
+        let mut lo = 1u64;
+        while lo <= n {
+            let hi = (lo << 1).min(n + 1);
+            let mass: u64 = (lo..hi).map(|k| FP / k).sum();
+            cum += mass;
+            octaves.push((lo, hi, cum));
+            lo = hi;
+        }
+        IntZipf {
+            n,
+            octaves,
+            total: cum,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `1..=n` from `rng`.
+    pub fn sample(&self, rng: &mut SplitMix) -> u64 {
+        let r = rng.below(self.total);
+        // Octave by cumulative mass (≤ 64 entries; linear scan).
+        let mut idx = 0;
+        while self.octaves[idx].2 <= r {
+            idx += 1;
+        }
+        let (lo, hi, _) = self.octaves[idx];
+        let bound = FP / lo;
+        loop {
+            let k = lo + rng.below(hi - lo);
+            if rng.below(bound) < FP / k {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        for n in [1u64, 2, 3, 7, 100, 4096] {
+            let z = IntZipf::new(n);
+            let mut rng = SplitMix::new(42);
+            for _ in 0..2_000 {
+                let k = z.sample(&mut rng);
+                assert!((1..=n).contains(&k), "rank {k} out of 1..={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = IntZipf::new(1000);
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = SplitMix::new(seed);
+            (0..500).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = IntZipf::new(10_000);
+        let mut rng = SplitMix::new(7);
+        let mut head = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) <= 100 {
+                head += 1;
+            }
+        }
+        // H(100)/H(10000) ≈ 0.53 for the harmonic law: the hottest 1 %
+        // of ranks should take roughly half the draws.
+        assert!(
+            head * 10 > draws * 4,
+            "head share too small: {head}/{draws}"
+        );
+        assert!(head * 10 < draws * 7, "head share too big: {head}/{draws}");
+    }
+}

@@ -34,13 +34,16 @@ impl EventMask {
     pub const REBUILD: EventMask = EventMask(1 << 11);
     /// Lifetime-campaign epoch barriers (fast-forward aging steps).
     pub const AGING: EventMask = EventMask(1 << 12);
+    /// kvsim application-level maintenance (memtable flushes, LSM
+    /// compactions).
+    pub const KV: EventMask = EventMask(1 << 13);
     /// Every category.
-    pub const ALL: EventMask = EventMask(0x1fff);
+    pub const ALL: EventMask = EventMask(0x3fff);
     /// No category (the disabled collector).
     pub const NONE: EventMask = EventMask(0);
 
     /// Name table used by [`EventMask::parse`] and `--trace-events`.
-    pub const NAMES: [(&'static str, EventMask); 13] = [
+    pub const NAMES: [(&'static str, EventMask); 14] = [
         ("host", Self::HOST_IO),
         ("ispp", Self::ISPP),
         ("retry", Self::READ_RETRY),
@@ -54,6 +57,7 @@ impl EventMask {
         ("degraded", Self::DEGRADED),
         ("rebuild", Self::REBUILD),
         ("aging", Self::AGING),
+        ("kv", Self::KV),
     ];
 
     /// Whether every bit of `other` is enabled here.
@@ -260,6 +264,21 @@ pub enum EventKind {
         /// Blocks whose age advanced.
         blocks: u64,
     },
+    /// A kvsim maintenance action: a memtable flush or an LSM
+    /// compaction moved SST data on the device.
+    KvMaint {
+        /// Measured application op ordinal the action landed on
+        /// (0 during the bulk-load phase).
+        op_index: u64,
+        /// `"flush"` or `"compact"`.
+        action: &'static str,
+        /// Output level the run(s) were written into.
+        level: u32,
+        /// Pages read from input runs.
+        pages_in: u64,
+        /// Pages written to output runs.
+        pages_out: u64,
+    },
 }
 
 impl EventKind {
@@ -279,6 +298,7 @@ impl EventKind {
             EventKind::ShardFail { .. } | EventKind::DegradedRead { .. } => EventMask::DEGRADED,
             EventKind::RebuildUnit { .. } => EventMask::REBUILD,
             EventKind::EpochAdvance { .. } => EventMask::AGING,
+            EventKind::KvMaint { .. } => EventMask::KV,
         }
     }
 }
@@ -466,6 +486,19 @@ impl TraceEvent {
                     "\"epoch_advance\",\"epoch\":{epoch},\"pe_add\":{pe_add},\
                      \"retention_add_months\":{},\"blocks\":{blocks}",
                     fmt_num(*retention_add_months)
+                );
+            }
+            EventKind::KvMaint {
+                op_index,
+                action,
+                level,
+                pages_in,
+                pages_out,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"kv_maint\",\"op_index\":{op_index},\"action\":\"{action}\",\
+                     \"level\":{level},\"pages_in\":{pages_in},\"pages_out\":{pages_out}"
                 );
             }
         }

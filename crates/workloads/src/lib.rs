@@ -28,6 +28,7 @@
 //! assert_eq!(w.label(), "Rocks");
 //! ```
 
+pub mod appkv;
 pub mod filebench;
 pub mod kv;
 pub mod shard;
@@ -35,6 +36,7 @@ pub mod tenants;
 pub mod trace;
 pub mod zipf;
 
+pub use appkv::YcsbWorkload;
 pub use filebench::{FilebenchKind, FilebenchWorkload};
 pub use kv::{MongoWorkload, RocksWorkload};
 pub use shard::shard_seed;

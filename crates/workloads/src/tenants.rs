@@ -10,7 +10,8 @@
 //! its workload personality is either fixed or cycled over the six
 //! standard generators.
 
-use crate::{StandardWorkload, Workload};
+use crate::{StandardWorkload, Workload, YcsbWorkload};
+use kvsim::YcsbKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssdsim::HostRequest;
@@ -80,6 +81,10 @@ pub enum TenantMix {
     /// request counts directly comparable to scheduler service shares
     /// (the weight-proportionality benchmark uses this).
     Uniform,
+    /// A kvsim application tenant: a full LSM engine under the given
+    /// YCSB workload, so the tenant's traffic carries real flush and
+    /// compaction bursts instead of a synthetic approximation.
+    Kv(YcsbKind),
 }
 
 impl TenantMix {
@@ -88,6 +93,7 @@ impl TenantMix {
         match self {
             TenantMix::Standard(w) => w.label(),
             TenantMix::Uniform => "Uniform",
+            TenantMix::Kv(kind) => kind.label(),
         }
     }
 }
@@ -114,6 +120,7 @@ impl TenantProfile {
         match self.mix {
             TenantMix::Standard(w) => w.build(logical_pages, self.seed),
             TenantMix::Uniform => Box::new(UniformTenantWorkload::new(logical_pages, self.seed)),
+            TenantMix::Kv(kind) => Box::new(YcsbWorkload::new(kind, logical_pages, self.seed)),
         }
     }
 }

@@ -16,6 +16,10 @@
 //!             [--qos-slo-write-us T] [--qos-trace PATH]
 //!             [--lifetime-epochs N] [--lifetime-pe N] [--lifetime-months F] [--lifetime-exp Q]
 //!             [--lifetime-variation F] [--lifetime-pattern-wear on|off] [--lifetime-seed N]
+//!             [--lifetime-workloads W1,W2,...]
+//!             [--kv a|b|c|d|f] [--kv-keys N] [--kv-value-bytes N] [--kv-memtable-entries N]
+//!             [--kv-l0-files N] [--kv-fanout N] [--kv-levels N]
+//!             [--capture-trace-out PATH]
 //!             [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]
 //!             [--series-out PATH] [--sample-interval-us T]
 //! ```
@@ -115,6 +119,40 @@
 //! with SPO cuts, the QoS front-end, array resilience, or the
 //! telemetry output files.
 //!
+//! `--kv KIND` replaces the synthetic workload with the kvsim
+//! application layer (`crates/kvsim`): a real miniature LSM-tree KV
+//! engine (memtable → SST flush → leveled compaction, group-commit WAL)
+//! driven by a YCSB-style generator — KIND is one of `a` (50/50
+//! read/update, zipfian), `b` (95/5), `c` (read-only), `d`
+//! (read-latest with inserts), `f` (read-modify-write). The device
+//! sees the engine's actual flush/compaction/probe traffic, and the
+//! output adds app-level results: KV ops/s, read/update p99 page
+//! costs, app-level write amplification (SST+WAL pages per user page)
+//! and outstanding compaction debt. The `--kv-*` knobs shape the
+//! engine (key count, value size, memtable/SST entries, L0 trigger,
+//! level fanout and count); the key count is clamped to fit the
+//! device. Combines with `--shards` (one independent engine per
+//! shard, byte-identical at any `--array-threads` count) and the
+//! telemetry files (`kv.*` metrics, `kv` trace events); it cannot be
+//! combined with `--trace-file`, the QoS front-end, SPO cuts, or
+//! array resilience. Without `--kv` every run is byte-identical to
+//! the pre-KV binary.
+//!
+//! `--capture-trace-out PATH` records the device-level request stream
+//! of a single-device run (synthetic, `--kv`, or `--trace-file`
+//! replay) as an MSR-style CSV that `--trace-file` replays
+//! byte-identically. Capture observes without perturbing: the run's
+//! report is unchanged. Requires a single `--ftl` kind.
+//!
+//! `--lifetime-workloads W1,W2,...` overrides the lifetime campaign's
+//! workload per epoch: epoch `e` runs phase `e mod N` of the list.
+//! Each phase is a standard workload name (`mail`, `web`, `proxy`,
+//! `oltp`, `rocks`, `mongo`) or a YCSB KV kind (`a`..`f`, driving the
+//! kvsim engine shaped by the `--kv-*` knobs) — e.g.
+//! `--lifetime-workloads a,a,c` ages the device under update-heavy
+//! churn and then reads it back. The flag engages the campaign like
+//! any other `--lifetime-*` knob.
+//!
 //! The telemetry flags export deterministic, virtual-timestamped run
 //! data (see `crates/telemetry`): `--trace-out PATH` writes the
 //! structured event trace as NDJSON, filtered by `--trace-events SPEC`
@@ -147,16 +185,17 @@
 //! ```
 
 use cubeftl::harness::{
-    run_array_eval, run_array_eval_traced, run_array_failure_eval, run_array_qos_eval,
-    run_array_spo_eval, run_array_trace_eval, run_eval_traced, run_lifetime_array_eval,
-    run_lifetime_eval, run_lifetime_trace_eval, run_qos_eval, run_spo_eval, run_trace_eval,
-    ArrayEvalConfig, ArrayFailureConfig, ArraySpoConfig, EvalConfig, FailSpec, QosSpec, SpoConfig,
-    TelemetrySpec,
+    register_kv_metrics, run_array_eval, run_array_eval_traced, run_array_failure_eval,
+    run_array_kv_eval, run_array_qos_eval, run_array_spo_eval, run_array_trace_eval,
+    run_eval_traced, run_kv_eval, run_lifetime_array_eval_mixed, run_lifetime_eval_mixed,
+    run_lifetime_trace_eval, run_qos_eval, run_spo_eval, run_trace_eval, run_trace_eval_capture,
+    ArrayEvalConfig, ArrayFailureConfig, ArraySpoConfig, EpochWorkload, EvalConfig, FailSpec,
+    KvSpec, QosSpec, SpoConfig, TelemetrySpec,
 };
 use cubeftl::{
     events_to_ndjson, AgingState, ArrayReport, EventMask, FaultKind, FaultPlan, FtlKind,
-    LifetimeConfig, MaintConfig, MetricRegistry, OrtClusterConfig, QosReport, RetryOptConfig,
-    SimReport, SpoTrigger, StandardWorkload, Trace,
+    KvAppReport, LifetimeConfig, MaintConfig, MetricRegistry, OrtClusterConfig, QosReport,
+    RetryOptConfig, SimReport, SpoTrigger, StandardWorkload, Trace, YcsbKind,
 };
 use std::process::ExitCode;
 
@@ -226,10 +265,15 @@ fn usage() -> ExitCode {
          \x20                  [--lifetime-epochs N] [--lifetime-pe N] [--lifetime-months F]\n\
          \x20                  [--lifetime-exp Q] [--lifetime-variation F]\n\
          \x20                  [--lifetime-pattern-wear on|off] [--lifetime-seed N]\n\
+         \x20                  [--lifetime-workloads W1,W2,...]\n\
+         \x20                  [--kv a|b|c|d|f] [--kv-keys N] [--kv-value-bytes N]\n\
+         \x20                  [--kv-memtable-entries N] [--kv-l0-files N] [--kv-fanout N]\n\
+         \x20                  [--kv-levels N] [--capture-trace-out PATH]\n\
          \x20                  [--trace-out PATH] [--trace-events SPEC] [--metrics-out PATH]\n\
          \x20                  [--series-out PATH] [--sample-interval-us T]\n\
          \x20 CLASS: ispp-outlier|ber-spike|stuck-retry|uncorrectable|abort\n\
-         \x20 SPEC:  all|none|comma list of host,ispp,retry,gc,maint,ckpt,spo,opm,hostq,slo"
+         \x20 SPEC:  all|none|comma list of host,ispp,retry,gc,maint,ckpt,spo,opm,hostq,slo,kv\n\
+         \x20 W:     mail|web|proxy|oltp|rocks|mongo or a YCSB KV kind a|b|c|d|f"
     );
     ExitCode::FAILURE
 }
@@ -263,6 +307,12 @@ fn main() -> ExitCode {
     // Any --lifetime-* knob engages the fast-forward aging campaign,
     // starting from the standard fresh→end-of-life shape.
     let mut life: Option<LifetimeConfig> = None;
+    let mut lifetime_phases: Option<Vec<EpochWorkload>> = None;
+    // The KV application layer: --kv picks the workload, the --kv-*
+    // knobs shape the engine (inert without a KV workload anywhere).
+    let mut kv = KvSpec::off();
+    let mut kv_knob_seen = false;
+    let mut capture_out: Option<String> = None;
     // QoS knobs are inert with one queue and one tenant; reject that
     // combination instead of silently ignoring the flags.
     let mut qos_knob_seen = false;
@@ -565,6 +615,72 @@ fn main() -> ExitCode {
                 Ok(n) => life.get_or_insert_with(LifetimeConfig::campaign).seed = n,
                 Err(_) => return usage(),
             },
+            ("--lifetime-workloads", Some(v)) => {
+                let phases: Option<Vec<EpochWorkload>> = v
+                    .split(',')
+                    .map(|p| EpochWorkload::parse(p.trim()))
+                    .collect();
+                match phases {
+                    Some(p) if !p.is_empty() => {
+                        life.get_or_insert_with(LifetimeConfig::campaign);
+                        lifetime_phases = Some(p);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--lifetime-workloads: each phase is mail|web|proxy|oltp|rocks|mongo \
+                             or a YCSB KV kind (a|b|c|d|f)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ("--kv", Some(v)) => match YcsbKind::parse(v) {
+                Some(k) => kv.workload = Some(k),
+                None => return usage(),
+            },
+            ("--kv-keys", Some(v)) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => {
+                    kv.keys = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--kv-value-bytes", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => {
+                    kv.value_bytes = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--kv-memtable-entries", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 1 => {
+                    kv.memtable_entries = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--kv-l0-files", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 2 => {
+                    kv.l0_files = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--kv-fanout", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 2 => {
+                    kv.fanout = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--kv-levels", Some(v)) => match v.parse::<u32>() {
+                Ok(n) if n >= 2 => {
+                    kv.max_levels = n;
+                    kv_knob_seen = true;
+                }
+                _ => return usage(),
+            },
+            ("--capture-trace-out", Some(v)) => capture_out = Some(v.clone()),
             ("--trace-out", Some(v)) => trace_out = Some(v.clone()),
             ("--trace-events", Some(v)) => trace_events = Some(v.clone()),
             ("--metrics-out", Some(v)) => metrics_out = Some(v.clone()),
@@ -764,6 +880,59 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let phases_have_kv = lifetime_phases
+        .as_deref()
+        .is_some_and(|p| p.iter().any(|w| matches!(w, EpochWorkload::Kv(_))));
+    if kv_knob_seen && kv.workload.is_none() && !phases_have_kv {
+        eprintln!(
+            "KV engine knobs (--kv-*) shape the kvsim engine: pass --kv KIND \
+             or a KV phase in --lifetime-workloads"
+        );
+        return ExitCode::FAILURE;
+    }
+    if kv.workload.is_some() {
+        if trace.is_some() {
+            eprintln!("--kv generates its own device traffic: drop --trace-file");
+            return ExitCode::FAILURE;
+        }
+        if qos.engaged() {
+            eprintln!("--kv cannot be combined with the QoS front-end");
+            return ExitCode::FAILURE;
+        }
+        if spo_trigger.is_some() {
+            eprintln!("--kv cannot be combined with a sudden power-off");
+            return ExitCode::FAILURE;
+        }
+        if resilience_engaged {
+            eprintln!("--kv cannot be combined with array resilience");
+            return ExitCode::FAILURE;
+        }
+        if life.is_some() {
+            eprintln!(
+                "in lifetime mode the per-epoch workload comes from \
+                 --lifetime-workloads (e.g. --lifetime-workloads a,a,c); drop --kv"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if capture_out.is_some() {
+        if shards > 1 {
+            eprintln!("--capture-trace-out records one device's stream: drop --shards");
+            return ExitCode::FAILURE;
+        }
+        if qos.engaged() || spo_trigger.is_some() || resilience_engaged || life.is_some() {
+            eprintln!(
+                "--capture-trace-out is only available in the standard \
+                 single-device run modes (synthetic, --kv, or --trace-file replay)"
+            );
+            return ExitCode::FAILURE;
+        }
+        if kinds.len() > 1 {
+            eprintln!("--capture-trace-out covers one run: use a single --ftl kind");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if let Some(life) = life {
         if spo_trigger.is_some() {
             eprintln!("a lifetime campaign cannot be combined with a sudden power-off");
@@ -788,12 +957,18 @@ fn main() -> ExitCode {
             eprintln!("--trace-file lifetime replay is single-device: drop --shards");
             return ExitCode::FAILURE;
         }
+        if trace.is_some() && lifetime_phases.is_some() {
+            eprintln!("--trace-file replays one recorded stream: drop --lifetime-workloads");
+            return ExitCode::FAILURE;
+        }
+        let phases = lifetime_phases.unwrap_or_else(|| vec![EpochWorkload::Std(workload)]);
         return run_lifetime(
             kinds,
-            workload,
+            &phases,
             aging,
             &cfg,
             &life,
+            &kv,
             shards,
             stripe_pages,
             array_threads,
@@ -886,6 +1061,35 @@ fn main() -> ExitCode {
             }
             return ExitCode::SUCCESS;
         }
+        if kv.workload.is_some() {
+            print_kv_banner(&kv);
+            print_table_header();
+            for kind in kinds {
+                let (mut r, tel_out) =
+                    run_array_kv_eval(kind, workload, aging, &cfg, &arr, &kv, &tel);
+                print_array_row(&mut r.merged, cfg.maint.is_some(), cfg.faults.is_some());
+                print_kv_array_summary(&r.apps, r.merged.sim_time_us);
+                let write =
+                    write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+                        let mut reg = MetricRegistry::new();
+                        r.merged.register_metrics(&mut reg, "array");
+                        for (s, app) in r.apps.iter().enumerate() {
+                            register_kv_metrics(
+                                &mut reg,
+                                &format!("kv.shard{s}."),
+                                app,
+                                r.merged.sim_time_us,
+                            );
+                        }
+                        reg
+                    });
+                if let Err(e) = write {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
         print_table_header();
         for kind in kinds {
             let (mut r, tel_out) = match &trace {
@@ -936,8 +1140,17 @@ fn main() -> ExitCode {
     if let Some(trace) = &trace {
         print_table_header();
         for kind in kinds {
-            let mut r = run_trace_eval(kind, aging, &cfg, trace);
-            print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+            if let Some(path) = &capture_out {
+                let (mut r, captured) = run_trace_eval_capture(kind, aging, &cfg, trace);
+                print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+                if let Err(e) = write_capture(path, &captured) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                let mut r = run_trace_eval(kind, aging, &cfg, trace);
+                print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -945,8 +1158,45 @@ fn main() -> ExitCode {
     if let Some(trigger) = spo_trigger {
         return run_spo(kinds, workload, aging, &cfg, trigger, ckpt_interval);
     }
+    if kv.workload.is_some() {
+        print_kv_banner(&kv);
+    }
     print_table_header();
     for kind in kinds {
+        if kv.workload.is_some() || capture_out.is_some() {
+            let (mut r, tel_out) = run_kv_eval(
+                kind,
+                workload,
+                aging,
+                &cfg,
+                &kv,
+                &tel,
+                capture_out.is_some(),
+            );
+            print_report_row(&mut r.sim, cfg.maint.is_some(), cfg.faults.is_some());
+            if let Some(app) = &r.app {
+                print_kv_summary(app, r.sim.sim_time_us);
+            }
+            if let (Some(path), Some(c)) = (&capture_out, &r.captured) {
+                if let Err(e) = write_capture(path, c) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
+                let mut reg = MetricRegistry::new();
+                r.sim.register_metrics(&mut reg, "ssd");
+                if let Some(app) = &r.app {
+                    register_kv_metrics(&mut reg, "kv.", app, r.sim.sim_time_us);
+                }
+                reg
+            });
+            if let Err(e) = write {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
         let (mut r, tel_out) = run_eval_traced(kind, workload, aging, &cfg, &tel);
         print_report_row(&mut r, cfg.maint.is_some(), cfg.faults.is_some());
         let write = write_telemetry(&trace_out, &series_out, &metrics_out, &tel_out, || {
@@ -960,6 +1210,87 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Writes a captured device-level stream as a replayable MSR-style CSV.
+fn write_capture(path: &str, trace: &Trace) -> Result<(), String> {
+    std::fs::write(path, trace.to_msr_csv(PAGE_BYTES))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("capture: {} requests -> {path}", trace.len());
+    Ok(())
+}
+
+/// The KV engagement banner: workload and engine shape.
+fn print_kv_banner(kv: &KvSpec) {
+    let Some(kind) = kv.workload else { return };
+    let c = kv.kv_config();
+    println!(
+        "kv: {} over {} keys ({}-byte values), memtable {} entries, \
+         L0 trigger {}, fanout {}, {} levels\n",
+        kind.label(),
+        c.keys,
+        c.value_bytes,
+        c.memtable_entries,
+        c.l0_files,
+        c.fanout,
+        c.max_levels,
+    );
+}
+
+/// The app-level KV outcome lines under a report row.
+fn print_kv_summary(app: &KvAppReport, sim_time_us: f64) {
+    let s = &app.stats;
+    let ops_per_sec = if sim_time_us > 0.0 {
+        s.ops as f64 / (sim_time_us / 1e6)
+    } else {
+        0.0
+    };
+    println!(
+        "{:<10} kv: {} ({} keys): {} ops ({} rd / {} upd / {} ins / {} rmw) at {:.0} ops/s",
+        "", // aligned under the FTL column
+        app.kind.label(),
+        app.keys,
+        s.ops,
+        s.reads,
+        s.updates,
+        s.inserts,
+        s.rmws,
+        ops_per_sec,
+    );
+    println!(
+        "{:<10} kv: app-WA {:.2}, rd p99 {} pages, upd p99 {} pages, \
+         {} flushes, {} compactions, debt {} pages",
+        "", // aligned under the FTL column
+        app.app_wa(),
+        app.read_p99_pages,
+        app.update_p99_pages,
+        s.flushes,
+        s.compactions,
+        app.compaction_debt_pages,
+    );
+}
+
+/// The per-shard KV outcome of an array run: one line per shard plus
+/// the aggregate.
+fn print_kv_array_summary(apps: &[KvAppReport], sim_time_us: f64) {
+    if apps.is_empty() {
+        return;
+    }
+    let ops: u64 = apps.iter().map(|a| a.stats.ops).sum();
+    let ops_per_sec = if sim_time_us > 0.0 {
+        ops as f64 / (sim_time_us / 1e6)
+    } else {
+        0.0
+    };
+    let was: Vec<String> = apps.iter().map(|a| format!("{:.2}", a.app_wa())).collect();
+    println!(
+        "{:<10} kv: {} total ops across {} engines at {:.0} ops/s, per-shard app-WA [{}]",
+        "", // aligned under the FTL column
+        ops,
+        apps.len(),
+        ops_per_sec,
+        was.join(", "),
+    );
 }
 
 /// Writes the requested telemetry files; `None` paths are skipped. The
@@ -1274,10 +1605,11 @@ fn print_lifetime_row(
 #[allow(clippy::too_many_arguments)]
 fn run_lifetime(
     kinds: Vec<FtlKind>,
-    workload: StandardWorkload,
+    phases: &[EpochWorkload],
     aging: AgingState,
     cfg: &EvalConfig,
     life: &LifetimeConfig,
+    kv: &KvSpec,
     shards: usize,
     stripe_pages: u64,
     array_threads: usize,
@@ -1285,7 +1617,7 @@ fn run_lifetime(
 ) -> ExitCode {
     println!(
         "lifetime campaign: {} epochs × {} requests, +{} P/E and +{} months per step \
-         (exp {}), variation {}, pattern wear {}, seed {}\n",
+         (exp {}), variation {}, pattern wear {}, seed {}",
         life.epochs.max(1),
         cfg.requests,
         life.pe_per_epoch,
@@ -1295,6 +1627,11 @@ fn run_lifetime(
         if life.pattern_wear { "on" } else { "off" },
         life.seed,
     );
+    if phases.len() > 1 {
+        let names: Vec<&str> = phases.iter().map(|p| p.label()).collect();
+        println!("phases (cycled per epoch): {}", names.join(", "));
+    }
+    println!();
     for kind in kinds {
         println!(
             "{:<10} {:>5} {:>8} {:>8} {:>10} {:>9} {:>11} {:>9} {:>6} {:>6}",
@@ -1318,7 +1655,7 @@ fn run_lifetime(
                 stripe_pages,
                 threads: array_threads,
             };
-            let r = run_lifetime_array_eval(kind, workload, aging, cfg, &arr, life);
+            let r = run_lifetime_array_eval_mixed(kind, phases, aging, cfg, &arr, life, kv);
             for (e, rep) in r.epochs.iter().enumerate() {
                 if e > 0 {
                     pe += u64::from(life.pe_per_epoch);
@@ -1342,7 +1679,7 @@ fn run_lifetime(
         } else {
             let r = match trace {
                 Some(t) => run_lifetime_trace_eval(kind, aging, cfg, life, t),
-                None => run_lifetime_eval(kind, workload, aging, cfg, life),
+                None => run_lifetime_eval_mixed(kind, phases, aging, cfg, life, kv),
             };
             for (e, rep) in r.epochs.iter().enumerate() {
                 if e > 0 {

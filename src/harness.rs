@@ -8,6 +8,7 @@
 
 use ftl::{Ftl, FtlConfig, FtlKind, MaintConfig, OrtClusterConfig, RecoveryReport};
 use hostq::{split_arrival_budget, split_even_budget, HostQueueConfig, HostQueueFront, QosReport};
+use kvsim::{KvAppReport, KvConfig, KvEvent, KvStream, YcsbKind};
 use lifetime::{EpochSummary, LifetimeConfig, LifetimeEngine};
 use nand3d::{AgingState, FaultPlan, RetryOptConfig};
 use ssdarray::{
@@ -19,9 +20,12 @@ use ssdsim::{
     SpoEvent, SpoTrigger, SsdConfig, SsdSim, StepOutcome,
 };
 use std::collections::BTreeSet;
-use telemetry::{merge_streams, Collector, EventKind, EventMask, Series, TraceEvent};
+use telemetry::{
+    merge_streams, Collector, EventKind, EventMask, MetricRegistry, Series, TraceEvent,
+};
 use workloads::{
     build_population, shard_seed, StandardWorkload, TenantMix, TenantProfile, Trace, Workload,
+    YcsbWorkload,
 };
 
 /// Scale and length of one evaluation run.
@@ -1833,6 +1837,32 @@ pub fn run_lifetime_eval(
     cfg: &EvalConfig,
     life: &LifetimeConfig,
 ) -> LifetimeEvalReport {
+    run_lifetime_eval_mixed(
+        kind,
+        &[EpochWorkload::Std(workload)],
+        aging,
+        cfg,
+        life,
+        &KvSpec::off(),
+    )
+}
+
+/// Like [`run_lifetime_eval`] but with a per-epoch workload override:
+/// epoch `e` runs `phases[e % phases.len()]`, so a campaign can model
+/// phase-varying load (e.g. YCSB-A churn epochs followed by YCSB-C
+/// read-back epochs). KV phases draw their engine shape from `kv`
+/// (pass [`KvSpec::off`] for defaults). With a single `Std` phase this
+/// is exactly [`run_lifetime_eval`] — the stream construction per
+/// epoch is identical.
+pub fn run_lifetime_eval_mixed(
+    kind: FtlKind,
+    phases: &[EpochWorkload],
+    aging: AgingState,
+    cfg: &EvalConfig,
+    life: &LifetimeConfig,
+    kv: &KvSpec,
+) -> LifetimeEvalReport {
+    assert!(!phases.is_empty(), "need at least one workload phase");
     life.validate();
     let mut ssd_cfg = cfg.ssd;
     if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
@@ -1867,7 +1897,7 @@ pub fn run_lifetime_eval(
             summaries.push(s);
         }
         ftl.reset_stats();
-        let stream = workload.build(space, epoch_seed(cfg.seed, e));
+        let stream = phases[e as usize % phases.len()].build(kv, space, epoch_seed(cfg.seed, e));
         let report = sim.run(&mut ftl, stream, cfg.requests);
         t_offset += report.sim_time_us;
         reports.push(report);
@@ -1964,6 +1994,33 @@ pub fn run_lifetime_array_eval(
     arr: &ArrayEvalConfig,
     life: &LifetimeConfig,
 ) -> LifetimeArrayEvalReport {
+    run_lifetime_array_eval_mixed(
+        kind,
+        &[EpochWorkload::Std(workload)],
+        aging,
+        cfg,
+        arr,
+        life,
+        &KvSpec::off(),
+    )
+}
+
+/// Like [`run_lifetime_array_eval`] but with a per-epoch workload
+/// override (see [`run_lifetime_eval_mixed`]): epoch `e` runs
+/// `phases[e % phases.len()]` on every shard, each shard stream seeded
+/// `shard_seed(epoch_seed(seed, e), s)` exactly as the single-phase
+/// runner does.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lifetime_array_eval_mixed(
+    kind: FtlKind,
+    phases: &[EpochWorkload],
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    life: &LifetimeConfig,
+    kv: &KvSpec,
+) -> LifetimeArrayEvalReport {
+    assert!(!phases.is_empty(), "need at least one workload phase");
     assert!(arr.shards >= 1, "need at least one shard");
     life.validate();
     let budgets = split_requests(cfg.requests, arr.shards);
@@ -2020,7 +2077,11 @@ pub fn run_lifetime_array_eval(
             .enumerate()
             .map(|(s, (sim, mut ftl))| {
                 ftl.reset_stats();
-                let stream = workload.build(spaces[s], shard_seed(epoch_seed(cfg.seed, e), s));
+                let stream = phases[e as usize % phases.len()].build(
+                    kv,
+                    spaces[s],
+                    shard_seed(epoch_seed(cfg.seed, e), s),
+                );
                 ArrayShard {
                     sim,
                     ftl,
@@ -2048,6 +2109,502 @@ pub fn run_lifetime_array_eval(
         epochs: reports,
         summaries,
         events,
+    }
+}
+
+// ---------------------------------------------------------------------
+// KV application evaluation (kvsim) and device-trace capture
+// ---------------------------------------------------------------------
+
+/// Switchboard for the KV application layer on top of an [`EvalConfig`]:
+/// which YCSB workload drives the [`kvsim`] LSM engine, and the engine's
+/// shape. [`KvSpec::off`] (no workload) leaves every runner byte-identical
+/// to its plain counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvSpec {
+    /// The YCSB workload driving the engine; `None` disengages the KV
+    /// layer entirely.
+    pub workload: Option<YcsbKind>,
+    /// Key-space size (clamped by the engine to fit the device).
+    pub keys: u64,
+    /// Value payload per entry, bytes.
+    pub value_bytes: u32,
+    /// Memtable flush threshold, entries (SST run size follows it).
+    pub memtable_entries: u32,
+    /// L0 run count that triggers an L0→L1 compaction.
+    pub l0_files: u32,
+    /// Size ratio between adjacent levels.
+    pub fanout: u32,
+    /// Total level count.
+    pub max_levels: u32,
+}
+
+impl KvSpec {
+    /// Disengaged: runners delegate to their plain counterparts.
+    pub fn off() -> Self {
+        let d = KvConfig::default_shape();
+        KvSpec {
+            workload: None,
+            keys: d.keys,
+            value_bytes: d.value_bytes,
+            memtable_entries: d.memtable_entries,
+            l0_files: d.l0_files,
+            fanout: d.fanout,
+            max_levels: d.max_levels,
+        }
+    }
+
+    /// The default engine shape under `kind`.
+    pub fn with_workload(kind: YcsbKind) -> Self {
+        KvSpec {
+            workload: Some(kind),
+            ..KvSpec::off()
+        }
+    }
+
+    /// Whether the KV layer is active.
+    pub fn engaged(&self) -> bool {
+        self.workload.is_some()
+    }
+
+    /// The engine configuration this spec describes.
+    pub fn kv_config(&self) -> KvConfig {
+        KvConfig {
+            keys: self.keys,
+            value_bytes: self.value_bytes,
+            memtable_entries: self.memtable_entries,
+            sst_entries: self.memtable_entries,
+            l0_files: self.l0_files,
+            fanout: self.fanout,
+            max_levels: self.max_levels,
+            wal_pages: KvConfig::default_shape().wal_pages,
+        }
+    }
+}
+
+impl Default for KvSpec {
+    fn default() -> Self {
+        KvSpec::off()
+    }
+}
+
+/// Outcome of one single-device KV evaluation.
+#[derive(Debug, Clone)]
+pub struct KvEvalReport {
+    /// The device-level report.
+    pub sim: SimReport,
+    /// App-level results (`None` when the KV layer was disengaged).
+    pub app: Option<KvAppReport>,
+    /// KV maintenance events (flushes, compactions) as shard-tagged
+    /// trace events, timestamped by measured-op ordinal. Always
+    /// collected when the KV layer is engaged, independent of the
+    /// telemetry mask (mirroring `ArrayFailureReport::events`).
+    pub events: Vec<TraceEvent>,
+    /// The captured device-level request stream, when capture was on.
+    pub captured: Option<Trace>,
+}
+
+/// Outcome of one sharded-array KV evaluation.
+#[derive(Debug, Clone)]
+pub struct ArrayKvEvalReport {
+    /// The array-merged device report.
+    pub merged: ArrayReport,
+    /// Per-shard device reports, in shard order.
+    pub shards: Vec<SimReport>,
+    /// Per-shard app-level results, in shard order (empty when the KV
+    /// layer was disengaged).
+    pub apps: Vec<KvAppReport>,
+    /// KV maintenance events across all shards, shard-major.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Converts the engine's maintenance log into shard-tagged trace events
+/// (timestamp = measured-op ordinal; the KV layer has no device clock).
+fn kv_trace_events(events: &[KvEvent], shard: u32) -> Vec<TraceEvent> {
+    let mut c = Collector::enabled(EventMask::KV, shard);
+    for e in events {
+        c.emit(
+            e.op_index as f64,
+            EventKind::KvMaint {
+                op_index: e.op_index,
+                action: e.action,
+                level: e.level,
+                pages_in: e.pages_in,
+                pages_out: e.pages_out,
+            },
+        );
+    }
+    c.take()
+}
+
+/// An iterator adaptor that (optionally) records every yielded request,
+/// so any run's device-level LPN stream can be exported as a replayable
+/// [`Trace`]. With recording off it is a zero-cost pass-through.
+#[derive(Debug)]
+pub struct TraceRecorder<W> {
+    inner: W,
+    recording: bool,
+    recorded: Vec<HostRequest>,
+}
+
+impl<W> TraceRecorder<W> {
+    /// Wraps `inner`; records only when `recording` is set.
+    pub fn new(inner: W, recording: bool) -> Self {
+        TraceRecorder {
+            inner,
+            recording,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The wrapped stream (for post-run report extraction).
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// The recorded stream as a labelled trace.
+    pub fn into_trace(self, label: impl Into<String>) -> Trace {
+        Trace::from_requests(label, self.recorded)
+    }
+}
+
+impl<W: Iterator<Item = HostRequest>> Iterator for TraceRecorder<W> {
+    type Item = HostRequest;
+
+    fn next(&mut self) -> Option<HostRequest> {
+        let req = self.inner.next();
+        if self.recording {
+            if let Some(r) = req {
+                self.recorded.push(r);
+            }
+        }
+        req
+    }
+}
+
+/// Like [`run_eval_traced`] but also captures the device-level request
+/// stream the workload produced, as a replayable [`Trace`] labelled with
+/// the workload name. The run itself is byte-identical to the untraced
+/// one — the recorder only observes.
+pub fn run_eval_capture(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    tel: &TelemetrySpec,
+) -> (SimReport, TelemetryOutput, Trace) {
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.reset_stats();
+    sim.enable_telemetry(tel.events, 0, tel.sample_interval_us);
+    ftl.enable_telemetry(tel.events, 0);
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    let mut stream = TraceRecorder::new(workload.build(prefill.max(1024), cfg.seed), true);
+    let report = sim.run(&mut ftl, &mut stream, cfg.requests);
+    let telemetry = TelemetryOutput {
+        events: merge_streams(sim.take_trace(), ftl.take_trace()),
+        series: sim.take_series(),
+    };
+    let trace = stream.into_trace(workload.label());
+    (report, telemetry, trace)
+}
+
+/// Like [`run_trace_eval`] but also re-captures the folded stream as it
+/// was actually issued to the device. Replaying a captured trace and
+/// capturing it again yields a byte-identical export — the round-trip
+/// identity the trace tooling is tested against.
+pub fn run_trace_eval_capture(
+    kind: FtlKind,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    trace: &Trace,
+) -> (SimReport, Trace) {
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.reset_stats();
+    let logical = ftl.logical_pages();
+    let folded = fold_requests(trace.requests(), logical);
+    let n = folded.len() as u64;
+    let mut stream = TraceRecorder::new(folded.into_iter(), true);
+    let report = sim.run(&mut ftl, &mut stream, n);
+    (report, stream.into_trace(trace.label()))
+}
+
+/// Runs one single-device evaluation with the KV application layer.
+/// Disengaged (`kv.workload == None`) and without capture this is
+/// byte-identical to [`run_eval_traced`]. Engaged, the device is driven
+/// by a [`KvStream`] — a real miniature LSM engine under the chosen YCSB
+/// workload — and the report carries the app-level results and the
+/// engine's maintenance events. `capture` additionally records the
+/// device-level request stream as a replayable trace.
+pub fn run_kv_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    kv: &KvSpec,
+    tel: &TelemetrySpec,
+    capture: bool,
+) -> (KvEvalReport, TelemetryOutput) {
+    let Some(kv_kind) = kv.workload else {
+        if capture {
+            let (sim, t, trace) = run_eval_capture(kind, workload, aging, cfg, tel);
+            return (
+                KvEvalReport {
+                    sim,
+                    app: None,
+                    events: Vec::new(),
+                    captured: Some(trace),
+                },
+                t,
+            );
+        }
+        let (sim, t) = run_eval_traced_custom(kind, workload, aging, cfg, cfg.ftl_config(), tel);
+        return (
+            KvEvalReport {
+                sim,
+                app: None,
+                events: Vec::new(),
+                captured: None,
+            },
+            t,
+        );
+    };
+    let mut ssd_cfg = cfg.ssd;
+    if cfg.maint.is_some_and(|m| m.enabled) && !ssd_cfg.maint.enabled {
+        ssd_cfg.maint = MaintSchedule::on();
+    }
+    let mut sim = SsdSim::new(ssd_cfg);
+    let mut ftl = setup_ftl(kind, aging, cfg, cfg.ftl_config(), &mut sim);
+    ftl.reset_stats();
+    sim.enable_telemetry(tel.events, 0, tel.sample_interval_us);
+    ftl.enable_telemetry(tel.events, 0);
+    let logical = ftl.logical_pages();
+    let prefill = (logical as f64 * cfg.prefill_fraction) as u64;
+    let mut stream = TraceRecorder::new(
+        KvStream::new(kv.kv_config(), kv_kind, prefill.max(1024), cfg.seed),
+        capture,
+    );
+    let report = sim.run(&mut ftl, &mut stream, cfg.requests);
+    let kv_events = kv_trace_events(stream.inner().events(), 0);
+    let mut telemetry = TelemetryOutput {
+        events: merge_streams(sim.take_trace(), ftl.take_trace()),
+        series: sim.take_series(),
+    };
+    if tel.events.contains(EventMask::KV) {
+        telemetry.events.extend(kv_events.iter().cloned());
+    }
+    let app = stream.inner().report();
+    let captured = capture.then(|| stream.into_trace(kv_kind.label()));
+    (
+        KvEvalReport {
+            sim: report,
+            app: Some(app),
+            events: kv_events,
+            captured,
+        },
+        telemetry,
+    )
+}
+
+/// Runs one sharded-array evaluation with the KV application layer: one
+/// independent LSM engine per shard, seeded by [`shard_seed`], executed
+/// by the thread-per-shard engine. Disengaged this is byte-identical to
+/// [`run_array_eval_traced`]. Deterministic at any worker-thread count:
+/// every stream is a pure function of its shard seed, and all fan-in
+/// (reports, app results, telemetry) drains in shard-index order after
+/// the engine's sequence point.
+pub fn run_array_kv_eval(
+    kind: FtlKind,
+    workload: StandardWorkload,
+    aging: AgingState,
+    cfg: &EvalConfig,
+    arr: &ArrayEvalConfig,
+    kv: &KvSpec,
+    tel: &TelemetrySpec,
+) -> (ArrayKvEvalReport, TelemetryOutput) {
+    let Some(kv_kind) = kv.workload else {
+        let (r, t) = run_array_eval_traced(kind, workload, aging, cfg, arr, tel);
+        return (
+            ArrayKvEvalReport {
+                merged: r.merged,
+                shards: r.shards,
+                apps: Vec::new(),
+                events: Vec::new(),
+            },
+            t,
+        );
+    };
+    assert!(arr.shards >= 1, "need at least one shard");
+    let budgets = split_requests(cfg.requests, arr.shards);
+    let shards: Vec<ArrayShard<Ftl, KvStream>> = (0..arr.shards)
+        .map(|s| {
+            let (mut sim, mut ftl, prefill) = setup_shard(kind, aging, cfg, s);
+            ftl.reset_stats();
+            sim.enable_telemetry(tel.events, s as u32, tel.sample_interval_us);
+            ftl.enable_telemetry(tel.events, s as u32);
+            let stream = KvStream::new(
+                kv.kv_config(),
+                kv_kind,
+                prefill.max(1024),
+                shard_seed(cfg.seed, s),
+            );
+            ArrayShard {
+                sim,
+                ftl,
+                workload: stream,
+                requests: budgets[s],
+                spo: None,
+                rebuild: None,
+            }
+        })
+        .collect();
+    let mut array = SsdArray::new(shards).with_threads(arr.engine_threads());
+    let out = array.run();
+    // Sequence point: drain everything in shard-index order.
+    let mut tel_events = Vec::new();
+    let mut series = Series::new(tel.sample_interval_us.unwrap_or(0.0));
+    let mut apps = Vec::with_capacity(arr.shards);
+    let mut events = Vec::new();
+    for (s, shard) in array.shards_mut().iter_mut().enumerate() {
+        tel_events.extend(merge_streams(
+            shard.sim.take_trace(),
+            shard.ftl.take_trace(),
+        ));
+        series.extend(&shard.sim.take_series());
+        apps.push(shard.workload.report());
+        events.extend(kv_trace_events(shard.workload.events(), s as u32));
+    }
+    if tel.events.contains(EventMask::KV) {
+        tel_events.extend(events.iter().cloned());
+    }
+    (
+        ArrayKvEvalReport {
+            merged: out.report,
+            shards: out.shard_reports,
+            apps,
+            events,
+        },
+        TelemetryOutput {
+            events: tel_events,
+            series,
+        },
+    )
+}
+
+/// Registers the app-level results of one KV stream under `prefix`
+/// (e.g. `"kv."` or `"kv.shard0."`): raw engine counters, derived
+/// gauges (app-WA, p99 page costs) and throughput against the device's
+/// virtual clock.
+pub fn register_kv_metrics(
+    reg: &mut MetricRegistry,
+    prefix: &str,
+    app: &KvAppReport,
+    sim_time_us: f64,
+) {
+    let s = &app.stats;
+    reg.counter(&format!("{prefix}ops"), s.ops);
+    reg.counter(&format!("{prefix}reads"), s.reads);
+    reg.counter(&format!("{prefix}updates"), s.updates);
+    reg.counter(&format!("{prefix}inserts"), s.inserts);
+    reg.counter(&format!("{prefix}rmws"), s.rmws);
+    reg.counter(&format!("{prefix}read_hits"), s.read_hits);
+    reg.counter(&format!("{prefix}user_bytes"), s.user_bytes);
+    reg.counter(&format!("{prefix}flushes"), s.flushes);
+    reg.counter(&format!("{prefix}compactions"), s.compactions);
+    reg.counter(&format!("{prefix}sst_pages_written"), s.sst_pages_written);
+    reg.counter(
+        &format!("{prefix}compaction_pages_written"),
+        s.compaction_pages_written,
+    );
+    reg.counter(
+        &format!("{prefix}compaction_pages_read"),
+        s.compaction_pages_read,
+    );
+    reg.counter(&format!("{prefix}wal_pages_written"), s.wal_pages_written);
+    reg.counter(&format!("{prefix}probe_pages_read"), s.probe_pages_read);
+    reg.counter(&format!("{prefix}keys"), app.keys);
+    reg.counter(&format!("{prefix}load_sst_pages"), app.load_sst_pages);
+    reg.counter(
+        &format!("{prefix}compaction_debt_pages"),
+        app.compaction_debt_pages,
+    );
+    reg.gauge(&format!("{prefix}app_wa"), app.app_wa());
+    reg.gauge(
+        &format!("{prefix}read_p99_pages"),
+        app.read_p99_pages as f64,
+    );
+    reg.gauge(
+        &format!("{prefix}update_p99_pages"),
+        app.update_p99_pages as f64,
+    );
+    let ops_per_sec = if sim_time_us > 0.0 {
+        s.ops as f64 / (sim_time_us / 1e6)
+    } else {
+        0.0
+    };
+    reg.gauge(&format!("{prefix}ops_per_sec"), ops_per_sec);
+}
+
+/// One phase of a mixed-workload lifetime campaign: either a §6.1
+/// block-level generator or a KV application workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochWorkload {
+    /// A standard block-level generator.
+    Std(StandardWorkload),
+    /// The kvsim LSM engine under a YCSB workload.
+    Kv(YcsbKind),
+}
+
+impl EpochWorkload {
+    /// Parses a phase name: the six standard workload labels
+    /// (case-insensitive) or any [`YcsbKind`] spelling (`a`, `ycsb_a`,
+    /// …).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "mail" => Some(EpochWorkload::Std(StandardWorkload::Mail)),
+            "web" => Some(EpochWorkload::Std(StandardWorkload::Web)),
+            "proxy" => Some(EpochWorkload::Std(StandardWorkload::Proxy)),
+            "oltp" => Some(EpochWorkload::Std(StandardWorkload::Oltp)),
+            "rocks" => Some(EpochWorkload::Std(StandardWorkload::Rocks)),
+            "mongo" => Some(EpochWorkload::Std(StandardWorkload::Mongo)),
+            _ => YcsbKind::parse(s).map(EpochWorkload::Kv),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EpochWorkload::Std(w) => w.label(),
+            EpochWorkload::Kv(kind) => kind.label(),
+        }
+    }
+
+    /// Builds the phase's stream over `space` pages. `Std` phases build
+    /// exactly what the single-phase runners build; `Kv` phases take
+    /// their engine shape from `kv`.
+    fn build(self, kv: &KvSpec, space: u64, seed: u64) -> Box<dyn Workload + Send> {
+        match self {
+            EpochWorkload::Std(w) => w.build(space, seed),
+            EpochWorkload::Kv(kind) => {
+                Box::new(YcsbWorkload::with_config(kv.kv_config(), kind, space, seed))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EpochWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -42,6 +42,10 @@ pub use hostq::{
     split_arrival_budget, split_even_budget, ClassSummary, DwrrScheduler, HostQueueConfig,
     HostQueueFront, QosReport, TenantSummary,
 };
+pub use kvsim::{
+    splitmix64, IntZipf, KvAppReport, KvConfig, KvEvent, KvOp, KvStats, KvStream, LsmTree,
+    SplitMix, YcsbGen, YcsbKind,
+};
 pub use nand3d::{
     AgingState, BlockId, FaultCounters, FaultKind, FaultPlan, FlashArray, Geometry, NandChip,
     NandConfig, OobStatus, ProgramParams, ReadParams, RetryOptConfig, TargetedFault, WlAddr, WlOob,
@@ -61,7 +65,7 @@ pub use telemetry::{
 };
 pub use workloads::{
     build_population, shard_seed, tenant_seed, StandardWorkload, TenantClass, TenantMix,
-    TenantProfile, Trace, TraceReplay, UniformTenantWorkload, Workload,
+    TenantProfile, Trace, TraceReplay, UniformTenantWorkload, Workload, YcsbWorkload,
 };
 
 pub mod harness;

@@ -1,0 +1,364 @@
+//! The kvsim application layer end to end through the harness:
+//! defaults-off golden identity against the plain runners, engaged
+//! byte-identical double runs, YCSB-A vs YCSB-C app-WA ordering,
+//! worker-thread invariance on sharded arrays, trace-capture
+//! round-trips, and property tests on the Zipf sampler and LSM engine.
+//!
+//! The thread-invariance test honours `CUBEFTL_KV_THREADS` (CI runs
+//! the suite at 2 and 8) as the second worker-thread count.
+
+use cubeftl::harness::{
+    run_array_eval_traced, run_array_kv_eval, run_eval_capture, run_eval_traced, run_kv_eval,
+    run_trace_eval, run_trace_eval_capture, ArrayEvalConfig, ArrayKvEvalReport, EvalConfig, KvSpec,
+    TelemetrySpec,
+};
+use cubeftl::{
+    splitmix64, AgingState, FtlKind, IntZipf, KvConfig, KvStream, LsmTree, SplitMix,
+    StandardWorkload, Trace, YcsbKind,
+};
+use proptest::prelude::*;
+
+const PAGE_BYTES: u64 = 16 * 1024;
+
+fn cfg() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.requests = 2_500;
+    cfg
+}
+
+/// A small engine shape so flushes and compactions cycle many times
+/// inside a test-scale run.
+fn spec(kind: YcsbKind) -> KvSpec {
+    let mut kv = KvSpec::with_workload(kind);
+    kv.keys = 2_048;
+    kv.memtable_entries = 256;
+    kv
+}
+
+/// Second worker-thread count of the invariance test: CI sets
+/// `CUBEFTL_KV_THREADS` to 2 and 8; default 4 (= one per shard).
+fn threads_under_test() -> usize {
+    std::env::var("CUBEFTL_KV_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+#[test]
+fn defaults_off_reproduces_run_eval_traced_byte_for_byte() {
+    let cfg = cfg();
+    let tel = TelemetrySpec::off();
+    let plain = run_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::MidLife,
+        &cfg,
+        &tel,
+    );
+    let (r, t) = run_kv_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::MidLife,
+        &cfg,
+        &KvSpec::off(),
+        &tel,
+        false,
+    );
+    assert!(r.app.is_none(), "disengaged run reports no app metrics");
+    assert!(r.events.is_empty(), "disengaged run emits no KV events");
+    assert!(r.captured.is_none());
+    assert_eq!(
+        format!("{:?} {:?}", r.sim, t),
+        format!("{:?} {:?}", plain.0, plain.1),
+        "disengaged KV runner must reproduce run_eval_traced exactly"
+    );
+}
+
+#[test]
+fn defaults_off_reproduces_run_array_eval_traced_byte_for_byte() {
+    let cfg = cfg();
+    let arr = ArrayEvalConfig::new(4);
+    let tel = TelemetrySpec::off();
+    let plain = run_array_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+        &tel,
+    );
+    let (r, t) = run_array_kv_eval(
+        FtlKind::Cube,
+        StandardWorkload::Oltp,
+        AgingState::Fresh,
+        &cfg,
+        &arr,
+        &KvSpec::off(),
+        &tel,
+    );
+    assert!(r.apps.is_empty());
+    assert!(r.events.is_empty());
+    assert_eq!(
+        format!("{:?} {:?} {:?}", r.merged, r.shards, t),
+        format!("{:?} {:?} {:?}", plain.0.merged, plain.0.shards, plain.1),
+        "disengaged array KV runner must reproduce run_array_eval_traced exactly"
+    );
+}
+
+#[test]
+fn engaged_kv_run_is_byte_identical_across_reruns() {
+    let cfg = cfg();
+    let run = || {
+        run_kv_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+            &spec(YcsbKind::A),
+            &TelemetrySpec::off(),
+            false,
+        )
+    };
+    let (a, _) = run();
+    let (b, _) = run();
+    let app = a.app.as_ref().expect("engaged run reports app metrics");
+    assert!(app.stats.ops > 0, "measured ops ran");
+    assert!(app.stats.flushes > 0, "memtable flushed at least once");
+    assert_eq!(
+        format!("{:?} {:?} {:?}", a.sim, a.app, a.events),
+        format!("{:?} {:?} {:?}", b.sim, b.app, b.events),
+        "engaged KV run must be deterministic"
+    );
+}
+
+#[test]
+fn ycsb_a_amplifies_writes_more_than_ycsb_c() {
+    let cfg = cfg();
+    let at = |kind: YcsbKind| {
+        let (r, _) = run_kv_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+            &spec(kind),
+            &TelemetrySpec::off(),
+            false,
+        );
+        r.app.expect("engaged")
+    };
+    let a = at(YcsbKind::A);
+    let c = at(YcsbKind::C);
+    assert!(
+        a.app_wa_permille > 1000,
+        "YCSB-A app-WA must exceed 1.0 ({} permille)",
+        a.app_wa_permille
+    );
+    assert!(
+        a.app_wa_permille > c.app_wa_permille,
+        "update-heavy A must out-amplify read-only C ({} vs {})",
+        a.app_wa_permille,
+        c.app_wa_permille
+    );
+    assert_eq!(c.stats.updates, 0, "YCSB-C is read-only");
+    assert!(
+        a.stats.sst_pages_written + a.stats.wal_pages_written
+            > c.stats.sst_pages_written + c.stats.wal_pages_written,
+        "A must write more device pages than C"
+    );
+}
+
+fn array_fingerprint(r: &ArrayKvEvalReport) -> String {
+    format!("{:?} {:?} {:?} {:?}", r.merged, r.shards, r.apps, r.events)
+}
+
+#[test]
+fn array_kv_run_is_identical_at_any_thread_count() {
+    let cfg = cfg();
+    let at = |threads: usize| {
+        let mut arr = ArrayEvalConfig::new(4);
+        arr.threads = threads;
+        let (r, _) = run_array_kv_eval(
+            FtlKind::Cube,
+            StandardWorkload::Mail,
+            AgingState::Fresh,
+            &cfg,
+            &arr,
+            &spec(YcsbKind::A),
+            &TelemetrySpec::off(),
+        );
+        assert_eq!(r.apps.len(), 4, "one KV engine per shard");
+        array_fingerprint(&r)
+    };
+    let one = at(1);
+    assert_eq!(one, at(threads_under_test()), "1 vs env worker threads");
+    assert_eq!(one, at(2), "1 vs 2 worker threads");
+}
+
+#[test]
+fn kv_capture_round_trips_byte_identically() {
+    let cfg = cfg();
+    let (r, _) = run_kv_eval(
+        FtlKind::Cube,
+        StandardWorkload::Mail,
+        AgingState::Fresh,
+        &cfg,
+        &spec(YcsbKind::A),
+        &TelemetrySpec::off(),
+        true,
+    );
+    let captured = r.captured.expect("capture requested");
+    assert_eq!(captured.label(), "ycsb_a");
+    let csv = captured.to_msr_csv(PAGE_BYTES);
+    let parsed = Trace::from_msr_csv(&csv, PAGE_BYTES, 1 << 40).expect("captured CSV parses");
+    assert_eq!(parsed.requests(), captured.requests());
+    // Replaying the capture and re-capturing reproduces the same bytes.
+    let (_, recaptured) = run_trace_eval_capture(FtlKind::Cube, AgingState::Fresh, &cfg, &parsed);
+    assert_eq!(
+        recaptured.to_msr_csv(PAGE_BYTES),
+        csv,
+        "capture -> replay -> capture must be byte-identical"
+    );
+}
+
+#[test]
+fn plain_workload_capture_round_trips_byte_identically() {
+    let cfg = cfg();
+    let (plain, _) = run_eval_traced(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::Fresh,
+        &cfg,
+        &TelemetrySpec::off(),
+    );
+    let (r, _, captured) = run_eval_capture(
+        FtlKind::Cube,
+        StandardWorkload::Web,
+        AgingState::Fresh,
+        &cfg,
+        &TelemetrySpec::off(),
+    );
+    assert_eq!(
+        format!("{r:?}"),
+        format!("{plain:?}"),
+        "capturing must not perturb the run"
+    );
+    assert_eq!(captured.len() as u64, r.completed);
+    let csv = captured.to_msr_csv(PAGE_BYTES);
+    let parsed = Trace::from_msr_csv(&csv, PAGE_BYTES, 1 << 40).expect("capture parses");
+    let (_, recaptured) = run_trace_eval_capture(FtlKind::Cube, AgingState::Fresh, &cfg, &parsed);
+    assert_eq!(recaptured.to_msr_csv(PAGE_BYTES), csv);
+}
+
+#[test]
+fn shipped_ycsb_a_sample_trace_replays_deterministically() {
+    let text = std::fs::read_to_string("tests/data/traces/ycsb_a.csv")
+        .expect("shipped ycsb_a capture present");
+    let trace = Trace::from_msr_csv(&text, PAGE_BYTES, 1 << 40).expect("ycsb_a trace parses");
+    assert_eq!(trace.label(), "ycsb_a", "capture carries its label");
+    assert!(trace.len() > 100, "non-trivial sample");
+    let reads = trace
+        .requests()
+        .iter()
+        .filter(|r| matches!(r.op, ssdsim::HostOp::Read))
+        .count();
+    assert!(reads > 0 && reads < trace.len(), "mixed op trace");
+    let cfg = cfg();
+    let run = || run_trace_eval(FtlKind::Cube, AgingState::Fresh, &cfg, &trace);
+    let a = run();
+    assert_eq!(a.completed, trace.len() as u64);
+    assert_eq!(format!("{a:?}"), format!("{:?}", run()));
+}
+
+proptest! {
+    /// The integer Zipf sampler stays in range and is a pure function
+    /// of its RNG state.
+    #[test]
+    fn zipf_samples_stay_in_range_and_deterministic(
+        n in 1u64..50_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let z = IntZipf::new(n);
+        let draw = |seed: u64| {
+            let mut rng = SplitMix::new(seed);
+            (0..64).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(seed);
+        for &x in &a {
+            prop_assert!(x < n, "sample {x} out of range 0..{n}");
+        }
+        prop_assert_eq!(a, draw(seed), "same seed must reproduce the stream");
+    }
+
+    /// No key is ever lost across arbitrary put/update sequences, no
+    /// matter how many flushes and compactions they force.
+    #[test]
+    fn lsm_never_loses_a_key(
+        puts in prop::collection::vec(0u64..512, 1..1_500),
+    ) {
+        let mut cfg = KvConfig::default_shape();
+        cfg.keys = 512;
+        cfg.memtable_entries = 64;
+        cfg.sst_entries = 64;
+        cfg.l0_files = 2;
+        cfg.fanout = 2;
+        cfg.max_levels = 3;
+        let mut t = LsmTree::new(cfg, 8_192);
+        for &k in &puts {
+            t.put(k, false);
+            while t.take_io().is_some() {}
+        }
+        for &k in &puts {
+            prop_assert!(t.contains(k), "key {} lost", k);
+        }
+    }
+
+    /// Bounded levels hold their size targets after maintenance, and
+    /// the level count never exceeds the configured maximum.
+    #[test]
+    fn lsm_levels_stay_size_bounded(
+        churn in 200u64..3_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut cfg = KvConfig::default_shape();
+        cfg.keys = 512;
+        cfg.memtable_entries = 64;
+        cfg.sst_entries = 64;
+        cfg.l0_files = 2;
+        cfg.fanout = 2;
+        cfg.max_levels = 3;
+        let max_levels = cfg.max_levels as usize;
+        let mut t = LsmTree::new(cfg, 8_192);
+        for i in 0..churn {
+            t.put(splitmix64(i ^ seed) % 512, false);
+            while t.take_io().is_some() {}
+        }
+        prop_assert!(t.level_count() <= max_levels);
+        prop_assert!(t.level_runs(0) < t.config().l0_files as usize);
+        for n in 1..t.level_count().saturating_sub(1) {
+            prop_assert!(
+                t.level_entries(n) <= t.level_target(n as u32),
+                "level {} over target after maintenance", n
+            );
+        }
+    }
+
+    /// The YCSB stream wrapper is a pure function of (kind, seed): two
+    /// streams with equal parameters emit identical device requests.
+    #[test]
+    fn kv_stream_is_a_pure_function_of_its_seed(
+        seed in 0u64..u64::MAX,
+        kind_ix in 0usize..5,
+    ) {
+        let kind = [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D, YcsbKind::F][kind_ix];
+        let mut cfg = KvConfig::default_shape();
+        cfg.keys = 1_024;
+        cfg.memtable_entries = 128;
+        cfg.sst_entries = 128;
+        let draw = || {
+            let mut s = KvStream::new(cfg, kind, 8_192, seed);
+            (0..256).map(|_| s.next().expect("endless stream")).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(draw(), draw());
+    }
+}
